@@ -1,0 +1,125 @@
+"""Benches regenerating the §3 exhibits (Tables 1-2, Figures 1-9).
+
+Each test rebuilds one exhibit from the shared seeded workload and
+asserts the paper's qualitative claim for that exhibit, so a green run
+certifies the characterization shapes hold.
+"""
+
+import numpy as np
+
+
+def test_table1(run_exhibit):
+    payload = run_exhibit("table1")
+    t = payload["table"]
+    assert t["paper_gpus"].sum() == 6416  # Table 1 total
+    assert len(t) == 4
+
+
+def test_table2(run_exhibit):
+    payload = run_exhibit("table2")
+    rows = {r["metric"]: r for r in payload["table"].iter_rows()}
+    # Helios has far more jobs; Philly has no CPU jobs and longer jobs.
+    assert int(rows["jobs"]["helios"]) > 3 * int(rows["jobs"]["philly"])
+    assert rows["cpu_jobs"]["philly"] == "0"
+    assert float(rows["avg_duration_s"]["philly"]) > float(rows["avg_duration_s"]["helios"])
+
+
+def test_fig1(run_exhibit):
+    payload = run_exhibit("fig1")
+    # Fig 1b: failed jobs waste over a third of Philly's GPU time vs ~9%
+    # in Helios; Fig 1a: Philly durations stochastically dominate.
+    assert payload["philly_status"]["failed"] > 2 * payload["helios_status"]["failed"]
+    xs_h, ys_h = payload["helios_cdf"]
+    xs_p, ys_p = payload["philly_cdf"]
+    med_h = xs_h[np.searchsorted(ys_h, 0.5)]
+    med_p = xs_p[np.searchsorted(ys_p, 0.5)]
+    assert med_p > med_h
+
+
+def test_fig2(run_exhibit):
+    payload = run_exhibit("fig2")
+    for cluster, prof in payload["utilization"].items():
+        assert prof.mean() > 0.4
+    for cluster, subs in payload["submissions"].items():
+        night = subs[1:6].mean()
+        day = subs[9:18].mean()
+        assert night < day  # Fig 2b: submissions trough at night
+
+
+def test_fig3(run_exhibit):
+    payload = run_exhibit("fig3")
+    for cluster, counts in payload["counts"].items():
+        single = counts["single_gpu_jobs"].astype(float)
+        multi = counts["multi_gpu_jobs"].astype(float)
+        # Fig 3: single-GPU volumes fluctuate more than multi-GPU volumes
+        cv_single = single.std() / max(single.mean(), 1)
+        cv_multi = multi.std() / max(multi.mean(), 1)
+        assert cv_single > 0.5 * cv_multi
+    for cluster, util in payload["utilization"].items():
+        # Fig 3 bottom: multi-GPU jobs dominate utilization everywhere
+        # except single-GPU-heavy Earth.
+        if cluster != "Earth":
+            assert (
+                util["multi_gpu_utilization"].mean()
+                > util["single_gpu_utilization"].mean()
+            )
+
+
+def test_fig4(run_exhibit):
+    payload = run_exhibit("fig4")
+    stats = payload["vc_stats"]
+    assert len(stats) >= 3
+    assert np.all(stats["util_median"] <= 1.01)
+    qd = payload["queue_duration"]
+    assert np.all(qd["norm_queue_delay"] >= 0)
+
+
+def test_fig5(run_exhibit):
+    payload = run_exhibit("fig5")
+    # GPU durations exceed CPU durations by ~an order of magnitude in
+    # every cluster (§3.2.1).
+    for cluster in ("Venus", "Earth", "Saturn", "Uranus"):
+        xs_g, ys_g = payload["curves"][(cluster, "gpu")]
+        xs_c, ys_c = payload["curves"][(cluster, "cpu")]
+        med_g = xs_g[np.searchsorted(ys_g, 0.5)]
+        med_c = xs_c[np.searchsorted(ys_c, 0.5)]
+        assert med_g > 3 * med_c
+
+
+def test_fig6(run_exhibit):
+    payload = run_exhibit("fig6")
+    for cluster, t in payload["tables"].items():
+        rows = {int(r["size"]): r for r in t.iter_rows()}
+        # >50% single-GPU jobs by count...
+        assert rows[1]["job_fraction"] > 0.5
+        # ...but large jobs hold the GPU time (Implication #4).
+        if cluster != "Earth":
+            assert rows[4]["gpu_time_fraction"] < 0.55
+
+
+def test_fig7(run_exhibit):
+    payload = run_exhibit("fig7")
+    dist = {r["kind"]: r for r in payload["distribution"].iter_rows()}
+    # Fig 7a: unsuccessful GPU jobs >> unsuccessful CPU jobs.
+    assert (1 - dist["gpu"]["completed"]) > 2 * (1 - dist["cpu"]["completed"])
+    bd = payload["by_demand"]
+    assert bd["completed"][-1] < bd["completed"][0]  # Fig 7b decline
+
+
+def test_fig8(run_exhibit):
+    payload = run_exhibit("fig8")
+    for cluster in ("Venus", "Earth", "Saturn", "Uranus"):
+        _, g = payload["curves"][(cluster, "gpu")]
+        # top 5% of users hold a large share of GPU time (45-60% paper)
+        assert g[5] > 0.25
+
+
+def test_fig9(run_exhibit):
+    payload = run_exhibit("fig9")
+    for cluster, (frac, share) in payload["queue_curves"].items():
+        assert share[-1] == 1.0 or np.isclose(share[-1], 1.0)
+        # queueing is concentrated on few users (Fig 9a)
+        assert share[25] > 0.5
+    for cluster, rates in payload["completion"].items():
+        # Fig 9b: user completion rates are generally low / spread out
+        assert np.median(rates["completion_rate"]) < 0.9

@@ -1,0 +1,58 @@
+"""Benches regenerating the QSSF exhibits (Figs 11-13, Tables 3-4).
+
+Shape assertions follow §4.2.3: QSSF ≈ SJF ≫ FIFO on JCT and queueing;
+every duration group benefits, short jobs the most; per-VC delays
+collapse under QSSF.
+"""
+
+import numpy as np
+
+
+def test_fig11(run_exhibit):
+    payload = run_exhibit("fig11")
+    curves = payload["curves"]
+    for cluster in ("Venus", "Earth", "Saturn", "Uranus"):
+        xs_f, ys_f = curves[(cluster, "FIFO")]
+        xs_q, ys_q = curves[(cluster, "QSSF")]
+        # QSSF's JCT CDF sits left of FIFO's: at FIFO's median JCT the
+        # QSSF CDF has more mass.
+        med_f = xs_f[np.searchsorted(ys_f, 0.5)]
+        q_at = ys_q[min(np.searchsorted(xs_q, med_f), len(ys_q) - 1)]
+        assert q_at >= 0.5
+
+
+def test_table3(run_exhibit):
+    payload = run_exhibit("table3")
+    jct_imp = payload["jct_improvement"]
+    queue_imp = payload["queue_improvement"]
+    for cluster, imp in jct_imp.items():
+        assert imp > 1.2, f"{cluster}: QSSF JCT improvement {imp:.2f}x"
+    for cluster, imp in queue_imp.items():
+        assert imp > 2.0, f"{cluster}: QSSF queue improvement {imp:.2f}x"
+    # QSSF is comparable with oracle SJF (paper: sometimes better).
+    m = payload["metrics"]
+    for cluster in ("Venus", "Earth", "Saturn", "Uranus", "Philly"):
+        assert m[(cluster, "QSSF")].avg_jct < 3.0 * m[(cluster, "SJF")].avg_jct
+
+
+def test_table4(run_exhibit):
+    payload = run_exhibit("table4")
+    for row in payload["table"].iter_rows():
+        # every group benefits; short-term jobs benefit the most
+        assert row["short-term"] > 1.0
+        assert row["short-term"] >= row["long-term"]
+
+
+def test_fig12(run_exhibit):
+    payload = run_exhibit("fig12")
+    t = payload["table"]
+    fifo = t["FIFO"]
+    qssf = t["QSSF"]
+    # Summed over the top VCs, QSSF slashes FIFO's queueing delay.
+    assert qssf.sum() < 0.6 * fifo.sum()
+
+
+def test_fig13(run_exhibit):
+    payload = run_exhibit("fig13")
+    t = payload["table"]
+    assert t["QSSF"].sum() < t["FIFO"].sum()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: generate a Helios-style workload, replay it, inspect it.
+
+Walks the core pipeline in ~30 seconds:
+
+1. synthesize one month of the Venus cluster (Table-1 shape, scaled);
+2. replay its GPU jobs through the discrete-event simulator under the
+   production FIFO policy;
+3. print the headline characterization numbers the paper reports.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.analysis import duration_summary, gpu_time_by_status, render_kv
+from repro.sched import FIFOScheduler, compute_metrics
+from repro.sim import Simulator, utilization_series
+from repro.stats import TimeGrid
+from repro.traces import HeliosTraceGenerator, SynthParams, is_gpu_job, validate_trace
+
+
+def main() -> None:
+    # 1. One month of Venus at 10% of the paper's node count.
+    params = SynthParams(months=1, scale=0.1, seed=7)
+    generator = HeliosTraceGenerator(params)
+    trace = generator.generate_cluster("Venus")
+    spec = generator.specs["Venus"]
+    validate_trace(trace, spec)
+    print(f"generated {len(trace):,} jobs on {spec.num_nodes} nodes "
+          f"({spec.num_gpus} GPUs, {spec.num_vcs} VCs)\n")
+
+    # 2. Replay the GPU jobs under FIFO (Helios' production policy).
+    gpu_jobs = trace.filter(is_gpu_job(trace))
+    result = Simulator(spec, FIFOScheduler()).run(gpu_jobs)
+    metrics = compute_metrics("FIFO", result)
+    grid = TimeGrid(0.0, 3600.0, params.horizon_hours)
+    util = utilization_series(result, grid)
+
+    # 3. Headline numbers.
+    print(render_kv(duration_summary(trace), "job characterization"))
+    print()
+    print(render_kv(gpu_time_by_status(trace), "GPU-time share by status"))
+    print()
+    print(render_kv(
+        {
+            "avg_jct_s": metrics.avg_jct,
+            "avg_queue_s": metrics.avg_queue_time,
+            "queued_jobs": metrics.num_queuing_jobs,
+            "mean_utilization": float(util.mean()),
+            "peak_utilization": float(util.max()),
+        },
+        "FIFO replay",
+    ))
+
+
+if __name__ == "__main__":
+    main()

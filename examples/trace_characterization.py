@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Characterization walk-through: the paper's seven implications.
+
+Generates a multi-cluster workload and checks each of the paper's §3
+implications against it, printing the supporting statistics — a compact
+tour of the analysis API.
+
+Run:  python examples/trace_characterization.py
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    gpu_time_by_status,
+    hourly_submission_profile,
+    job_size_cdfs,
+    status_distribution,
+    user_resource_curve,
+)
+from repro.frame import Table, top_k_share
+from repro.sched import FIFOScheduler
+from repro.sim import Simulator
+from repro.stats import hourly_profile
+from repro.traces import (
+    HeliosTraceGenerator,
+    SynthParams,
+    gpu_time,
+    is_cpu_job,
+    is_gpu_job,
+)
+
+
+def main() -> None:
+    generator = HeliosTraceGenerator(SynthParams(months=2, scale=0.1, seed=5))
+    traces = {c: generator.generate_cluster(c) for c in ("Venus", "Earth")}
+    helios = Table.concat(list(traces.values()))
+
+    print("Implication #1 — daily patterns are predictable")
+    subs = hourly_submission_profile(traces["Venus"], months=2)
+    print(f"  submissions/hour: night {subs[2:6].mean():.1f} vs day {subs[10:18].mean():.1f}\n")
+
+    print("Implication #2 — multi-GPU jobs are stable and dominate usage")
+    gj = helios.filter(is_gpu_job(helios))
+    gt = gpu_time(gj)
+    multi_share = gt[gj["gpu_num"] > 1].sum() / gt.sum()
+    print(f"  multi-GPU jobs hold {multi_share * 100:.0f}% of GPU time\n")
+
+    print("Implication #3 — imbalanced VCs: queueing co-exists with idling")
+    venus_gpu = traces["Venus"].filter(is_gpu_job(traces["Venus"]))
+    replay = Simulator(generator.specs["Venus"], FIFOScheduler()).run(venus_gpu)
+    from repro.sched import queuing_by_vc
+
+    by_vc = queuing_by_vc(replay)
+    delays = by_vc["avg_queue_delay"]
+    print(f"  per-VC avg queue delay spans {delays.min():.0f}s .. {delays.max():.0f}s\n")
+
+    print("Implication #4 — single-GPU jobs dominate counts, not GPU time")
+    sizes = job_size_cdfs(helios)
+    row = sizes.row(0)
+    print(f"  size<=1: {row['job_fraction'] * 100:.0f}% of jobs, "
+          f"{row['gpu_time_fraction'] * 100:.0f}% of GPU time\n")
+
+    print("Implication #5 — early stopping: canceled jobs burn GPU time")
+    shares = gpu_time_by_status(helios)
+    print(f"  GPU-time shares: {shares}\n")
+
+    print("Implication #6 — failed jobs are short debugging runs")
+    failed = gj.filter(gj["status"] == "failed")
+    completed = gj.filter(gj["status"] == "completed")
+    print(f"  median failed {np.median(failed['duration']):.0f}s vs "
+          f"completed {np.median(completed['duration']):.0f}s\n")
+
+    print("Implication #7 — a few users dominate resources and queueing")
+    share = top_k_share(gj["user"], gpu_time(gj), 0.05)
+    print(f"  top 5% of users hold {share * 100:.0f}% of GPU time")
+    _, cpu_curve = user_resource_curve(helios, "cpu")
+    print(f"  top 10% of CPU users hold {cpu_curve[10] * 100:.0f}% of CPU time")
+    print()
+    print(status_distribution(helios).columns)
+
+
+if __name__ == "__main__":
+    main()

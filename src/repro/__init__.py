@@ -1,0 +1,45 @@
+"""repro — reproduction of "Characterization and Prediction of Deep
+Learning Workloads in Large-Scale GPU Datacenters" (SC '21).
+
+Subpackages
+-----------
+``repro.traces``     calibrated synthetic Helios/Philly workloads (Table 1/2)
+``repro.analysis``   §3 characterization (Figs 1-9)
+``repro.sim``        trace-driven discrete-event cluster simulator
+``repro.sched``      FIFO/SJF/SRTF baselines + QSSF (§4.2, Algorithm 1)
+``repro.energy``     CES service: forecasting + DRS (§4.3, Algorithm 2)
+``repro.framework``  prediction-based management framework (§4.1)
+``repro.ml``         scratch GBDT / forecasters / encoders substrate
+``repro.frame``      mini columnar dataframe substrate
+``repro.stats``      distributions, time series, metrics
+``repro.experiments`` one module per paper table/figure
+
+Quickstart
+----------
+>>> from repro.traces import HeliosTraceGenerator, SynthParams, is_gpu_job
+>>> from repro.sim import Simulator
+>>> from repro.sched import FIFOScheduler
+>>> gen = HeliosTraceGenerator(SynthParams(months=1, scale=0.05, seed=0))
+>>> trace = gen.generate_cluster("Venus")
+>>> gpu_jobs = trace.filter(is_gpu_job(trace))
+>>> result = Simulator(gen.specs["Venus"], FIFOScheduler()).run(gpu_jobs)
+>>> result.jct.shape == (len(gpu_jobs),)
+True
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, energy, frame, framework, ml, sched, sim, stats, traces
+
+__all__ = [
+    "__version__",
+    "analysis",
+    "energy",
+    "frame",
+    "framework",
+    "ml",
+    "sched",
+    "sim",
+    "stats",
+    "traces",
+]

@@ -1,0 +1,51 @@
+"""Trace characterization (§3 of the paper) and report rendering."""
+
+from .cluster_chars import (
+    hourly_submission_profile,
+    hourly_utilization_profile,
+    monthly_job_counts,
+    monthly_utilization,
+    vc_queue_and_duration,
+    vc_utilization_stats,
+)
+from .compare import helios_philly_table, trace_summary
+from .job_chars import (
+    duration_cdf,
+    duration_summary,
+    gpu_time_by_status,
+    job_size_cdfs,
+    status_by_gpu_demand,
+    status_distribution,
+)
+from .report import render_cdf_points, render_kv, render_series, render_table
+from .user_chars import (
+    marquee_users,
+    user_completion_rates,
+    user_queue_curve,
+    user_resource_curve,
+)
+
+__all__ = [
+    "duration_cdf",
+    "duration_summary",
+    "gpu_time_by_status",
+    "helios_philly_table",
+    "hourly_submission_profile",
+    "hourly_utilization_profile",
+    "job_size_cdfs",
+    "marquee_users",
+    "monthly_job_counts",
+    "monthly_utilization",
+    "render_cdf_points",
+    "render_kv",
+    "render_series",
+    "render_table",
+    "status_by_gpu_demand",
+    "status_distribution",
+    "trace_summary",
+    "user_completion_rates",
+    "user_queue_curve",
+    "user_resource_curve",
+    "vc_queue_and_duration",
+    "vc_utilization_stats",
+]

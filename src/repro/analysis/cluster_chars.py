@@ -1,0 +1,152 @@
+"""Cluster-level characterization (§3.1: Figs 2, 3, 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frame import Table, group_reduce
+from ..sim.engine import ReplayResult
+from ..sim.telemetry import utilization_series
+from ..stats.timeseries import TimeGrid, hourly_profile
+from ..traces.io import month_of
+from ..traces.schema import SECONDS_PER_DAY, is_gpu_job
+
+__all__ = [
+    "hourly_utilization_profile",
+    "hourly_submission_profile",
+    "monthly_job_counts",
+    "monthly_utilization",
+    "vc_utilization_stats",
+    "vc_queue_and_duration",
+]
+
+
+def hourly_utilization_profile(result: ReplayResult, bin_seconds: int = 3600) -> np.ndarray:
+    """Fig 2a: average cluster utilization per hour-of-day (length 24)."""
+    horizon = float(result.end_times.max()) if len(result.end_times) else 0.0
+    if horizon <= 0:
+        return np.zeros(24)
+    grid = TimeGrid.covering(0.0, horizon, bin_seconds)
+    util = utilization_series(result, grid)
+    hours = (grid.centers.astype(np.int64) // 3600) % 24
+    sums = np.bincount(hours, weights=util, minlength=24)
+    counts = np.bincount(hours, minlength=24)
+    return np.where(counts > 0, sums / np.maximum(counts, 1), 0.0)
+
+
+def hourly_submission_profile(trace: Table, months: float) -> np.ndarray:
+    """Fig 2b: average GPU-job submissions per hour-of-day."""
+    gj = trace.filter(is_gpu_job(trace))
+    counts = hourly_profile(gj["submit_time"])
+    days = max(months * 30.0, 1e-9)
+    return counts / days
+
+
+def monthly_job_counts(trace: Table, start_epoch: int = 0) -> Table:
+    """Fig 3 top: submitted single- vs multi-GPU jobs per month."""
+    gj = trace.filter(is_gpu_job(trace))
+    months = month_of(gj["submit_time"], start_epoch)
+    single = gj["gpu_num"] == 1
+    uniq = np.unique(months)
+    rows = []
+    for m in uniq:
+        mask = months == m
+        rows.append(
+            {
+                "month": int(m),
+                "single_gpu_jobs": int(np.sum(mask & single)),
+                "multi_gpu_jobs": int(np.sum(mask & ~single)),
+            }
+        )
+    return Table.from_rows(rows)
+
+
+def monthly_utilization(
+    result: ReplayResult, months: int, start_epoch: int = 0,
+    split_by_size: bool = False,
+) -> Table:
+    """Fig 3: average utilization per month, optionally split into the
+    single-GPU vs multi-GPU contribution (Fig 3 bottom)."""
+    total = result.total_gpus
+    month_s = 30 * SECONDS_PER_DAY
+    iv = result.node_intervals
+    rows = []
+    tr = result.replayed_trace()
+    single_mask = tr["gpu_num"] == 1
+    for m in range(months):
+        t0 = start_epoch + m * month_s
+        grid = TimeGrid(t0, month_s, 1)
+        from ..stats.timeseries import interval_load
+
+        overall = interval_load(grid, tr["start_time"], tr["end_time"], tr["gpu_num"].astype(float))[0] / total
+        row = {"month": m, "utilization": float(overall)}
+        if split_by_size:
+            s = interval_load(
+                grid,
+                tr["start_time"][single_mask],
+                tr["end_time"][single_mask],
+                tr["gpu_num"][single_mask].astype(float),
+            )[0] / total
+            row["single_gpu_utilization"] = float(s)
+            row["multi_gpu_utilization"] = float(overall - s)
+        rows.append(row)
+    return Table.from_rows(rows)
+
+
+def vc_utilization_stats(
+    result: ReplayResult, spec, bin_seconds: int = 600, top_k: int = 10
+) -> Table:
+    """Fig 4 top: per-VC utilization quartiles + average GPU demand.
+
+    VCs are ordered by size (descending) and truncated to ``top_k``.
+    """
+    from ..stats.timeseries import interval_load
+
+    tr = result.replayed_trace()
+    horizon = float(result.end_times.max()) if len(result.end_times) else 1.0
+    grid = TimeGrid.covering(0.0, horizon, bin_seconds)
+    vcs = sorted(spec.vcs, key=lambda vc: vc.num_gpus, reverse=True)[:top_k]
+    rows = []
+    for vc in vcs:
+        mask = tr["vc"] == vc.name
+        util = interval_load(
+            grid, tr["start_time"][mask], tr["end_time"][mask],
+            tr["gpu_num"][mask].astype(float),
+        ) / vc.num_gpus
+        q1, med, q3 = np.quantile(util, [0.25, 0.5, 0.75])
+        rows.append(
+            {
+                "vc": vc.name,
+                "num_gpus": vc.num_gpus,
+                "util_q1": float(q1),
+                "util_median": float(med),
+                "util_q3": float(q3),
+                "avg_gpu_demand": float(tr["gpu_num"][mask].mean()) if mask.any() else 0.0,
+            }
+        )
+    return Table.from_rows(rows)
+
+
+def vc_queue_and_duration(result: ReplayResult, top_k: int = 10) -> Table:
+    """Fig 4 bottom: min-max normalized average queue delay and duration
+    per VC (the paper's evidence that queuing ∝ job duration)."""
+    tr = result.replayed_trace()
+    vcs, qmean = group_reduce(tr["vc"], result.queue_delays, "mean")
+    _, dmean = group_reduce(tr["vc"], tr["duration"], "mean")
+    _, counts = group_reduce(tr["vc"], None, "count")
+    order = np.argsort(counts)[::-1][:top_k]
+
+    def _norm(x):
+        x = x[order]
+        span = x.max() - x.min()
+        return (x - x.min()) / span if span > 0 else np.zeros_like(x)
+
+    return Table(
+        {
+            "vc": np.asarray(vcs)[order],
+            "norm_queue_delay": _norm(qmean),
+            "norm_duration": _norm(dmean),
+            "avg_queue_delay": qmean[order],
+            "avg_duration": dmean[order],
+        }
+    )

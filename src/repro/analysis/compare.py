@@ -1,0 +1,61 @@
+"""Helios vs Philly trace comparison (Table 2 / §2.3.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frame import Table
+from ..traces.schema import is_cpu_job, is_gpu_job
+
+__all__ = ["trace_summary", "helios_philly_table"]
+
+
+def trace_summary(trace: Table, n_clusters: int, n_vcs: int, duration_label: str) -> dict:
+    """One column of Table 2 for a trace."""
+    gj = trace.filter(is_gpu_job(trace))
+    cj = trace.filter(is_cpu_job(trace))
+    out = {
+        "clusters": n_clusters,
+        "vcs": n_vcs,
+        "jobs": len(trace),
+        "gpu_jobs": len(gj),
+        "cpu_jobs": len(cj),
+        "duration": duration_label,
+    }
+    if len(gj):
+        out.update(
+            avg_gpus=float(gj["gpu_num"].mean()),
+            max_gpus=int(gj["gpu_num"].max()),
+            avg_duration_s=float(gj["duration"].mean()),
+            max_duration_s=float(gj["duration"].max()),
+        )
+    return out
+
+
+def helios_philly_table(
+    helios_traces: dict[str, Table],
+    philly_trace: Table,
+    helios_vcs: int,
+    philly_vcs: int,
+    helios_months: int,
+    philly_days: int,
+) -> Table:
+    """Table 2: side-by-side Helios vs Philly statistics."""
+    helios_all = Table.concat(
+        [t.select(*t.columns) for t in helios_traces.values()]
+    )
+    h = trace_summary(
+        helios_all, len(helios_traces), helios_vcs, f"{helios_months} months"
+    )
+    p = trace_summary(philly_trace, 1, philly_vcs, f"{philly_days} days")
+    metrics = [
+        "clusters", "vcs", "jobs", "gpu_jobs", "cpu_jobs", "duration",
+        "avg_gpus", "max_gpus", "avg_duration_s", "max_duration_s",
+    ]
+    return Table(
+        {
+            "metric": np.array(metrics),
+            "helios": np.array([str(h.get(m, "-")) for m in metrics]),
+            "philly": np.array([str(p.get(m, "-")) for m in metrics]),
+        }
+    )

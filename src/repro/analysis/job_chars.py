@@ -1,0 +1,121 @@
+"""Job-level characterization (§3.2: Figs 1, 5, 6, 7)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frame import Table
+from ..stats.distributions import EmpiricalCDF
+from ..traces.schema import CANCELED, COMPLETED, FAILED, STATUSES, gpu_time, is_cpu_job, is_gpu_job
+
+__all__ = [
+    "duration_cdf",
+    "gpu_time_by_status",
+    "job_size_cdfs",
+    "status_distribution",
+    "status_by_gpu_demand",
+    "duration_summary",
+]
+
+
+def duration_cdf(trace: Table, kind: str = "gpu", points: int = 120) -> tuple[np.ndarray, np.ndarray]:
+    """Fig 1a / Fig 5: log-x CDF of job durations for GPU or CPU jobs."""
+    if kind == "gpu":
+        sub = trace.filter(is_gpu_job(trace))
+    elif kind == "cpu":
+        sub = trace.filter(is_cpu_job(trace))
+    else:
+        raise ValueError("kind must be 'gpu' or 'cpu'")
+    if len(sub) == 0:
+        raise ValueError(f"no {kind} jobs in trace")
+    return EmpiricalCDF(sub["duration"]).curve(points=points, log_x=True)
+
+
+def gpu_time_by_status(trace: Table) -> dict[str, float]:
+    """Fig 1b: share of total GPU time per final status."""
+    gj = trace.filter(is_gpu_job(trace))
+    gt = gpu_time(gj)
+    total = gt.sum()
+    if total <= 0:
+        return {s: 0.0 for s in STATUSES}
+    return {s: float(gt[gj["status"] == s].sum() / total) for s in STATUSES}
+
+
+def job_size_cdfs(trace: Table, sizes=(1, 4, 8, 16, 32, 64)) -> Table:
+    """Fig 6: cumulative share of jobs and of GPU time up to each size."""
+    gj = trace.filter(is_gpu_job(trace))
+    if len(gj) == 0:
+        raise ValueError("no GPU jobs in trace")
+    gt = gpu_time(gj)
+    n = len(gj)
+    total_gt = gt.sum()
+    rows = []
+    for s in sizes:
+        mask = gj["gpu_num"] <= s
+        rows.append(
+            {
+                "size": s,
+                "job_fraction": float(mask.mean()),
+                "gpu_time_fraction": float(gt[mask].sum() / total_gt),
+            }
+        )
+    return Table.from_rows(rows)
+
+
+def status_distribution(trace: Table) -> Table:
+    """Fig 7a: final-status shares for CPU vs GPU jobs."""
+    rows = []
+    for kind, mask in (("cpu", is_cpu_job(trace)), ("gpu", is_gpu_job(trace))):
+        sub = trace.filter(mask)
+        n = max(len(sub), 1)
+        row = {"kind": kind}
+        for s in STATUSES:
+            row[s] = float(np.sum(sub["status"] == s) / n)
+        rows.append(row)
+    return Table.from_rows(rows)
+
+
+def status_by_gpu_demand(trace: Table, sizes=(1, 2, 4, 8, 16, 32, 64)) -> Table:
+    """Fig 7b: status shares per GPU-demand bucket (powers of two)."""
+    gj = trace.filter(is_gpu_job(trace))
+    rows = []
+    for s in sizes:
+        sub = gj.filter(gj["gpu_num"] == s)
+        if len(sub) == 0:
+            continue
+        n = len(sub)
+        rows.append(
+            {
+                "gpu_num": s,
+                "n_jobs": n,
+                COMPLETED: float(np.sum(sub["status"] == COMPLETED) / n),
+                CANCELED: float(np.sum(sub["status"] == CANCELED) / n),
+                FAILED: float(np.sum(sub["status"] == FAILED) / n),
+            }
+        )
+    return Table.from_rows(rows)
+
+
+def duration_summary(trace: Table) -> dict[str, float]:
+    """Headline duration statistics quoted in §3.2.1 / Table 2."""
+    gj = trace.filter(is_gpu_job(trace))
+    cj = trace.filter(is_cpu_job(trace))
+    out = {
+        "n_gpu_jobs": float(len(gj)),
+        "n_cpu_jobs": float(len(cj)),
+    }
+    if len(gj):
+        out.update(
+            gpu_mean=float(gj["duration"].mean()),
+            gpu_median=float(np.median(gj["duration"])),
+            gpu_max=float(gj["duration"].max()),
+            avg_gpus=float(gj["gpu_num"].mean()),
+            max_gpus=float(gj["gpu_num"].max()),
+            frac_under_1000s=float(np.mean(gj["duration"] < 1000.0)),
+        )
+    if len(cj):
+        out.update(
+            cpu_mean=float(cj["duration"].mean()),
+            cpu_median=float(np.median(cj["duration"])),
+        )
+    return out

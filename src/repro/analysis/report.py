@@ -1,0 +1,98 @@
+"""ASCII rendering of tables and curves for the experiment harness.
+
+The benchmarks print the same rows/series the paper's tables and figures
+report; these helpers format them readably in terminal output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from ..frame import Table
+
+__all__ = ["render_table", "render_series", "render_cdf_points", "render_kv"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, (float, np.floating)):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or (0 < abs(value) < 0.01):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(table: Table | Sequence[Mapping], title: str = "") -> str:
+    """Monospace table with a header row."""
+    if isinstance(table, Table):
+        rows = list(table.iter_rows())
+        columns = table.columns
+    else:
+        rows = [dict(r) for r in table]
+        columns = list(rows[0].keys()) if rows else []
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    cells = [[_fmt(r.get(c, "")) for c in columns] for r in rows]
+    widths = [
+        max(len(columns[j]), max(len(row[j]) for row in cells))
+        for j in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(c.ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(values: np.ndarray, title: str = "", width: int = 72) -> str:
+    """Unicode sparkline of a series (down-sampled to ``width``)."""
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        return f"{title}: (empty)"
+    if v.size > width:
+        edges = np.linspace(0, v.size, width + 1).astype(int)
+        v = np.array([v[a:b].mean() for a, b in zip(edges[:-1], edges[1:])])
+    lo, hi = float(np.nanmin(v)), float(np.nanmax(v))
+    span = hi - lo
+    if span == 0:
+        bars = _BLOCKS[4] * v.size
+    else:
+        idx = ((v - lo) / span * (len(_BLOCKS) - 1)).round().astype(int)
+        bars = "".join(_BLOCKS[i] for i in idx)
+    head = f"{title} " if title else ""
+    return f"{head}[{lo:.3g}..{hi:.3g}] {bars}"
+
+
+def render_cdf_points(
+    xs: np.ndarray, ys: np.ndarray, probe_points: Sequence[float], title: str = ""
+) -> str:
+    """Report a CDF at a few probe x-values (how the paper quotes CDFs)."""
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    parts = []
+    for p in probe_points:
+        idx = np.searchsorted(xs, p)
+        frac = ys[min(idx, len(ys) - 1)]
+        parts.append(f"F({p:g})={frac * 100:.1f}%")
+    head = f"{title}: " if title else ""
+    return head + "  ".join(parts)
+
+
+def render_kv(mapping: Mapping, title: str = "") -> str:
+    """Aligned key: value block."""
+    if not mapping:
+        return f"{title}\n(empty)" if title else "(empty)"
+    width = max(len(str(k)) for k in mapping)
+    lines = [title] if title else []
+    for k, v in mapping.items():
+        lines.append(f"{str(k).ljust(width)} : {_fmt(v)}")
+    return "\n".join(lines)

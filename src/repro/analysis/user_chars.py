@@ -1,0 +1,88 @@
+"""User-level characterization (§3.3: Figs 8, 9)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frame import Table, group_reduce
+from ..sim.engine import ReplayResult
+from ..traces.schema import COMPLETED, cpu_time, gpu_time, is_cpu_job, is_gpu_job
+
+__all__ = [
+    "user_resource_curve",
+    "user_queue_curve",
+    "user_completion_rates",
+    "marquee_users",
+]
+
+
+def _lorenz(per_user_totals: np.ndarray, points: int = 101) -> tuple[np.ndarray, np.ndarray]:
+    """Cumulative share curve: fraction of users (desc) vs share of total."""
+    totals = np.sort(per_user_totals)[::-1]
+    if totals.sum() <= 0:
+        raise ValueError("no resource consumption to rank")
+    cum = np.concatenate([[0.0], np.cumsum(totals) / totals.sum()])
+    user_frac = np.linspace(0, 1, len(cum))
+    grid = np.linspace(0, 1, points)
+    return grid, np.interp(grid, user_frac, cum)
+
+
+def user_resource_curve(trace: Table, kind: str = "gpu", points: int = 101):
+    """Fig 8: fraction of users (sorted by consumption) vs share of
+    GPU/CPU time they hold."""
+    if kind == "gpu":
+        sub = trace.filter(is_gpu_job(trace))
+        weights = gpu_time(sub)
+    elif kind == "cpu":
+        sub = trace.filter(is_cpu_job(trace))
+        weights = cpu_time(sub)
+    else:
+        raise ValueError("kind must be 'gpu' or 'cpu'")
+    if len(sub) == 0:
+        raise ValueError(f"no {kind} jobs in trace")
+    _, totals = group_reduce(sub["user"], weights, "sum")
+    return _lorenz(totals, points)
+
+
+def user_queue_curve(result: ReplayResult, points: int = 101):
+    """Fig 9a: fraction of users vs share of total queuing time."""
+    users = result.trace["user"]
+    _, totals = group_reduce(users, result.queue_delays, "sum")
+    return _lorenz(totals, points)
+
+
+def user_completion_rates(trace: Table, min_jobs: int = 5) -> Table:
+    """Fig 9b: per-user GPU-job completion ratios (users with enough jobs)."""
+    gj = trace.filter(is_gpu_job(trace))
+    users, counts = group_reduce(gj["user"], None, "count")
+    _, completed = group_reduce(
+        gj["user"], (gj["status"] == COMPLETED).astype(float), "sum"
+    )
+    keep = counts >= min_jobs
+    rates = completed[keep] / counts[keep]
+    return Table(
+        {
+            "user": np.asarray(users)[keep],
+            "n_jobs": counts[keep],
+            "completion_rate": rates,
+        }
+    )
+
+
+def marquee_users(result: ReplayResult, top_fraction: float = 0.01) -> dict:
+    """§3.3: the few users who bear a disproportionate share of queueing
+    ("marquee users") — returns their count and queue-time share."""
+    if not 0.0 < top_fraction <= 1.0:
+        raise ValueError("top_fraction must be in (0, 1]")
+    users = result.trace["user"]
+    uniq, totals = group_reduce(users, result.queue_delays, "sum")
+    if totals.sum() <= 0:
+        return {"n_users": 0, "queue_share": 0.0, "users": []}
+    k = max(1, int(np.ceil(top_fraction * len(uniq))))
+    order = np.argsort(totals)[::-1]
+    share = float(totals[order[:k]].sum() / totals.sum())
+    return {
+        "n_users": k,
+        "queue_share": share,
+        "users": np.asarray(uniq)[order[:k]].tolist(),
+    }

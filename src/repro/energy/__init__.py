@@ -1,0 +1,21 @@
+"""Cluster Energy Saving service (the paper's second case study)."""
+
+from .ces import CESConfig, CESReport, CESService
+from .drs import DRSOutcome, DRSParams, run_always_on, run_drs, run_vanilla_drs
+from .forecaster import ForecastFeatures, GBDTSeriesForecaster, NodeDemandForecaster
+from .power import PowerModel
+
+__all__ = [
+    "CESConfig",
+    "CESReport",
+    "CESService",
+    "DRSOutcome",
+    "DRSParams",
+    "ForecastFeatures",
+    "GBDTSeriesForecaster",
+    "NodeDemandForecaster",
+    "PowerModel",
+    "run_always_on",
+    "run_drs",
+    "run_vanilla_drs",
+]

@@ -1,0 +1,157 @@
+"""Node-demand forecasting for the CES service (§4.3.2).
+
+The forecaster learns the number of *running* (demanded) nodes H steps
+ahead from calendar features, lags and rolling trends of the series —
+exactly the feature families the paper lists: "repetitive patterns
+(hour, day of the week, date)", "average values and standard deviations
+of active nodes under different rolling window sizes", "various time
+scale lags".  The paper found GBDT the most accurate model class
+(~3.6% SMAPE on Earth) against ARIMA / Prophet / LSTM; those comparators
+live in :mod:`repro.ml` and are benchmarked in the ablation suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ml.gbdt import GBDTParams, GBDTRegressor
+from ..stats.timeseries import rolling_mean, rolling_std
+
+__all__ = ["ForecastFeatures", "NodeDemandForecaster", "GBDTSeriesForecaster"]
+
+
+@dataclass(frozen=True)
+class ForecastFeatures:
+    """Feature recipe for the node-demand model.
+
+    ``bin_seconds`` anchors the calendar encodings; lags and windows are
+    in bins.
+    """
+
+    bin_seconds: int = 600
+    lags: tuple[int, ...] = (1, 2, 3, 6, 18, 36, 144, 1008)
+    windows: tuple[int, ...] = (6, 18, 144)
+
+    def __post_init__(self) -> None:
+        if self.bin_seconds <= 0:
+            raise ValueError("bin_seconds must be positive")
+        if any(l < 1 for l in self.lags):
+            raise ValueError("lags must be >= 1")
+
+    @property
+    def n_features(self) -> int:
+        return 4 + len(self.lags) + 2 * len(self.windows)
+
+    def build(self, series: np.ndarray, t0: float = 0.0) -> np.ndarray:
+        """Feature matrix for every index of ``series``.
+
+        Lags shorter than the available history are clipped to index 0 —
+        early rows are less informative, callers should prefer indices
+        past ``max(lags)``.
+        """
+        s = np.asarray(series, dtype=float)
+        n = s.size
+        idx = np.arange(n)
+        times = t0 + idx * self.bin_seconds
+        hour = (times / 3_600.0) % 24
+        dow = (times // 86_400.0) % 7
+        cols = [
+            np.sin(2 * np.pi * hour / 24.0),
+            np.cos(2 * np.pi * hour / 24.0),
+            dow,
+            (dow >= 5).astype(float),  # weekend flag
+        ]
+        for lag in self.lags:
+            cols.append(s[np.maximum(idx - lag, 0)])
+        for w in self.windows:
+            cols.append(rolling_mean(s, w))
+            cols.append(rolling_std(s, w))
+        return np.column_stack(cols)
+
+
+class NodeDemandForecaster:
+    """Direct H-step-ahead GBDT forecaster for the running-node series."""
+
+    def __init__(
+        self,
+        horizon_bins: int = 18,  # 3 hours at 10-minute bins (§4.3.2)
+        features: ForecastFeatures | None = None,
+        gbdt_params: GBDTParams | None = None,
+    ) -> None:
+        if horizon_bins < 1:
+            raise ValueError("horizon_bins must be >= 1")
+        self.horizon = horizon_bins
+        self.features = features or ForecastFeatures()
+        self.model = GBDTRegressor(
+            gbdt_params
+            or GBDTParams(n_estimators=150, max_depth=6, min_samples_leaf=20)
+        )
+        self._fitted = False
+
+    def fit(self, series: np.ndarray, t0: float = 0.0) -> "NodeDemandForecaster":
+        s = np.asarray(series, dtype=float)
+        warmup = max(self.features.lags)
+        if s.size <= warmup + self.horizon + 10:
+            raise ValueError(
+                f"series too short: need > {warmup + self.horizon + 10} bins"
+            )
+        X = self.features.build(s, t0)
+        idx = np.arange(warmup, s.size - self.horizon)
+        self.model.fit(X[idx], s[idx + self.horizon])
+        self._fitted = True
+        return self
+
+    def predict_at(
+        self, series: np.ndarray, indices: np.ndarray, t0: float = 0.0
+    ) -> np.ndarray:
+        """Forecast ``series[i + horizon]`` for each index i.
+
+        Features use only values up to i (lags/rolling windows are
+        trailing), so this is a valid walk-forward prediction when the
+        model was fitted on earlier data.
+        """
+        if not self._fitted:
+            raise RuntimeError("forecaster not fitted")
+        X = self.features.build(np.asarray(series, dtype=float), t0)
+        return np.maximum(self.model.predict(X[np.asarray(indices)]), 0.0)
+
+
+class GBDTSeriesForecaster:
+    """fit/forecast adapter so GBDT joins the §4.3.2 model comparison.
+
+    Trains a one-step-ahead model and forecasts recursively, mirroring
+    how the classical baselines (AR / Fourier / ETS / LSTM) operate in
+    :func:`repro.ml.model_selection.compare_forecasters`.
+    """
+
+    def __init__(
+        self,
+        features: ForecastFeatures | None = None,
+        gbdt_params: GBDTParams | None = None,
+    ) -> None:
+        self.inner = NodeDemandForecaster(
+            horizon_bins=1,
+            features=features,
+            gbdt_params=gbdt_params,
+        )
+        self._history: np.ndarray | None = None
+
+    def fit(self, series: np.ndarray) -> "GBDTSeriesForecaster":
+        self._history = np.asarray(series, dtype=float).copy()
+        self.inner.fit(self._history)
+        return self
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        if self._history is None:
+            raise RuntimeError("forecaster not fitted")
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        buf = self._history.copy()
+        out = np.empty(horizon)
+        for h in range(horizon):
+            nxt = self.inner.predict_at(buf, np.array([buf.size - 1]))[0]
+            out[h] = nxt
+            buf = np.append(buf, nxt)
+        return out

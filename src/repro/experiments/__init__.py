@@ -1,0 +1,5 @@
+"""Per-exhibit experiments (Tables 1-5, Figures 1-15, ablations)."""
+
+from .registry import EXPERIMENTS, experiment_ids, run_experiment
+
+__all__ = ["EXPERIMENTS", "experiment_ids", "run_experiment"]

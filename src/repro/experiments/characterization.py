@@ -1,0 +1,216 @@
+"""§3 exhibits: Tables 1-2 and Figures 1-9."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import (
+    duration_cdf,
+    gpu_time_by_status,
+    helios_philly_table,
+    hourly_submission_profile,
+    hourly_utilization_profile,
+    job_size_cdfs,
+    monthly_job_counts,
+    monthly_utilization,
+    render_cdf_points,
+    render_kv,
+    render_series,
+    render_table,
+    status_by_gpu_demand,
+    status_distribution,
+    user_completion_rates,
+    user_queue_curve,
+    user_resource_curve,
+    vc_queue_and_duration,
+    vc_utilization_stats,
+)
+from ..frame import Table
+from ..traces import HELIOS_CLUSTER_TABLE
+from . import common
+
+__all__ = [
+    "exp_table1", "exp_table2", "exp_fig1", "exp_fig2", "exp_fig3",
+    "exp_fig4", "exp_fig5", "exp_fig6", "exp_fig7", "exp_fig8", "exp_fig9",
+]
+
+
+def exp_table1() -> dict:
+    """Table 1: configurations of the four clusters (full + scaled)."""
+    rows = []
+    for name, row in HELIOS_CLUSTER_TABLE.items():
+        spec = common.cluster_spec(name)
+        rows.append(
+            {
+                "cluster": name,
+                "paper_nodes": row["nodes"],
+                "paper_gpus": row["gpus"],
+                "paper_vcs": row["vcs"],
+                "sim_nodes": spec.num_nodes,
+                "sim_gpus": spec.num_gpus,
+                "sim_vcs": spec.num_vcs,
+                "gpu_model": row["gpu_model"],
+            }
+        )
+    table = Table.from_rows(rows)
+    return {"table": table, "text": render_table(table, "Table 1 — cluster configurations")}
+
+
+def exp_table2() -> dict:
+    """Table 2: Helios vs Philly trace statistics."""
+    helios = {c: common.cluster_trace(c) for c in common.CLUSTERS}
+    philly = common.philly_trace()
+    helios_vcs = sum(common.cluster_spec(c).num_vcs for c in common.CLUSTERS)
+    table = helios_philly_table(
+        helios, philly,
+        helios_vcs=helios_vcs,
+        philly_vcs=common.philly_generator().spec.num_vcs,
+        helios_months=common.MONTHS,
+        philly_days=common.PHILLY_DAYS,
+    )
+    return {"table": table, "text": render_table(table, "Table 2 — Helios vs Philly")}
+
+
+def exp_fig1() -> dict:
+    """Fig 1: duration CDFs + GPU-time-by-status, Helios vs Philly."""
+    helios_all = Table.concat(
+        [common.cluster_trace(c) for c in common.CLUSTERS]
+    )
+    philly = common.philly_trace()
+    xs_h, ys_h = duration_cdf(helios_all, "gpu")
+    xs_p, ys_p = duration_cdf(philly, "gpu")
+    status_h = gpu_time_by_status(helios_all)
+    status_p = gpu_time_by_status(philly)
+    probes = (100.0, 1_000.0, 10_000.0, 100_000.0)
+    text = "\n".join(
+        [
+            "Fig 1a — GPU-job duration CDFs",
+            render_cdf_points(xs_h, ys_h, probes, "Helios"),
+            render_cdf_points(xs_p, ys_p, probes, "Philly"),
+            "Fig 1b — GPU-time share by final status",
+            render_kv(status_h, "Helios"),
+            render_kv(status_p, "Philly"),
+        ]
+    )
+    return {
+        "helios_cdf": (xs_h, ys_h),
+        "philly_cdf": (xs_p, ys_p),
+        "helios_status": status_h,
+        "philly_status": status_p,
+        "text": text,
+    }
+
+
+def exp_fig2() -> dict:
+    """Fig 2: hourly utilization and submission-rate profiles."""
+    util = {}
+    subs = {}
+    lines = ["Fig 2 — daily patterns of cluster usage"]
+    for c in common.CLUSTERS:
+        util[c] = hourly_utilization_profile(common.full_replay(c))
+        subs[c] = hourly_submission_profile(
+            common.cluster_trace(c), months=common.MONTHS
+        )
+        lines.append(render_series(util[c], f"{c} util/hour "))
+        lines.append(render_series(subs[c], f"{c} subs/hour "))
+    return {"utilization": util, "submissions": subs, "text": "\n".join(lines)}
+
+
+def exp_fig3() -> dict:
+    """Fig 3: monthly job counts + utilization (split by job size)."""
+    counts = {}
+    utils = {}
+    lines = ["Fig 3 — monthly trends"]
+    for c in common.CLUSTERS:
+        counts[c] = monthly_job_counts(common.cluster_trace(c))
+        utils[c] = monthly_utilization(
+            common.full_replay(c), months=common.MONTHS, split_by_size=True
+        )
+        lines.append(render_table(counts[c], f"{c} monthly submissions"))
+        lines.append(render_table(utils[c], f"{c} monthly utilization"))
+    return {"counts": counts, "utilization": utils, "text": "\n".join(lines)}
+
+
+def exp_fig4() -> dict:
+    """Fig 4: VC behaviours in Earth (May): utilization boxes + queueing."""
+    replay = common.full_replay("Earth")
+    stats = vc_utilization_stats(replay, common.cluster_spec("Earth"))
+    qd = vc_queue_and_duration(replay)
+    text = "\n".join(
+        [
+            render_table(stats, "Fig 4 (top) — Earth VC utilization quartiles"),
+            render_table(qd, "Fig 4 (bottom) — normalized queue delay vs duration"),
+        ]
+    )
+    return {"vc_stats": stats, "queue_duration": qd, "text": text}
+
+
+def exp_fig5() -> dict:
+    """Fig 5: per-cluster GPU and CPU duration CDFs."""
+    curves = {}
+    lines = ["Fig 5 — duration CDFs per cluster"]
+    probes = (1.0, 10.0, 100.0, 1_000.0, 100_000.0)
+    for c in common.CLUSTERS:
+        trace = common.cluster_trace(c)
+        curves[(c, "gpu")] = duration_cdf(trace, "gpu")
+        curves[(c, "cpu")] = duration_cdf(trace, "cpu")
+        lines.append(render_cdf_points(*curves[(c, "gpu")], probes, f"{c} GPU"))
+        lines.append(render_cdf_points(*curves[(c, "cpu")], probes, f"{c} CPU"))
+    return {"curves": curves, "text": "\n".join(lines)}
+
+
+def exp_fig6() -> dict:
+    """Fig 6: job-size CDFs by count and by GPU time."""
+    tables = {}
+    lines = ["Fig 6 — job size CDFs"]
+    for c in common.CLUSTERS:
+        tables[c] = job_size_cdfs(common.cluster_trace(c))
+        lines.append(render_table(tables[c], c))
+    return {"tables": tables, "text": "\n".join(lines)}
+
+
+def exp_fig7() -> dict:
+    """Fig 7: final statuses, CPU vs GPU and by GPU demand."""
+    helios_all = Table.concat([common.cluster_trace(c) for c in common.CLUSTERS])
+    dist = status_distribution(helios_all)
+    by_demand = status_by_gpu_demand(helios_all)
+    text = "\n".join(
+        [
+            render_table(dist, "Fig 7a — status by job kind"),
+            render_table(by_demand, "Fig 7b — status by GPU demand"),
+        ]
+    )
+    return {"distribution": dist, "by_demand": by_demand, "text": text}
+
+
+def exp_fig8() -> dict:
+    """Fig 8: user CDFs of GPU and CPU time."""
+    curves = {}
+    lines = ["Fig 8 — user resource concentration"]
+    for c in common.CLUSTERS:
+        trace = common.cluster_trace(c)
+        for kind in ("gpu", "cpu"):
+            frac, share = user_resource_curve(trace, kind)
+            curves[(c, kind)] = (frac, share)
+            lines.append(
+                f"{c} {kind}: top5%={share[5]:.2f} top25%={share[25]:.2f}"
+            )
+    return {"curves": curves, "text": "\n".join(lines)}
+
+
+def exp_fig9() -> dict:
+    """Fig 9: user queue-delay concentration + completion-rate spread."""
+    curves = {}
+    rates = {}
+    lines = ["Fig 9 — user queueing and completion"]
+    for c in common.CLUSTERS:
+        replay = common.full_replay(c)
+        frac, share = user_queue_curve(replay)
+        curves[c] = (frac, share)
+        rates[c] = user_completion_rates(common.cluster_trace(c))
+        med = float(np.median(rates[c]["completion_rate"]))
+        lines.append(
+            f"{c}: top5% users bear {share[5] * 100:.0f}% of queueing;"
+            f" median user completion rate {med:.2f}"
+        )
+    return {"queue_curves": curves, "completion": rates, "text": "\n".join(lines)}

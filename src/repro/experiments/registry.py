@@ -1,0 +1,50 @@
+"""Experiment registry: id -> callable (see DESIGN.md §4 for the index)."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from . import ablations, characterization, energy_exp, scheduling
+
+__all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
+
+EXPERIMENTS: dict[str, Callable[[], dict]] = {
+    "table1": characterization.exp_table1,
+    "table2": characterization.exp_table2,
+    "fig1": characterization.exp_fig1,
+    "fig2": characterization.exp_fig2,
+    "fig3": characterization.exp_fig3,
+    "fig4": characterization.exp_fig4,
+    "fig5": characterization.exp_fig5,
+    "fig6": characterization.exp_fig6,
+    "fig7": characterization.exp_fig7,
+    "fig8": characterization.exp_fig8,
+    "fig9": characterization.exp_fig9,
+    "fig11": scheduling.exp_fig11,
+    "fig12": scheduling.exp_fig12,
+    "fig13": scheduling.exp_fig13,
+    "table3": scheduling.exp_table3,
+    "table4": scheduling.exp_table4,
+    "fig14": energy_exp.exp_fig14,
+    "fig15": energy_exp.exp_fig15,
+    "table5": energy_exp.exp_table5,
+    "ablation_lambda": ablations.exp_ablation_lambda,
+    "ablation_forecaster": ablations.exp_ablation_forecaster,
+    "ablation_buffer": ablations.exp_ablation_buffer,
+    "ablation_oracle": ablations.exp_ablation_oracle,
+}
+
+
+def experiment_ids() -> list[str]:
+    return list(EXPERIMENTS)
+
+
+def run_experiment(exp_id: str) -> dict:
+    """Run one experiment by id; returns its payload (with a 'text' key)."""
+    try:
+        fn = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; available: {experiment_ids()}"
+        ) from None
+    return fn()

@@ -1,0 +1,39 @@
+"""CLI experiment runner.
+
+Usage::
+
+    python -m repro.experiments.runner            # list experiments
+    python -m repro.experiments.runner fig11 table3
+    python -m repro.experiments.runner all        # everything (slow)
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from .registry import experiment_ids, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        print("available experiments:")
+        for eid in experiment_ids():
+            print(f"  {eid}")
+        print("run with: python -m repro.experiments.runner <id> [<id> ...] | all")
+        return 0
+    ids = experiment_ids() if args == ["all"] else args
+    for eid in ids:
+        t0 = time.time()
+        payload = run_experiment(eid)
+        elapsed = time.time() - t0
+        print("=" * 72)
+        print(f"[{eid}] ({elapsed:.1f}s)")
+        print(payload.get("text", "(no text payload)"))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,140 @@
+"""§4.2 exhibits: Figures 11-13 and Tables 3-4 (QSSF evaluation)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import render_cdf_points, render_table
+from ..frame import Table
+from ..sched import compute_metrics, queue_delay_ratio_by_group, queuing_by_vc
+from ..stats.distributions import EmpiricalCDF
+from . import common
+
+__all__ = ["exp_fig11", "exp_fig12", "exp_fig13", "exp_table3", "exp_table4"]
+
+
+def exp_fig11() -> dict:
+    """Fig 11: JCT CDFs under FIFO/SJF/QSSF/SRTF across the 4 clusters."""
+    curves: dict[tuple[str, str], tuple[np.ndarray, np.ndarray]] = {}
+    lines = ["Fig 11 — JCT CDFs (September replay)"]
+    probes = (100.0, 1_000.0, 10_000.0, 100_000.0)
+    for c in common.CLUSTERS:
+        for sched in common.SCHEDULER_NAMES:
+            res = common.september_replay(c, sched)
+            xs, ys = EmpiricalCDF(res.jct).curve(points=100, log_x=True)
+            curves[(c, sched)] = (xs, ys)
+            lines.append(render_cdf_points(xs, ys, probes, f"{c:7s} {sched:5s}"))
+    return {"curves": curves, "text": "\n".join(lines)}
+
+
+def exp_table3(include_philly: bool = True) -> dict:
+    """Table 3: avg JCT / queue time / queued jobs per scheduler."""
+    columns = list(common.CLUSTERS) + (["Philly"] if include_philly else [])
+    schedulers = ("FIFO", "SJF", "QSSF")
+    metric_rows = []
+    metrics: dict[tuple[str, str], object] = {}
+    for sched in schedulers:
+        for c in columns:
+            res = (
+                common.philly_replay(sched)
+                if c == "Philly"
+                else common.september_replay(c, sched)
+            )
+            metrics[(c, sched)] = compute_metrics(sched, res)
+    for label, attr in (
+        ("avg_jct_s", "avg_jct"),
+        ("avg_queue_s", "avg_queue_time"),
+        ("queued_jobs", "num_queuing_jobs"),
+    ):
+        for sched in schedulers:
+            row = {"metric": label, "scheduler": sched}
+            for c in columns:
+                row[c] = getattr(metrics[(c, sched)], attr)
+            metric_rows.append(row)
+    table = Table.from_rows(metric_rows)
+    improvements = {
+        c: metrics[(c, "FIFO")].avg_jct / max(metrics[(c, "QSSF")].avg_jct, 1e-9)
+        for c in columns
+    }
+    queue_improvements = {
+        c: metrics[(c, "FIFO")].avg_queue_time
+        / max(metrics[(c, "QSSF")].avg_queue_time, 1e-9)
+        for c in columns
+    }
+    text = "\n".join(
+        [
+            render_table(table, "Table 3 — scheduler comparison"),
+            "QSSF vs FIFO JCT improvement: "
+            + "  ".join(f"{c}:{v:.1f}x" for c, v in improvements.items()),
+            "QSSF vs FIFO queue improvement: "
+            + "  ".join(f"{c}:{v:.1f}x" for c, v in queue_improvements.items()),
+        ]
+    )
+    return {
+        "table": table,
+        "metrics": metrics,
+        "jct_improvement": improvements,
+        "queue_improvement": queue_improvements,
+        "text": text,
+    }
+
+
+def exp_table4() -> dict:
+    """Table 4: FIFO/QSSF queue-delay ratio per duration group."""
+    rows = []
+    for c in common.CLUSTERS + ("Philly",):
+        if c == "Philly":
+            fifo = common.philly_replay("FIFO")
+            qssf = common.philly_replay("QSSF")
+        else:
+            fifo = common.september_replay(c, "FIFO")
+            qssf = common.september_replay(c, "QSSF")
+        ratios = queue_delay_ratio_by_group(fifo, qssf)
+        rows.append({"cluster": c, **ratios})
+    table = Table.from_rows(rows)
+    return {
+        "table": table,
+        "text": render_table(table, "Table 4 — queue-delay ratio FIFO/QSSF by duration group"),
+    }
+
+
+def _vc_delays(cluster: str, top_k: int = 10) -> Table:
+    """Average queue delay of the busiest VCs under each scheduler."""
+    per_sched = {}
+    for sched in common.SCHEDULER_NAMES:
+        res = (
+            common.philly_replay(sched)
+            if cluster == "Philly"
+            else common.september_replay(cluster, sched)
+        )
+        by_vc = queuing_by_vc(res)
+        per_sched[sched] = dict(zip(by_vc["vc"].tolist(), by_vc["avg_queue_delay"]))
+    fifo = per_sched["FIFO"]
+    top = sorted(fifo, key=fifo.get, reverse=True)[:top_k]
+    rows = []
+    for vc in top:
+        rows.append(
+            {"vc": vc, **{s: float(per_sched[s].get(vc, 0.0)) for s in common.SCHEDULER_NAMES}}
+        )
+    # the "all" column of Figs 12-13
+    rows.append(
+        {
+            "vc": "all",
+            **{
+                s: float(np.mean(list(per_sched[s].values()))) for s in common.SCHEDULER_NAMES
+            },
+        }
+    )
+    return Table.from_rows(rows)
+
+
+def exp_fig12() -> dict:
+    """Fig 12: per-VC average queue delay in Saturn (September)."""
+    table = _vc_delays("Saturn")
+    return {"table": table, "text": render_table(table, "Fig 12 — Saturn per-VC avg queue delay (s)")}
+
+
+def exp_fig13() -> dict:
+    """Fig 13: per-VC average queue delay in Philly (Oct-Nov)."""
+    table = _vc_delays("Philly")
+    return {"table": table, "text": render_table(table, "Fig 13 — Philly per-VC avg queue delay (s)")}

@@ -1,0 +1,28 @@
+"""Mini columnar dataframe substrate (numpy-backed, no pandas)."""
+
+from .io import from_csv_string, read_csv, to_csv_string, write_csv
+from .ops import (
+    apply_per_group,
+    group_reduce,
+    groupby_agg,
+    quantiles,
+    top_k_share,
+    value_counts,
+    weighted_share,
+)
+from .table import Table
+
+__all__ = [
+    "Table",
+    "group_reduce",
+    "groupby_agg",
+    "value_counts",
+    "weighted_share",
+    "quantiles",
+    "top_k_share",
+    "apply_per_group",
+    "read_csv",
+    "write_csv",
+    "to_csv_string",
+    "from_csv_string",
+]

@@ -1,0 +1,104 @@
+"""CSV round-trip for :class:`repro.frame.Table`.
+
+A small, dependency-free CSV layer.  Dtypes are preserved through a typed
+header line (``name:kind``) so that a written table reads back with
+identical column dtype kinds.  ``kind`` is one of ``i`` (int64), ``f``
+(float64), ``U`` (unicode), ``b`` (bool).
+"""
+
+from __future__ import annotations
+
+import csv
+import io as _io
+from pathlib import Path
+
+import numpy as np
+
+from .table import Table
+
+__all__ = ["write_csv", "read_csv"]
+
+_KINDS = {"i", "f", "U", "b"}
+
+
+def _kind_of(arr: np.ndarray) -> str:
+    k = arr.dtype.kind
+    if k in ("i", "u"):
+        return "i"
+    if k == "f":
+        return "f"
+    if k == "b":
+        return "b"
+    if k in ("U", "S", "O"):
+        return "U"
+    raise TypeError(f"unsupported column dtype {arr.dtype}")
+
+
+def write_csv(table: Table, path: str | Path) -> None:
+    """Write ``table`` to ``path`` with a typed header."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    names = table.columns
+    kinds = [_kind_of(table[n]) for n in names]
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([f"{n}:{k}" for n, k in zip(names, kinds)])
+        cols = [table[n] for n in names]
+        for i in range(table.num_rows):
+            writer.writerow([c[i] for c in cols])
+
+
+def read_csv(path: str | Path) -> Table:
+    """Read a table written by :func:`write_csv`."""
+    path = Path(path)
+    with path.open("r", newline="") as fh:
+        return _read_csv_stream(fh)
+
+
+def _read_csv_stream(fh: _io.TextIOBase) -> Table:
+    reader = csv.reader(fh)
+    try:
+        header = next(reader)
+    except StopIteration:
+        return Table()
+    names: list[str] = []
+    kinds: list[str] = []
+    for item in header:
+        if ":" not in item:
+            raise ValueError(f"header cell {item!r} missing ':kind' suffix")
+        name, kind = item.rsplit(":", 1)
+        if kind not in _KINDS:
+            raise ValueError(f"unknown column kind {kind!r} for {name!r}")
+        names.append(name)
+        kinds.append(kind)
+    raw: list[list[str]] = [row for row in reader if row]
+    cols: dict[str, np.ndarray] = {}
+    for j, (name, kind) in enumerate(zip(names, kinds)):
+        cells = [row[j] for row in raw]
+        if kind == "i":
+            cols[name] = np.array([int(c) for c in cells], dtype=np.int64)
+        elif kind == "f":
+            cols[name] = np.array([float(c) for c in cells], dtype=np.float64)
+        elif kind == "b":
+            cols[name] = np.array([c == "True" for c in cells], dtype=bool)
+        else:
+            cols[name] = np.array(cells, dtype=str) if cells else np.array([], dtype="U1")
+    return Table(cols)
+
+
+def to_csv_string(table: Table) -> str:
+    """Serialize ``table`` to a CSV string (typed header included)."""
+    buf = _io.StringIO()
+    names = table.columns
+    kinds = [_kind_of(table[n]) for n in names]
+    writer = csv.writer(buf)
+    writer.writerow([f"{n}:{k}" for n, k in zip(names, kinds)])
+    cols = [table[n] for n in names]
+    for i in range(table.num_rows):
+        writer.writerow([c[i] for c in cols])
+    return buf.getvalue()
+
+
+def from_csv_string(text: str) -> Table:
+    """Parse a table from :func:`to_csv_string` output."""
+    return _read_csv_stream(_io.StringIO(text))

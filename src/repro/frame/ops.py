@@ -1,0 +1,238 @@
+"""Vectorized aggregation helpers over :class:`repro.frame.Table`.
+
+These cover the aggregation patterns the characterization and scheduling
+code needs: groupby-aggregate, value counts, weighted shares, empirical
+quantiles.  All grouping is done with ``np.unique(..., return_inverse=True)``
+plus ``np.bincount`` segment reductions — no Python loops over rows.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+from .table import Table
+
+__all__ = [
+    "group_reduce",
+    "groupby_agg",
+    "value_counts",
+    "weighted_share",
+    "quantiles",
+    "top_k_share",
+]
+
+# Aggregations implementable as pure segment reductions.
+_SEGMENT_AGGS = {"sum", "mean", "count", "min", "max", "median", "std"}
+
+
+def _segment_reduce(
+    values: np.ndarray, inverse: np.ndarray, n_groups: int, how: str
+) -> np.ndarray:
+    """Reduce ``values`` per group id in ``inverse`` (0..n_groups-1)."""
+    if how == "count":
+        return np.bincount(inverse, minlength=n_groups).astype(np.int64)
+    if how == "sum":
+        return np.bincount(inverse, weights=values, minlength=n_groups)
+    if how == "mean":
+        counts = np.bincount(inverse, minlength=n_groups)
+        sums = np.bincount(inverse, weights=values, minlength=n_groups)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+    if how == "std":
+        counts = np.bincount(inverse, minlength=n_groups)
+        sums = np.bincount(inverse, weights=values, minlength=n_groups)
+        sqsums = np.bincount(inverse, weights=values * values, minlength=n_groups)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            mean = sums / np.maximum(counts, 1)
+            var = sqsums / np.maximum(counts, 1) - mean * mean
+        return np.sqrt(np.maximum(var, 0.0))
+    if how in ("min", "max", "median"):
+        # Sort-based segmented reduction: order rows by group then value.
+        order = np.lexsort((values, inverse))
+        sorted_inv = inverse[order]
+        sorted_val = values[order]
+        # Segment boundaries in the sorted layout.
+        boundaries = np.flatnonzero(np.diff(sorted_inv)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [len(values)]))
+        present = sorted_inv[starts]
+        out = np.full(n_groups, np.nan)
+        if how == "min":
+            out[present] = sorted_val[starts]
+        elif how == "max":
+            out[present] = sorted_val[ends - 1]
+        else:  # median
+            lengths = ends - starts
+            lo = starts + (lengths - 1) // 2
+            hi = starts + lengths // 2
+            out[present] = 0.5 * (sorted_val[lo] + sorted_val[hi])
+        return out
+    raise ValueError(f"unknown aggregation {how!r}")
+
+
+def group_reduce(
+    keys: np.ndarray | Sequence[np.ndarray],
+    values: np.ndarray | None,
+    how: str,
+) -> tuple[np.ndarray | tuple[np.ndarray, ...], np.ndarray]:
+    """Group ``values`` by ``keys`` and reduce.
+
+    Returns ``(unique_keys, reduced)``.  ``keys`` may be one array or a
+    sequence of arrays (multi-key grouping returns a tuple of key arrays).
+    """
+    multi = not isinstance(keys, np.ndarray) and len(keys) > 1
+    if isinstance(keys, np.ndarray):
+        uniques, inverse = np.unique(keys, return_inverse=True)
+        n_groups = len(uniques)
+    else:
+        arrays = [np.asarray(k) for k in keys]
+        if len(arrays) == 1:
+            uniques, inverse = np.unique(arrays[0], return_inverse=True)
+            n_groups = len(uniques)
+            multi = False
+        else:
+            # Factorize each key and combine into one composite id.
+            codes = []
+            sizes = []
+            per_key_uniques = []
+            for a in arrays:
+                u, inv = np.unique(a, return_inverse=True)
+                per_key_uniques.append(u)
+                codes.append(inv)
+                sizes.append(len(u))
+            composite = np.zeros(len(arrays[0]), dtype=np.int64)
+            for inv, size in zip(codes, sizes):
+                composite = composite * size + inv
+            comp_unique, inverse = np.unique(composite, return_inverse=True)
+            n_groups = len(comp_unique)
+            # Decode composite ids back to per-key unique values.
+            decoded = []
+            rem = comp_unique
+            for u, size in zip(reversed(per_key_uniques), reversed(sizes)):
+                decoded.append(u[rem % size])
+                rem = rem // size
+            uniques = tuple(reversed(decoded))
+    if values is None:
+        if how != "count":
+            raise ValueError("values required for non-count aggregation")
+        vals = np.zeros(len(inverse))
+    else:
+        vals = np.asarray(values, dtype=float)
+    reduced = _segment_reduce(vals, inverse, n_groups, how)
+    return uniques, reduced
+
+
+def groupby_agg(
+    table: Table,
+    by: str | Sequence[str],
+    aggs: Mapping[str, tuple[str, str]],
+) -> Table:
+    """Pandas-like groupby-aggregate.
+
+    Parameters
+    ----------
+    table:
+        Input table.
+    by:
+        Column name or list of names to group by.
+    aggs:
+        Mapping ``output_name -> (input_column, how)`` where ``how`` is one
+        of ``sum, mean, count, min, max, median, std``.
+
+    Returns
+    -------
+    Table with the group keys plus one column per aggregation, sorted by key.
+    """
+    by_names = [by] if isinstance(by, str) else list(by)
+    key_arrays = [table[n] for n in by_names]
+    out_cols: dict[str, np.ndarray] = {}
+    uniques: Any = None
+    for out_name, (col, how) in aggs.items():
+        values = None if how == "count" else table[col]
+        uniques, reduced = group_reduce(
+            key_arrays if len(key_arrays) > 1 else key_arrays[0], values, how
+        )
+        out_cols[out_name] = reduced
+    if uniques is None:
+        raise ValueError("aggs must not be empty")
+    if isinstance(uniques, tuple):
+        keys = {n: u for n, u in zip(by_names, uniques)}
+    else:
+        keys = {by_names[0]: uniques}
+    return Table({**keys, **out_cols})
+
+
+def value_counts(values: np.ndarray, normalize: bool = False) -> Table:
+    """Count occurrences of each unique value, descending by count."""
+    uniques, counts = np.unique(np.asarray(values), return_counts=True)
+    order = np.argsort(counts)[::-1]
+    counts_out: np.ndarray = counts[order].astype(float)
+    if normalize and counts.sum() > 0:
+        counts_out = counts_out / counts.sum()
+    return Table({"value": uniques[order], "count": counts_out})
+
+
+def weighted_share(
+    keys: np.ndarray, weights: np.ndarray, normalize: bool = True
+) -> Table:
+    """Total weight per key (e.g. GPU time per status), descending."""
+    uniques, sums = group_reduce(np.asarray(keys), np.asarray(weights), "sum")
+    order = np.argsort(sums)[::-1]
+    share = sums[order]
+    if normalize and share.sum() > 0:
+        share = share / share.sum()
+    return Table({"value": np.asarray(uniques)[order], "share": share})
+
+
+def quantiles(
+    values: np.ndarray, qs: Sequence[float] = (0.25, 0.5, 0.75)
+) -> np.ndarray:
+    """Empirical quantiles (linear interpolation); nan-safe."""
+    arr = np.asarray(values, dtype=float)
+    arr = arr[~np.isnan(arr)]
+    if arr.size == 0:
+        return np.full(len(qs), np.nan)
+    return np.quantile(arr, list(qs))
+
+
+def top_k_share(
+    keys: np.ndarray, weights: np.ndarray, fraction: float
+) -> float:
+    """Share of total weight held by the top ``fraction`` of keys.
+
+    Used for statements like "the top 5% of users occupy over 90% of CPU
+    time" (§3.3 of the paper).
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    uniques, sums = group_reduce(np.asarray(keys), np.asarray(weights), "sum")
+    if len(sums) == 0 or sums.sum() <= 0:
+        return 0.0
+    sorted_sums = np.sort(sums)[::-1]
+    k = max(1, int(np.ceil(fraction * len(sorted_sums))))
+    return float(sorted_sums[:k].sum() / sorted_sums.sum())
+
+
+def apply_per_group(
+    table: Table,
+    by: str,
+    fn: Callable[[Table], Mapping[str, Any]],
+) -> Table:
+    """Apply ``fn`` to each group's sub-table; collect dict results.
+
+    ``fn`` receives the group's rows and returns a flat mapping of summary
+    values.  Reserved for aggregations that are not segment reductions
+    (e.g. fitting a model per VC); the per-group loop is over *groups*,
+    not rows.
+    """
+    values = table[by]
+    uniques, inverse = np.unique(values, return_inverse=True)
+    rows: list[dict[str, Any]] = []
+    for gid, key in enumerate(uniques):
+        sub = table.filter(inverse == gid)
+        result = dict(fn(sub))
+        rows.append({by: key, **result})
+    return Table.from_rows(rows)

@@ -1,0 +1,229 @@
+"""A minimal columnar table backed by numpy arrays.
+
+The offline environment has no pandas, so this module provides the small
+slice of dataframe functionality the rest of the library needs: named,
+equal-length numpy columns with filtering, sorting, selection, and row
+iteration.  All operations return *new* :class:`Table` objects (columns may
+share memory with the parent when the operation is a pure view, e.g.
+``select``).
+
+Design notes
+------------
+* Columns are 1-D ``numpy.ndarray``; string columns use numpy unicode dtypes.
+* Boolean-mask filtering, integer take, and slicing are vectorized.
+* Aggregation / groupby live in :mod:`repro.frame.ops` to keep this module
+  focused on the container itself.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Table"]
+
+
+def _as_column(values: Any) -> np.ndarray:
+    """Coerce ``values`` into a 1-D numpy array suitable for a column."""
+    arr = np.asarray(values)
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    if arr.ndim != 1:
+        raise ValueError(f"columns must be 1-D, got shape {arr.shape}")
+    return arr
+
+
+class Table:
+    """An immutable-ish ordered mapping of column name -> numpy array.
+
+    Parameters
+    ----------
+    columns:
+        Mapping of name to array-like.  All columns must share one length.
+
+    Examples
+    --------
+    >>> t = Table({"a": [1, 2, 3], "b": [1.0, 4.0, 9.0]})
+    >>> len(t)
+    3
+    >>> t.filter(t["a"] > 1)["b"].tolist()
+    [4.0, 9.0]
+    """
+
+    __slots__ = ("_cols",)
+
+    def __init__(self, columns: Mapping[str, Any] | None = None) -> None:
+        cols: dict[str, np.ndarray] = {}
+        n: int | None = None
+        for name, values in (columns or {}).items():
+            arr = _as_column(values)
+            if n is None:
+                n = arr.shape[0]
+            elif arr.shape[0] != n:
+                raise ValueError(
+                    f"column {name!r} has length {arr.shape[0]}, expected {n}"
+                )
+            cols[str(name)] = arr
+        self._cols = cols
+
+    # ------------------------------------------------------------------
+    # basic container protocol
+    # ------------------------------------------------------------------
+    @property
+    def columns(self) -> list[str]:
+        """Column names in insertion order."""
+        return list(self._cols)
+
+    @property
+    def num_rows(self) -> int:
+        if not self._cols:
+            return 0
+        return next(iter(self._cols.values())).shape[0]
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._cols
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        try:
+            return self._cols[name]
+        except KeyError:
+            raise KeyError(
+                f"no column {name!r}; available: {sorted(self._cols)}"
+            ) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._cols)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        if self.columns != other.columns:
+            return False
+        return all(np.array_equal(self[c], other[c]) for c in self.columns)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cols = ", ".join(f"{k}:{v.dtype}" for k, v in self._cols.items())
+        return f"Table({self.num_rows} rows; {cols})"
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls, rows: Sequence[Mapping[str, Any]], columns: Sequence[str] | None = None
+    ) -> "Table":
+        """Build a table from a sequence of dict rows."""
+        if not rows:
+            return cls({c: np.empty(0) for c in (columns or [])})
+        names = list(columns) if columns is not None else list(rows[0].keys())
+        data = {name: np.asarray([row[name] for row in rows]) for name in names}
+        return cls(data)
+
+    def copy(self) -> "Table":
+        """Deep copy (columns are copied)."""
+        return Table({k: v.copy() for k, v in self._cols.items()})
+
+    def with_column(self, name: str, values: Any) -> "Table":
+        """Return a new table with ``name`` added or replaced."""
+        arr = _as_column(values)
+        if self._cols and arr.shape[0] != self.num_rows:
+            raise ValueError(
+                f"new column length {arr.shape[0]} != table length {self.num_rows}"
+            )
+        cols = dict(self._cols)
+        cols[name] = arr
+        return Table(cols)
+
+    def without_columns(self, *names: str) -> "Table":
+        """Return a new table dropping the given columns (missing ok)."""
+        return Table({k: v for k, v in self._cols.items() if k not in names})
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        """Return a new table with columns renamed per ``mapping``."""
+        return Table({mapping.get(k, k): v for k, v in self._cols.items()})
+
+    # ------------------------------------------------------------------
+    # row-wise operations
+    # ------------------------------------------------------------------
+    def select(self, *names: str) -> "Table":
+        """Project onto a subset of columns (views, no copy)."""
+        return Table({n: self[n] for n in names})
+
+    def filter(self, mask: np.ndarray) -> "Table":
+        """Keep rows where ``mask`` is truthy."""
+        mask = np.asarray(mask)
+        if mask.dtype != bool:
+            raise TypeError(f"filter mask must be boolean, got {mask.dtype}")
+        if mask.shape[0] != self.num_rows:
+            raise ValueError(
+                f"mask length {mask.shape[0]} != table length {self.num_rows}"
+            )
+        return Table({k: v[mask] for k, v in self._cols.items()})
+
+    def take(self, indices: np.ndarray) -> "Table":
+        """Select rows by integer index array (with fancy-index semantics)."""
+        idx = np.asarray(indices)
+        return Table({k: v[idx] for k, v in self._cols.items()})
+
+    def slice(self, start: int = 0, stop: int | None = None) -> "Table":
+        """Row slice ``[start:stop]`` (views, no copy)."""
+        return Table({k: v[start:stop] for k, v in self._cols.items()})
+
+    def head(self, n: int = 5) -> "Table":
+        return self.slice(0, n)
+
+    def sort_by(self, *names: str, descending: bool = False) -> "Table":
+        """Stable sort by one or more columns (last name = primary key
+        when using numpy's lexsort convention; we expose the natural
+        "first name is primary" order instead)."""
+        if not names:
+            raise ValueError("sort_by needs at least one column")
+        # np.lexsort uses the *last* key as primary -> reverse our list.
+        keys = tuple(self[name] for name in reversed(names))
+        order = np.lexsort(keys)
+        if descending:
+            order = order[::-1]
+        return self.take(order)
+
+    def iter_rows(self) -> Iterator[dict[str, Any]]:
+        """Iterate rows as plain dicts (python scalars)."""
+        names = self.columns
+        cols = [self._cols[n] for n in names]
+        for i in range(self.num_rows):
+            yield {n: c[i].item() if hasattr(c[i], "item") else c[i] for n, c in zip(names, cols)}
+
+    def row(self, i: int) -> dict[str, Any]:
+        """Return row ``i`` as a dict of python scalars."""
+        out: dict[str, Any] = {}
+        for n, c in self._cols.items():
+            v = c[i]
+            out[n] = v.item() if hasattr(v, "item") else v
+        return out
+
+    # ------------------------------------------------------------------
+    # combining
+    # ------------------------------------------------------------------
+    @staticmethod
+    def concat(tables: Sequence["Table"]) -> "Table":
+        """Vertically stack tables sharing the same column set."""
+        tables = [t for t in tables if t.num_rows > 0 or t.columns]
+        if not tables:
+            return Table()
+        names = tables[0].columns
+        for t in tables[1:]:
+            if t.columns != names:
+                raise ValueError(
+                    f"column mismatch in concat: {t.columns} vs {names}"
+                )
+        return Table(
+            {n: np.concatenate([t[n] for t in tables]) for n in names}
+        )
+
+    def to_dict(self) -> dict[str, np.ndarray]:
+        """Return the underlying column mapping (shallow)."""
+        return dict(self._cols)

@@ -1,0 +1,15 @@
+"""Prediction-based resource-management framework (§4.1, Fig 10)."""
+
+from .engine import ModelUpdateEngine, UpdatePolicy
+from .orchestrator import ResourceOrchestrator
+from .plugins import CESNodeService, QSSFService
+from .service import PredictionService
+
+__all__ = [
+    "CESNodeService",
+    "ModelUpdateEngine",
+    "PredictionService",
+    "QSSFService",
+    "ResourceOrchestrator",
+    "UpdatePolicy",
+]

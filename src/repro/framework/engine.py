@@ -1,0 +1,92 @@
+"""Model Update Engine (§4.1): periodic refits on accumulated history.
+
+The engine buffers run-time observations and refits each registered
+service either on a fixed cadence (simulated time) or when triggered
+explicitly.  This is the component that keeps "the prediction model ...
+updated with new data" while the Resource Orchestrator keeps serving
+requests from the current model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .service import PredictionService
+
+__all__ = ["ModelUpdateEngine", "UpdatePolicy"]
+
+
+@dataclass(frozen=True)
+class UpdatePolicy:
+    """When to refit: every ``interval_seconds`` of simulated time, or
+    after ``max_buffered`` observations, whichever comes first."""
+
+    interval_seconds: float = 86_400.0
+    max_buffered: int = 50_000
+
+    def __post_init__(self) -> None:
+        if self.interval_seconds <= 0:
+            raise ValueError("interval_seconds must be positive")
+        if self.max_buffered < 1:
+            raise ValueError("max_buffered must be >= 1")
+
+
+@dataclass
+class _ServiceState:
+    service: PredictionService
+    history_builder: Any  # Callable[[list], Any]: observations -> history
+    last_refit_time: float = 0.0
+    buffered: list = field(default_factory=list)
+    refit_count: int = 0
+
+
+class ModelUpdateEngine:
+    """Drives periodic model refits for any number of services."""
+
+    def __init__(self, policy: UpdatePolicy | None = None) -> None:
+        self.policy = policy or UpdatePolicy()
+        self._services: dict[str, _ServiceState] = {}
+
+    def register(self, service: PredictionService, history_builder) -> None:
+        """Attach a service; ``history_builder(observations)`` converts
+        the buffered raw observations into the service's fit() input."""
+        if service.service_name in self._services:
+            raise ValueError(f"service {service.service_name!r} already registered")
+        self._services[service.service_name] = _ServiceState(
+            service=service, history_builder=history_builder
+        )
+
+    @property
+    def services(self) -> list[str]:
+        return list(self._services)
+
+    def observe(self, name: str, event: Any, now: float) -> None:
+        """Feed one observation; may trigger a refit."""
+        state = self._state(name)
+        state.service.observe(event)
+        state.buffered.append(event)
+        due_time = now - state.last_refit_time >= self.policy.interval_seconds
+        due_size = len(state.buffered) >= self.policy.max_buffered
+        if due_time or due_size:
+            self.refit(name, now)
+
+    def refit(self, name: str, now: float) -> None:
+        """Refit the named service on everything buffered so far."""
+        state = self._state(name)
+        if not state.buffered:
+            state.last_refit_time = now
+            return
+        history = state.history_builder(state.buffered)
+        state.service.fit(history)
+        state.last_refit_time = now
+        state.refit_count += 1
+
+    def refit_count(self, name: str) -> int:
+        return self._state(name).refit_count
+
+    def _state(self, name: str) -> _ServiceState:
+        try:
+            return self._services[name]
+        except KeyError:
+            raise KeyError(f"unknown service {name!r}") from None

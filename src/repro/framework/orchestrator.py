@@ -1,0 +1,47 @@
+"""Resource Orchestrator (§4.1): routes decision points to services.
+
+The orchestrator owns the registry of services and exposes the two
+decision hooks the paper's framework defines: scheduling a job queue
+(QSSF-shaped services) and managing the node pool (CES-shaped
+services).  Services are selected by the cluster operator ("the cluster
+operators can select services based on their demands").
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .service import PredictionService
+
+__all__ = ["ResourceOrchestrator"]
+
+
+class ResourceOrchestrator:
+    """Plug-and-play service registry with decision dispatch."""
+
+    def __init__(self) -> None:
+        self._services: dict[str, PredictionService] = {}
+
+    def install(self, service: PredictionService) -> None:
+        if service.service_name in self._services:
+            raise ValueError(f"service {service.service_name!r} already installed")
+        self._services[service.service_name] = service
+
+    def uninstall(self, name: str) -> None:
+        if name not in self._services:
+            raise KeyError(f"unknown service {name!r}")
+        del self._services[name]
+
+    @property
+    def installed(self) -> list[str]:
+        return list(self._services)
+
+    def service(self, name: str) -> PredictionService:
+        try:
+            return self._services[name]
+        except KeyError:
+            raise KeyError(f"unknown service {name!r}") from None
+
+    def decide(self, name: str, state: Any) -> Any:
+        """Ask one service for its action given the cluster state."""
+        return self.service(name).act(state)

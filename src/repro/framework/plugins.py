@@ -1,0 +1,96 @@
+"""QSSF and CES wrapped as framework services (the two case studies).
+
+These adapters put the concrete implementations from
+:mod:`repro.sched` / :mod:`repro.energy` behind the
+:class:`~repro.framework.service.PredictionService` interface so they
+compose with the Model Update Engine and Resource Orchestrator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..energy.drs import DRSParams, run_drs
+from ..energy.forecaster import NodeDemandForecaster
+from ..frame import Table
+from ..sched.qssf import QSSFScheduler
+from .service import PredictionService
+
+__all__ = ["QSSFService", "CESNodeService"]
+
+
+class QSSFService(PredictionService):
+    """Quasi-Shortest-Service-First as a pluggable service.
+
+    ``fit`` trains the estimators on a historical trace; ``predict``
+    returns expected GPU time for a batch of queued jobs; ``act`` sorts
+    a queue table into scheduling order; ``observe`` feeds finished jobs
+    to the rolling estimator.
+    """
+
+    service_name = "qssf"
+
+    def __init__(self, lam: float = 0.5) -> None:
+        self.lam = lam
+        self.scheduler: QSSFScheduler | None = None
+
+    def fit(self, history: Table) -> "QSSFService":
+        self.scheduler = QSSFScheduler(history, lam=self.lam)
+        return self
+
+    def predict(self, request: Table) -> np.ndarray:
+        if self.scheduler is None:
+            raise RuntimeError("QSSFService not fitted")
+        return self.scheduler.predicted_gpu_time(request)
+
+    def act(self, state: Table) -> Table:
+        """Return the queue sorted by predicted GPU time (ascending)."""
+        priorities = self.predict(state)
+        order = np.argsort(priorities, kind="stable")
+        return state.take(order)
+
+    def observe(self, event) -> None:
+        """``event`` is a finished-job dict with user/name/gpu_num/duration."""
+        if self.scheduler is not None:
+            self.scheduler.observe(
+                event["user"], event["name"], int(event["gpu_num"]),
+                float(event["duration"]),
+            )
+
+
+class CESNodeService(PredictionService):
+    """Cluster Energy Saving as a pluggable service.
+
+    ``fit`` trains the node-demand forecaster on a demand series;
+    ``predict`` forecasts demand H steps ahead; ``act`` runs Algorithm 2
+    over a ``(demand, total_nodes)`` window and returns the DRS outcome.
+    """
+
+    service_name = "ces"
+
+    def __init__(self, horizon_bins: int = 18, drs_params: DRSParams | None = None) -> None:
+        self.horizon_bins = horizon_bins
+        self.drs_params = drs_params
+        self.forecaster: NodeDemandForecaster | None = None
+        self._history: np.ndarray | None = None
+
+    def fit(self, history: np.ndarray) -> "CESNodeService":
+        self._history = np.asarray(history, dtype=float)
+        self.forecaster = NodeDemandForecaster(horizon_bins=self.horizon_bins).fit(
+            self._history
+        )
+        return self
+
+    def predict(self, request: np.ndarray) -> np.ndarray:
+        """Forecast demand ``horizon_bins`` ahead of each series index."""
+        if self.forecaster is None:
+            raise RuntimeError("CESNodeService not fitted")
+        series = np.asarray(request, dtype=float)
+        return self.forecaster.predict_at(series, np.arange(series.size))
+
+    def act(self, state: tuple[np.ndarray, int]):
+        demand, total_nodes = state
+        demand = np.asarray(demand, dtype=float)
+        fc = self.predict(demand)
+        params = self.drs_params or DRSParams.scaled(int(total_nodes))
+        return run_drs(demand, fc, int(total_nodes), params)

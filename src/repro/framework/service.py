@@ -1,0 +1,44 @@
+"""The prediction-based framework's service abstraction (§4.1, Fig 10).
+
+A *service* is a plug-and-play unit that (a) fits a prediction model
+from historical data, (b) predicts upcoming job/cluster behaviour, and
+(c) converts predictions into resource-management actions.  The Model
+Update Engine periodically refits services on fresh history; the
+Resource Orchestrator invokes them at decision points.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+__all__ = ["PredictionService"]
+
+
+class PredictionService(ABC):
+    """Base class for framework services (QSSF and CES are instances)."""
+
+    #: unique key used by the registry / orchestrator
+    service_name: str = "base"
+
+    @abstractmethod
+    def fit(self, history: Any) -> "PredictionService":
+        """(Re)train the service's prediction model from history."""
+
+    @abstractmethod
+    def predict(self, request: Any) -> Any:
+        """Forecast upcoming events (job durations, node demand, ...)."""
+
+    @abstractmethod
+    def act(self, state: Any) -> Any:
+        """Turn predictions into a resource-management decision."""
+
+    def observe(self, event: Any) -> None:
+        """Ingest one run-time observation (finished job, node sample).
+
+        Default: no-op.  The Model Update Engine calls this between
+        refits so cheap online statistics stay fresh.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} service={self.service_name!r}>"

@@ -1,0 +1,90 @@
+"""AR(p) with differencing — the ARIMA(p, d, 0) model class.
+
+One of the classical comparators the paper tried for the CES node-count
+forecaster (§4.3.2, [32]).  Coefficients are estimated by conditional
+least squares on the lag matrix; forecasting is the standard recursive
+plug-in, with differencing inverted at the end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ARIMAForecaster"]
+
+
+def _difference(y: np.ndarray, d: int) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Apply d rounds of first differencing; keep tails for inversion."""
+    tails: list[np.ndarray] = []
+    cur = y
+    for _ in range(d):
+        tails.append(cur[-1:].copy())
+        cur = np.diff(cur)
+    return cur, tails
+
+
+def _undifference(fc: np.ndarray, tails: list[np.ndarray]) -> np.ndarray:
+    """Invert the differencing applied by :func:`_difference`."""
+    cur = fc
+    for tail in reversed(tails):
+        cur = tail[-1] + np.cumsum(cur)
+    return cur
+
+
+class ARIMAForecaster:
+    """ARIMA(p, d, 0) point forecaster.
+
+    Parameters
+    ----------
+    p:
+        Autoregressive order (number of lags).
+    d:
+        Differencing order (0 or 1 are typical for node-count series).
+    """
+
+    def __init__(self, p: int = 24, d: int = 1) -> None:
+        if p < 1:
+            raise ValueError("p must be >= 1")
+        if d < 0:
+            raise ValueError("d must be >= 0")
+        self.p = p
+        self.d = d
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+        self._history: np.ndarray | None = None
+
+    def fit(self, y: np.ndarray) -> "ARIMAForecaster":
+        y = np.asarray(y, dtype=float)
+        if y.ndim != 1:
+            raise ValueError("y must be 1-D")
+        if y.size < self.p + self.d + 2:
+            raise ValueError(
+                f"series too short: need > {self.p + self.d + 2} points, got {y.size}"
+            )
+        self._history = y.copy()
+        z, _ = _difference(y, self.d)
+        n = z.size - self.p
+        # Lag matrix: row t = [z_{t+p-1}, ..., z_t] predicting z_{t+p}.
+        lags = np.stack([z[self.p - k - 1 : self.p - k - 1 + n] for k in range(self.p)], axis=1)
+        target = z[self.p :]
+        X = np.hstack([np.ones((n, 1)), lags])
+        beta, *_ = np.linalg.lstsq(X, target, rcond=None)
+        self.intercept_ = float(beta[0])
+        self.coef_ = beta[1:]
+        return self
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        """Recursive multi-step forecast continuing the fitted series."""
+        if self.coef_ is None or self._history is None:
+            raise RuntimeError("model not fitted")
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        z, tails = _difference(self._history, self.d)
+        buf = list(z[-self.p :])
+        out = np.empty(horizon)
+        for h in range(horizon):
+            recent = np.asarray(buf[-self.p :][::-1])  # most recent first
+            nxt = self.intercept_ + float(self.coef_ @ recent)
+            out[h] = nxt
+            buf.append(nxt)
+        return _undifference(out, tails)

@@ -1,0 +1,96 @@
+"""Holt-Winters additive exponential smoothing (level/trend/season).
+
+Classical seasonal smoother included in the CES forecaster comparison;
+parameters are chosen by a coarse grid search on in-sample one-step MSE
+when not given explicitly.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+__all__ = ["HoltWintersForecaster"]
+
+
+class HoltWintersForecaster:
+    """Additive Holt-Winters with optional parameter grid search."""
+
+    def __init__(
+        self,
+        season_length: int = 24,
+        alpha: float | None = None,
+        beta: float | None = None,
+        gamma: float | None = None,
+    ) -> None:
+        if season_length < 2:
+            raise ValueError("season_length must be >= 2")
+        self.season_length = season_length
+        self.alpha = alpha
+        self.beta = beta
+        self.gamma = gamma
+        self._level: float = 0.0
+        self._trend: float = 0.0
+        self._season: np.ndarray | None = None
+        self._n: int = 0
+        self.params_: tuple[float, float, float] | None = None
+
+    # ------------------------------------------------------------------
+    def _run(
+        self, y: np.ndarray, alpha: float, beta: float, gamma: float
+    ) -> tuple[float, float, np.ndarray, float]:
+        """One smoothing pass; returns final state + one-step-ahead MSE."""
+        m = self.season_length
+        level = float(y[:m].mean())
+        trend = float((y[m : 2 * m].mean() - y[:m].mean()) / m) if y.size >= 2 * m else 0.0
+        season = y[:m] - level
+        sse = 0.0
+        count = 0
+        for t in range(m, y.size):
+            s_idx = t % m
+            pred = level + trend + season[s_idx]
+            err = y[t] - pred
+            sse += err * err
+            count += 1
+            new_level = alpha * (y[t] - season[s_idx]) + (1 - alpha) * (level + trend)
+            trend = beta * (new_level - level) + (1 - beta) * trend
+            season[s_idx] = gamma * (y[t] - new_level) + (1 - gamma) * season[s_idx]
+            level = new_level
+        mse = sse / max(count, 1)
+        return level, trend, season, mse
+
+    def fit(self, y: np.ndarray) -> "HoltWintersForecaster":
+        y = np.asarray(y, dtype=float)
+        if y.ndim != 1:
+            raise ValueError("y must be 1-D")
+        if y.size < 2 * self.season_length:
+            raise ValueError(
+                f"series too short: need >= {2 * self.season_length}, got {y.size}"
+            )
+        if None not in (self.alpha, self.beta, self.gamma):
+            grid = [(self.alpha, self.beta, self.gamma)]
+        else:
+            values = (0.05, 0.2, 0.5, 0.8)
+            grid = list(itertools.product(values, (0.01, 0.1), (0.05, 0.2, 0.5)))
+        best = (np.inf, None)
+        for a, b, g in grid:
+            *_, mse = self._run(y.copy(), a, b, g)
+            if mse < best[0]:
+                best = (mse, (a, b, g))
+        assert best[1] is not None
+        a, b, g = best[1]
+        self.params_ = (a, b, g)
+        self._level, self._trend, self._season, _ = self._run(y.copy(), a, b, g)
+        self._n = y.size
+        return self
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        if self._season is None:
+            raise RuntimeError("model not fitted")
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        m = self.season_length
+        h = np.arange(1, horizon + 1)
+        season_idx = (self._n + np.arange(horizon)) % m
+        return self._level + self._trend * h + self._season[season_idx]

@@ -1,0 +1,84 @@
+"""Trend + Fourier-seasonality regression — the Prophet model class.
+
+Prophet [67] decomposes a series into trend + periodic seasonalities fit
+with regularized regression; this implements the same decomposable model:
+linear trend plus sine/cosine pairs at harmonics of each declared period,
+solved in closed form by ridge.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .linear import RidgeRegressor
+
+__all__ = ["FourierForecaster"]
+
+
+class FourierForecaster:
+    """Additive trend + multi-period Fourier seasonal forecaster.
+
+    Parameters
+    ----------
+    periods:
+        Season lengths in *samples* (e.g. for hourly data, ``(24, 168)``
+        gives daily + weekly seasonality — the dominant cycles in cluster
+        usage per §3.1).
+    harmonics:
+        Fourier harmonics per period.
+    alpha:
+        Ridge penalty for the seasonal/trend coefficients.
+    """
+
+    def __init__(
+        self,
+        periods: Sequence[float] = (24.0, 168.0),
+        harmonics: int = 3,
+        alpha: float = 1.0,
+    ) -> None:
+        if harmonics < 1:
+            raise ValueError("harmonics must be >= 1")
+        if any(p <= 1 for p in periods):
+            raise ValueError("periods must be > 1 sample")
+        self.periods = tuple(float(p) for p in periods)
+        self.harmonics = harmonics
+        self.alpha = alpha
+        self._model: RidgeRegressor | None = None
+        self._n: int = 0
+
+    def _design(self, t: np.ndarray) -> np.ndarray:
+        cols = [t.astype(float)]
+        for period in self.periods:
+            for k in range(1, self.harmonics + 1):
+                w = 2.0 * np.pi * k * t / period
+                cols.append(np.sin(w))
+                cols.append(np.cos(w))
+        return np.stack(cols, axis=1)
+
+    def fit(self, y: np.ndarray) -> "FourierForecaster":
+        y = np.asarray(y, dtype=float)
+        if y.ndim != 1:
+            raise ValueError("y must be 1-D")
+        min_len = 2 * self.harmonics * len(self.periods) + 2
+        if y.size < min_len:
+            raise ValueError(f"series too short: need >= {min_len}, got {y.size}")
+        self._n = y.size
+        t = np.arange(y.size)
+        self._model = RidgeRegressor(alpha=self.alpha).fit(self._design(t), y)
+        return self
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        if self._model is None:
+            raise RuntimeError("model not fitted")
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        t = np.arange(self._n, self._n + horizon)
+        return self._model.predict(self._design(t))
+
+    def fitted(self) -> np.ndarray:
+        """In-sample fitted values (for decomposition inspection)."""
+        if self._model is None:
+            raise RuntimeError("model not fitted")
+        return self._model.predict(self._design(np.arange(self._n)))

@@ -1,0 +1,170 @@
+"""Gradient-Boosted Decision Trees for regression (squared loss).
+
+Scratch numpy implementation of the model class the paper uses for both
+services (LightGBM [42] in the original): histogram trees, shrinkage,
+stochastic row subsampling, and optional early stopping on a validation
+split.  For squared loss the negative gradient is simply the residual, so
+each stage fits a :class:`~repro.ml.tree.RegressionTree` to residuals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .tree import Binner, RegressionTree, TreeParams
+
+__all__ = ["GBDTParams", "GBDTRegressor"]
+
+
+@dataclass(frozen=True)
+class GBDTParams:
+    """Boosting hyper-parameters."""
+
+    n_estimators: int = 200
+    learning_rate: float = 0.1
+    max_depth: int = 6
+    min_samples_leaf: int = 20
+    subsample: float = 1.0
+    max_bins: int = 256
+    early_stopping_rounds: int | None = None
+    random_state: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        if not 0.0 < self.learning_rate <= 1.0:
+            raise ValueError("learning_rate must be in (0, 1]")
+        if not 0.0 < self.subsample <= 1.0:
+            raise ValueError("subsample must be in (0, 1]")
+
+
+class GBDTRegressor:
+    """Boosted regression ensemble.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> X = rng.normal(size=(500, 3))
+    >>> y = X[:, 0] ** 2 + X[:, 1]
+    >>> model = GBDTRegressor(GBDTParams(n_estimators=50)).fit(X, y)
+    >>> float(np.mean((model.predict(X) - y) ** 2)) < 0.2
+    True
+    """
+
+    def __init__(self, params: GBDTParams | None = None) -> None:
+        self.params = params or GBDTParams()
+        self.binner_: Binner | None = None
+        self.base_score_: float = 0.0
+        self.trees_: list[RegressionTree] = []
+        self.train_scores_: list[float] = []
+        self.valid_scores_: list[float] = []
+        self.best_iteration_: int | None = None
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        eval_set: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> "GBDTRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or X.shape[0] != y.shape[0]:
+            raise ValueError("X/y shape mismatch")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on empty data")
+        p = self.params
+        rng = np.random.default_rng(p.random_state)
+
+        self.binner_ = Binner(max_bins=p.max_bins)
+        Xb = self.binner_.fit_transform(X)
+        self.base_score_ = float(y.mean())
+        pred = np.full(y.shape[0], self.base_score_)
+
+        Xb_val = yv = pred_val = None
+        if eval_set is not None:
+            Xv, yv = eval_set
+            Xb_val = self.binner_.transform(np.asarray(Xv, dtype=float))
+            yv = np.asarray(yv, dtype=float)
+            pred_val = np.full(yv.shape[0], self.base_score_)
+
+        tree_params = TreeParams(
+            max_depth=p.max_depth, min_samples_leaf=p.min_samples_leaf
+        )
+        self.trees_ = []
+        self.train_scores_ = []
+        self.valid_scores_ = []
+        best_val = np.inf
+        best_iter = 0
+        n = y.shape[0]
+
+        for it in range(p.n_estimators):
+            residual = y - pred
+            idx = None
+            if p.subsample < 1.0:
+                k = max(1, int(round(p.subsample * n)))
+                idx = rng.choice(n, size=k, replace=False)
+            tree = RegressionTree(tree_params).fit(Xb, residual, sample_indices=idx)
+            step = p.learning_rate * tree.predict_binned(Xb)
+            pred += step
+            self.trees_.append(tree)
+            self.train_scores_.append(float(np.mean((y - pred) ** 2)))
+
+            if pred_val is not None:
+                pred_val += p.learning_rate * tree.predict_binned(Xb_val)
+                val_mse = float(np.mean((yv - pred_val) ** 2))
+                self.valid_scores_.append(val_mse)
+                if val_mse < best_val - 1e-12:
+                    best_val = val_mse
+                    best_iter = it
+                elif (
+                    p.early_stopping_rounds is not None
+                    and it - best_iter >= p.early_stopping_rounds
+                ):
+                    break
+        self.best_iteration_ = (
+            best_iter if (eval_set is not None and self.valid_scores_) else None
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    def predict(self, X: np.ndarray, n_trees: int | None = None) -> np.ndarray:
+        """Predict; optionally truncate the ensemble to ``n_trees`` stages.
+
+        When early stopping selected a best iteration, prediction uses the
+        ensemble up to that iteration by default.
+        """
+        if self.binner_ is None:
+            raise RuntimeError("model not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        Xb = self.binner_.transform(X)
+        if n_trees is None:
+            n_trees = (
+                self.best_iteration_ + 1
+                if self.best_iteration_ is not None
+                else len(self.trees_)
+            )
+        out = np.full(X.shape[0], self.base_score_)
+        lr = self.params.learning_rate
+        for tree in self.trees_[:n_trees]:
+            out += lr * tree.predict_binned(Xb)
+        return out
+
+    def staged_mse(self) -> list[float]:
+        """Training MSE after each boosting stage (monotone check hook)."""
+        return list(self.train_scores_)
+
+    def feature_importances(self) -> np.ndarray:
+        """Gain-based importances, normalized to sum to 1."""
+        if not self.trees_:
+            raise RuntimeError("model not fitted")
+        total = np.zeros(self.trees_[0].n_features_)
+        for tree in self.trees_:
+            total += tree.feature_gains()
+        s = total.sum()
+        return total / s if s > 0 else total

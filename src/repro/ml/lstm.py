@@ -1,0 +1,192 @@
+"""Small numpy LSTM regressor (the deep-learning comparator of §4.3.2).
+
+A single LSTM layer + linear head trained with Adam on sliding windows of
+the (standardized) series, full BPTT over the window.  Sized for the
+node-count forecasting task (series of a few thousand points, hidden
+width ≈ 16–32) — this is a faithful stand-in for the paper's LSTM
+baseline [11], not a general deep-learning framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LSTMParams", "LSTMForecaster"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30, 30)))
+
+
+@dataclass(frozen=True)
+class LSTMParams:
+    window: int = 48
+    hidden: int = 16
+    epochs: int = 30
+    batch_size: int = 32
+    lr: float = 1e-2
+    random_state: int = 0
+
+    def __post_init__(self) -> None:
+        if self.window < 2:
+            raise ValueError("window must be >= 2")
+        if self.hidden < 1:
+            raise ValueError("hidden must be >= 1")
+
+
+class LSTMForecaster:
+    """Sequence-to-one LSTM: window of past values -> next value."""
+
+    def __init__(self, params: LSTMParams | None = None) -> None:
+        self.params = params or LSTMParams()
+        self._weights: dict[str, np.ndarray] | None = None
+        self._mu: float = 0.0
+        self._sd: float = 1.0
+        self._history: np.ndarray | None = None
+        self.loss_curve_: list[float] = []
+
+    # ------------------------------------------------------------------
+    def _init_weights(self, rng: np.random.Generator) -> dict[str, np.ndarray]:
+        h = self.params.hidden
+        scale = 1.0 / np.sqrt(h)
+        # Gate order: input, forget, cell, output — stacked into one matrix.
+        return {
+            "Wx": rng.normal(0, scale, size=(1, 4 * h)),
+            "Wh": rng.normal(0, scale, size=(h, 4 * h)),
+            "b": np.concatenate([np.zeros(h), np.ones(h), np.zeros(2 * h)]),
+            "Wy": rng.normal(0, scale, size=(h, 1)),
+            "by": np.zeros(1),
+        }
+
+    def _forward(
+        self, xb: np.ndarray, w: dict[str, np.ndarray]
+    ) -> tuple[np.ndarray, list[dict[str, np.ndarray]]]:
+        """xb: (batch, window). Returns predictions (batch,) and tape."""
+        batch, T = xb.shape
+        h = self.params.hidden
+        ht = np.zeros((batch, h))
+        ct = np.zeros((batch, h))
+        tape: list[dict[str, np.ndarray]] = []
+        for t in range(T):
+            xt = xb[:, t : t + 1]
+            z = xt @ w["Wx"] + ht @ w["Wh"] + w["b"]
+            i = _sigmoid(z[:, 0 * h : 1 * h])
+            f = _sigmoid(z[:, 1 * h : 2 * h])
+            g = np.tanh(z[:, 2 * h : 3 * h])
+            o = _sigmoid(z[:, 3 * h : 4 * h])
+            ct_new = f * ct + i * g
+            ht_new = o * np.tanh(ct_new)
+            tape.append(
+                {"x": xt, "h_prev": ht, "c_prev": ct, "i": i, "f": f, "g": g, "o": o, "c": ct_new}
+            )
+            ht, ct = ht_new, ct_new
+        pred = (ht @ w["Wy"] + w["by"]).ravel()
+        tape.append({"h_last": ht})
+        return pred, tape
+
+    def _backward(
+        self,
+        xb: np.ndarray,
+        err: np.ndarray,
+        tape: list[dict[str, np.ndarray]],
+        w: dict[str, np.ndarray],
+    ) -> dict[str, np.ndarray]:
+        batch, T = xb.shape
+        h = self.params.hidden
+        grads = {k: np.zeros_like(v) for k, v in w.items()}
+        dyhat = (2.0 * err / batch).reshape(-1, 1)  # d MSE / d pred
+        h_last = tape[-1]["h_last"]
+        grads["Wy"] = h_last.T @ dyhat
+        grads["by"] = dyhat.sum(axis=0)
+        dh = dyhat @ w["Wy"].T
+        dc = np.zeros((batch, h))
+        for t in range(T - 1, -1, -1):
+            s = tape[t]
+            tanh_c = np.tanh(s["c"])
+            do = dh * tanh_c
+            dc = dc + dh * s["o"] * (1 - tanh_c**2)
+            di = dc * s["g"]
+            dg = dc * s["i"]
+            df = dc * s["c_prev"]
+            dc_prev = dc * s["f"]
+            dz = np.concatenate(
+                [
+                    di * s["i"] * (1 - s["i"]),
+                    df * s["f"] * (1 - s["f"]),
+                    dg * (1 - s["g"] ** 2),
+                    do * s["o"] * (1 - s["o"]),
+                ],
+                axis=1,
+            )
+            grads["Wx"] += s["x"].T @ dz
+            grads["Wh"] += s["h_prev"].T @ dz
+            grads["b"] += dz.sum(axis=0)
+            dh = dz @ w["Wh"].T
+            dc = dc_prev
+        return grads
+
+    # ------------------------------------------------------------------
+    def fit(self, y: np.ndarray) -> "LSTMForecaster":
+        p = self.params
+        y = np.asarray(y, dtype=float)
+        if y.ndim != 1:
+            raise ValueError("y must be 1-D")
+        if y.size < p.window + 2:
+            raise ValueError(f"series too short: need > {p.window + 2}, got {y.size}")
+        self._history = y.copy()
+        self._mu = float(y.mean())
+        self._sd = float(y.std()) or 1.0
+        z = (y - self._mu) / self._sd
+
+        # Sliding windows -> (n_samples, window) inputs, next-value targets.
+        n_samples = z.size - p.window
+        idx = np.arange(p.window)[None, :] + np.arange(n_samples)[:, None]
+        X = z[idx]
+        target = z[p.window :]
+
+        rng = np.random.default_rng(p.random_state)
+        w = self._init_weights(rng)
+        m_state = {k: np.zeros_like(v) for k, v in w.items()}
+        v_state = {k: np.zeros_like(v) for k, v in w.items()}
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+        self.loss_curve_ = []
+        for _epoch in range(p.epochs):
+            order = rng.permutation(n_samples)
+            epoch_loss = 0.0
+            for lo in range(0, n_samples, p.batch_size):
+                batch_idx = order[lo : lo + p.batch_size]
+                xb, tb = X[batch_idx], target[batch_idx]
+                pred, tape = self._forward(xb, w)
+                err = pred - tb
+                epoch_loss += float(np.sum(err**2))
+                grads = self._backward(xb, err, tape, w)
+                step += 1
+                for k in w:
+                    g = np.clip(grads[k], -5.0, 5.0)
+                    m_state[k] = beta1 * m_state[k] + (1 - beta1) * g
+                    v_state[k] = beta2 * v_state[k] + (1 - beta2) * g * g
+                    m_hat = m_state[k] / (1 - beta1**step)
+                    v_hat = v_state[k] / (1 - beta2**step)
+                    w[k] -= p.lr * m_hat / (np.sqrt(v_hat) + eps)
+            self.loss_curve_.append(epoch_loss / n_samples)
+        self._weights = w
+        return self
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        """Recursive multi-step forecast from the end of the fit series."""
+        if self._weights is None or self._history is None:
+            raise RuntimeError("model not fitted")
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        p = self.params
+        buf = list((self._history[-p.window :] - self._mu) / self._sd)
+        out = np.empty(horizon)
+        for t in range(horizon):
+            xb = np.asarray(buf[-p.window :]).reshape(1, -1)
+            pred, _ = self._forward(xb, self._weights)
+            out[t] = pred[0]
+            buf.append(pred[0])
+        return out * self._sd + self._mu

@@ -1,0 +1,114 @@
+"""Splits and model comparison utilities.
+
+The QSSF model "trains on April–August and evaluates on September"
+(§4.2.3) — a time-ordered split; the CES forecaster comparison uses
+rolling-origin evaluation over the node series.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..stats.metrics import smape
+
+__all__ = [
+    "time_split",
+    "train_test_split",
+    "rolling_origin_splits",
+    "evaluate_forecaster",
+    "compare_forecasters",
+]
+
+
+def time_split(
+    times: np.ndarray, cutoff: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Boolean masks ``(train, test)`` around a timestamp cutoff."""
+    t = np.asarray(times, dtype=float)
+    train = t < cutoff
+    return train, ~train
+
+
+def train_test_split(
+    n: int, test_fraction: float = 0.2, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random index split (shuffled)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    n_test = max(1, int(round(test_fraction * n)))
+    return order[n_test:], order[:n_test]
+
+
+def rolling_origin_splits(
+    n: int, initial: int, horizon: int, step: int | None = None
+) -> Iterator[tuple[slice, slice]]:
+    """Yield ``(train_slice, test_slice)`` pairs walking forward in time.
+
+    Train is always the full history up to the origin (expanding window).
+    """
+    if initial < 1 or horizon < 1:
+        raise ValueError("initial and horizon must be >= 1")
+    step = step or horizon
+    origin = initial
+    while origin + horizon <= n:
+        yield slice(0, origin), slice(origin, origin + horizon)
+        origin += step
+
+
+def evaluate_forecaster(
+    make_model: Callable[[], object],
+    series: np.ndarray,
+    initial: int,
+    horizon: int,
+    step: int | None = None,
+    metric: Callable[[np.ndarray, np.ndarray], float] = smape,
+) -> float:
+    """Mean rolling-origin forecast error of a fit/forecast model."""
+    series = np.asarray(series, dtype=float)
+    errors = []
+    for train_sl, test_sl in rolling_origin_splits(series.size, initial, horizon, step):
+        model = make_model()
+        model.fit(series[train_sl])  # type: ignore[attr-defined]
+        fc = model.forecast(horizon)  # type: ignore[attr-defined]
+        errors.append(metric(series[test_sl], fc))
+    if not errors:
+        raise ValueError("no evaluation folds; series too short for initial+horizon")
+    return float(np.mean(errors))
+
+
+def compare_forecasters(
+    models: Mapping[str, Callable[[], object]],
+    series: np.ndarray,
+    initial: int,
+    horizon: int,
+    step: int | None = None,
+) -> dict[str, float]:
+    """Rolling-origin SMAPE for each named model factory (§4.3.2 table)."""
+    return {
+        name: evaluate_forecaster(factory, series, initial, horizon, step)
+        for name, factory in models.items()
+    }
+
+
+def grid_search(
+    factory: Callable[..., object],
+    grid: Mapping[str, Sequence],
+    score: Callable[[object], float],
+) -> tuple[dict, float]:
+    """Exhaustive minimization of ``score(factory(**combo))`` over a grid."""
+    import itertools
+
+    names = list(grid)
+    best: tuple[dict, float] = ({}, np.inf)
+    for combo in itertools.product(*(grid[n] for n in names)):
+        kwargs = dict(zip(names, combo))
+        value = score(factory(**kwargs))
+        if value < best[1]:
+            best = (kwargs, value)
+    if not np.isfinite(best[1]):
+        raise ValueError("grid search found no finite score")
+    return best

@@ -1,0 +1,30 @@
+"""Scheduling policies and metrics (the paper's QSSF service + baselines)."""
+
+from .base import Scheduler
+from .baselines import FIFOScheduler, SJFScheduler, SRTFScheduler
+from .estimators import MLEstimator, RollingEstimator
+from .metrics import (
+    DURATION_GROUPS,
+    SchedulerMetrics,
+    compute_metrics,
+    queue_delay_ratio_by_group,
+    queuing_by_vc,
+)
+from .qssf import NoisyOracleScheduler, OracleGpuTimeScheduler, QSSFScheduler
+
+__all__ = [
+    "DURATION_GROUPS",
+    "FIFOScheduler",
+    "MLEstimator",
+    "NoisyOracleScheduler",
+    "OracleGpuTimeScheduler",
+    "QSSFScheduler",
+    "RollingEstimator",
+    "SJFScheduler",
+    "SRTFScheduler",
+    "Scheduler",
+    "SchedulerMetrics",
+    "compute_metrics",
+    "queue_delay_ratio_by_group",
+    "queuing_by_vc",
+]

@@ -1,0 +1,33 @@
+"""Scheduler interface.
+
+A scheduler maps each job in a trace to a *priority value*; the
+simulator keeps one priority queue per VC and always runs the queued job
+with the lowest value (ties broken by arrival order).  ``preemptive``
+schedulers may evict running jobs (only the SRTF oracle uses this).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..frame import Table
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler(ABC):
+    """Base class for queue policies."""
+
+    #: whether the simulator may preempt running jobs for this policy
+    preemptive: bool = False
+    #: short display name used in experiment tables
+    name: str = "base"
+
+    @abstractmethod
+    def priorities(self, trace: Table) -> np.ndarray:
+        """Per-job priority (lower value = scheduled first)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

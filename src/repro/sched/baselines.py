@@ -1,0 +1,49 @@
+"""Baseline scheduling policies (§4.2.3).
+
+* **FIFO** — the production policy in Helios (Slurm, submission order).
+* **SJF** — oracle Shortest-Job-First: non-preemptive, perfect knowledge
+  of the true duration.  Upper bound for non-preemptive scheduling.
+* **SRTF** — oracle Shortest-Remaining-Time-First with free preemption.
+  Upper bound overall; "too ideal and thus impractical" per the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frame import Table
+from .base import Scheduler
+
+__all__ = ["FIFOScheduler", "SJFScheduler", "SRTFScheduler"]
+
+
+class FIFOScheduler(Scheduler):
+    """First-In-First-Out: priority is the submission timestamp."""
+
+    name = "FIFO"
+
+    def priorities(self, trace: Table) -> np.ndarray:
+        return trace["submit_time"].astype(float)
+
+
+class SJFScheduler(Scheduler):
+    """Oracle Shortest-Job-First: priority is the true duration."""
+
+    name = "SJF"
+
+    def priorities(self, trace: Table) -> np.ndarray:
+        return trace["duration"].astype(float)
+
+
+class SRTFScheduler(Scheduler):
+    """Oracle Shortest-Remaining-Time-First (preemptive SJF).
+
+    Initial priority is the true duration; when the simulator preempts a
+    job it re-queues it keyed by its remaining time.
+    """
+
+    name = "SRTF"
+    preemptive = True
+
+    def priorities(self, trace: Table) -> np.ndarray:
+        return trace["duration"].astype(float)

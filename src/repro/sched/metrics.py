@@ -1,0 +1,107 @@
+"""Scheduling outcome metrics (Tables 3–4, Figs 11–13)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frame import Table, group_reduce
+from ..sim.engine import ReplayResult
+
+__all__ = [
+    "SchedulerMetrics",
+    "compute_metrics",
+    "queuing_by_vc",
+    "queue_delay_ratio_by_group",
+    "DURATION_GROUPS",
+]
+
+#: Table 4's job groups: short < 15 min, middle 15 min–6 h, long > 6 h.
+DURATION_GROUPS = (
+    ("short-term", 0.0, 15 * 60.0),
+    ("middle-term", 15 * 60.0, 6 * 3600.0),
+    ("long-term", 6 * 3600.0, np.inf),
+)
+
+
+class SchedulerMetrics:
+    """Summary of one replay under one policy."""
+
+    def __init__(
+        self,
+        name: str,
+        avg_jct: float,
+        avg_queue_time: float,
+        num_queuing_jobs: int,
+        median_jct: float,
+        p99_queue: float,
+    ) -> None:
+        self.name = name
+        self.avg_jct = avg_jct
+        self.avg_queue_time = avg_queue_time
+        self.num_queuing_jobs = num_queuing_jobs
+        self.median_jct = median_jct
+        self.p99_queue = p99_queue
+
+    def as_dict(self) -> dict:
+        return {
+            "scheduler": self.name,
+            "avg_jct": self.avg_jct,
+            "avg_queue_time": self.avg_queue_time,
+            "num_queuing_jobs": self.num_queuing_jobs,
+            "median_jct": self.median_jct,
+            "p99_queue": self.p99_queue,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SchedulerMetrics({self.name}: JCT={self.avg_jct:.0f}s, "
+            f"queue={self.avg_queue_time:.0f}s, queued={self.num_queuing_jobs})"
+        )
+
+
+def compute_metrics(
+    name: str, result: ReplayResult, queuing_threshold: float = 1.0
+) -> SchedulerMetrics:
+    """Table-3 metrics: average JCT, average queuing time, # queued jobs.
+
+    A job "queued" if it waited more than ``queuing_threshold`` seconds
+    (instantaneous placements don't count).
+    """
+    jct = result.jct
+    qd = result.queue_delays
+    return SchedulerMetrics(
+        name=name,
+        avg_jct=float(jct.mean()) if len(jct) else 0.0,
+        avg_queue_time=float(qd.mean()) if len(qd) else 0.0,
+        num_queuing_jobs=int(np.sum(qd > queuing_threshold)),
+        median_jct=float(np.median(jct)) if len(jct) else 0.0,
+        p99_queue=float(np.quantile(qd, 0.99)) if len(qd) else 0.0,
+    )
+
+
+def queuing_by_vc(result: ReplayResult) -> Table:
+    """Average queuing delay per VC (Figs 12–13)."""
+    vcs = result.trace["vc"]
+    uniq, means = group_reduce(vcs, result.queue_delays, "mean")
+    _, counts = group_reduce(vcs, None, "count")
+    return Table({"vc": uniq, "avg_queue_delay": means, "num_jobs": counts})
+
+
+def queue_delay_ratio_by_group(
+    baseline: ReplayResult, improved: ReplayResult
+) -> dict[str, float]:
+    """Table 4: mean-queue-delay ratio baseline/improved per duration
+    group; higher = bigger win for the improved policy."""
+    if len(baseline.trace) != len(improved.trace):
+        raise ValueError("results must replay the same trace")
+    durations = baseline.trace["duration"]
+    out: dict[str, float] = {}
+    for label, lo, hi in DURATION_GROUPS:
+        mask = (durations >= lo) & (durations < hi)
+        if not np.any(mask):
+            out[label] = np.nan
+            continue
+        base = float(baseline.queue_delays[mask].mean())
+        imp = float(improved.queue_delays[mask].mean())
+        out[label] = base / imp if imp > 0 else np.inf
+    return out

@@ -1,0 +1,26 @@
+"""Discrete-event cluster simulator substrate."""
+
+from .cluster import Allocation, ClusterState, VCState
+from .engine import ReplayResult, SimJob, Simulator
+from .placement import can_place, consolidate_place
+from .telemetry import (
+    busy_gpus_series,
+    node_busy_intervals,
+    running_nodes_series,
+    utilization_series,
+)
+
+__all__ = [
+    "Allocation",
+    "ClusterState",
+    "ReplayResult",
+    "SimJob",
+    "Simulator",
+    "VCState",
+    "busy_gpus_series",
+    "can_place",
+    "consolidate_place",
+    "node_busy_intervals",
+    "running_nodes_series",
+    "utilization_series",
+]

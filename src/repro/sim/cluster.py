@@ -1,0 +1,114 @@
+"""Runtime cluster state: per-VC node-level GPU accounting.
+
+Helios VCs are hard partitions — nodes belong to exactly one VC and jobs
+never cross VCs (§2.1) — so each :class:`VCState` owns a disjoint slice
+of globally-indexed nodes.  GPU allocation is exclusive (no sharing) and
+gang-scheduled: a job acquires all its GPUs at once or not at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..traces.cluster import ClusterSpec
+
+__all__ = ["Allocation", "VCState", "ClusterState"]
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """GPUs held by one job: parallel arrays of node ids and GPU counts."""
+
+    vc: str
+    node_ids: np.ndarray  # global node indices
+    gpus: np.ndarray      # GPUs taken on each node
+
+    @property
+    def total_gpus(self) -> int:
+        return int(self.gpus.sum())
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_ids)
+
+
+class VCState:
+    """Free-GPU ledger for one VC's nodes."""
+
+    def __init__(self, name: str, node_ids: np.ndarray, gpus_per_node: int) -> None:
+        self.name = name
+        self.node_ids = np.asarray(node_ids, dtype=np.int64)
+        self.gpus_per_node = gpus_per_node
+        self.free = np.full(len(node_ids), gpus_per_node, dtype=np.int64)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def total_gpus(self) -> int:
+        return self.num_nodes * self.gpus_per_node
+
+    @property
+    def free_gpus(self) -> int:
+        return int(self.free.sum())
+
+    @property
+    def busy_gpus(self) -> int:
+        return self.total_gpus - self.free_gpus
+
+    def take(self, local_nodes: np.ndarray, gpus: np.ndarray) -> Allocation:
+        """Claim GPUs on local node indices; returns the allocation."""
+        if np.any(self.free[local_nodes] < gpus):
+            raise RuntimeError(f"over-allocation in VC {self.name}")
+        self.free[local_nodes] -= gpus
+        return Allocation(
+            vc=self.name,
+            node_ids=self.node_ids[local_nodes].copy(),
+            gpus=np.asarray(gpus, dtype=np.int64).copy(),
+        )
+
+    def release(self, alloc: Allocation) -> None:
+        """Return an allocation's GPUs to the free pool."""
+        # Map global node ids back to local indices (VC nodes are few).
+        local = np.searchsorted(self.node_ids, alloc.node_ids)
+        if np.any(self.node_ids[local] != alloc.node_ids):
+            raise RuntimeError("allocation does not belong to this VC")
+        self.free[local] += alloc.gpus
+        if np.any(self.free > self.gpus_per_node):
+            raise RuntimeError(f"double free in VC {self.name}")
+
+
+class ClusterState:
+    """All VC states of one cluster, with a global node index space."""
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        self.spec = spec
+        self.vcs: dict[str, VCState] = {}
+        next_node = 0
+        for vc in spec.vcs:
+            ids = np.arange(next_node, next_node + vc.num_nodes)
+            self.vcs[vc.name] = VCState(vc.name, ids, vc.gpus_per_node)
+            next_node += vc.num_nodes
+        self.num_nodes = next_node
+
+    def vc(self, name: str) -> VCState:
+        try:
+            return self.vcs[name]
+        except KeyError:
+            raise KeyError(f"unknown VC {name!r}") from None
+
+    @property
+    def total_gpus(self) -> int:
+        return sum(vc.total_gpus for vc in self.vcs.values())
+
+    @property
+    def busy_gpus(self) -> int:
+        return sum(vc.busy_gpus for vc in self.vcs.values())
+
+    def utilization(self) -> float:
+        """Instantaneous cluster utilization = busy GPUs / total GPUs."""
+        total = self.total_gpus
+        return self.busy_gpus / total if total else 0.0

@@ -1,0 +1,277 @@
+"""Trace-driven discrete-event simulator.
+
+Replays a job trace through a cluster under a scheduling policy,
+following the paper's workflow: arrival → VC queue → gang-scheduled
+placement → run to the recorded duration (completion/cancel/failure all
+consume their logged runtime).  Preemption is supported only for the
+SRTF oracle baseline; Helios itself does not preempt (§2.1).
+
+Event loop invariants:
+
+* every VC has an independent priority queue (VCQueue, §2.1) keyed by
+  ``(priority, arrival_seq)`` — lower priority value runs first;
+* scheduling is head-of-line: if the best-priority job does not fit,
+  the VC waits (no backfill — the paper evaluates prediction alone);
+* finishes are processed before arrivals at the same instant so freed
+  resources are visible immediately.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..frame import Table
+from ..traces.cluster import ClusterSpec
+from .cluster import Allocation, ClusterState
+from .placement import consolidate_place
+
+__all__ = ["SimJob", "ReplayResult", "Simulator"]
+
+_FINISH = 0  # processed before arrivals at the same time
+_ARRIVAL = 1
+
+
+@dataclass
+class SimJob:
+    """Mutable per-job simulation record."""
+
+    __slots__ = (
+        "idx", "vc", "gpu_num", "submit", "duration", "remaining",
+        "priority", "start", "end", "run_started", "alloc", "epoch",
+        "preemptions",
+    )
+
+    idx: int
+    vc: str
+    gpu_num: int
+    submit: float
+    duration: float
+    remaining: float
+    priority: float
+    start: float
+    end: float
+    run_started: float
+    alloc: Allocation | None
+    epoch: int
+    preemptions: int
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of a replay: per-job timing plus node-interval telemetry."""
+
+    trace: Table
+    start_times: np.ndarray
+    end_times: np.ndarray
+    queue_delays: np.ndarray
+    preemptions: np.ndarray
+    #: (node, start, end, gpus): one row per executed allocation segment.
+    node_intervals: Table
+    num_nodes: int
+    total_gpus: int
+
+    def replayed_trace(self) -> Table:
+        """The input trace with start/end/queue-delay columns attached."""
+        return (
+            self.trace.with_column("start_time", self.start_times)
+            .with_column("end_time", self.end_times)
+            .with_column("queue_delay", self.queue_delays)
+        )
+
+    @property
+    def jct(self) -> np.ndarray:
+        """Job completion time = queueing + execution (§4.2)."""
+        return self.end_times - self.trace["submit_time"]
+
+
+class Simulator:
+    """Discrete-event replay of one cluster's GPU jobs.
+
+    Parameters
+    ----------
+    spec:
+        Cluster topology (nodes per VC, GPUs per node).
+    scheduler:
+        Policy object from :mod:`repro.sched` providing ``priorities()``
+        (one value per job, lower runs first) and a ``preemptive`` flag.
+    collect_node_intervals:
+        Record per-node busy segments (needed by telemetry/CES).
+    """
+
+    def __init__(
+        self, spec: ClusterSpec, scheduler, collect_node_intervals: bool = True
+    ) -> None:
+        self.spec = spec
+        self.scheduler = scheduler
+        self.collect_node_intervals = collect_node_intervals
+
+    # ------------------------------------------------------------------
+    def run(self, trace: Table) -> ReplayResult:
+        """Replay ``trace`` (GPU jobs only; CPU rows are rejected)."""
+        if len(trace) and int(trace["gpu_num"].min()) < 1:
+            raise ValueError("simulator replays GPU jobs; filter CPU jobs out first")
+        self._check_capacity(trace)
+        state = ClusterState(self.spec)
+        jobs = self._build_jobs(trace)
+        n = len(jobs)
+
+        heap: list[tuple[float, int, int, int, int]] = [
+            (j.submit, _ARRIVAL, i, j.idx, 0) for i, j in enumerate(jobs)
+        ]
+        heapq.heapify(heap)
+        seq = n
+
+        queues: dict[str, list[tuple[float, int, int]]] = {
+            vc.name: [] for vc in self.spec.vcs
+        }
+        running: dict[str, dict[int, SimJob]] = {vc.name: {} for vc in self.spec.vcs}
+        intervals: list[tuple[np.ndarray, float, float, np.ndarray]] = []
+        preemptive = getattr(self.scheduler, "preemptive", False)
+        collect = self.collect_node_intervals
+
+        def start_job(job: SimJob, now: float) -> None:
+            nonlocal seq
+            placed = consolidate_place(state.vc(job.vc), job.gpu_num)
+            assert placed is not None
+            nodes, gpus = placed
+            job.alloc = state.vc(job.vc).take(nodes, gpus)
+            if job.start < 0:
+                job.start = now
+            job.run_started = now
+            job.end = now + job.remaining
+            job.epoch += 1
+            running[job.vc][job.idx] = job
+            heapq.heappush(heap, (job.end, _FINISH, seq, job.idx, job.epoch))
+            seq += 1
+
+        def release_job(job: SimJob, now: float) -> None:
+            """Free the job's GPUs and log the executed segment."""
+            alloc = job.alloc
+            assert alloc is not None
+            state.vc(job.vc).release(alloc)
+            if collect and now > job.run_started:
+                intervals.append((alloc.node_ids, job.run_started, now, alloc.gpus))
+            del running[job.vc][job.idx]
+            job.alloc = None
+
+        def try_preempt(job: SimJob, now: float) -> bool:
+            """SRTF: evict longest-remaining running jobs to fit ``job``."""
+            vc_state = state.vc(job.vc)
+            victims = sorted(
+                (v for v in running[job.vc].values() if (v.end - now) > job.remaining),
+                key=lambda v: v.end - now,
+                reverse=True,
+            )
+            needed = job.gpu_num - vc_state.free_gpus
+            freed = 0
+            chosen: list[SimJob] = []
+            for v in victims:
+                if freed >= needed:
+                    break
+                chosen.append(v)
+                freed += v.alloc.total_gpus if v.alloc else 0
+            if freed < needed:
+                return False
+            nonlocal qseq
+            for v in chosen:
+                v.remaining = max(v.end - now, 0.0)
+                v.epoch += 1  # invalidate the in-flight finish event
+                release_job(v, now)
+                v.preemptions += 1
+                heapq.heappush(queues[job.vc], (v.remaining, qseq, v.idx))
+                qseq += 1
+            return True
+
+        def drain_vc(vc_name: str, now: float) -> None:
+            """Head-of-line scheduling for one VC queue."""
+            q = queues[vc_name]
+            vc_state = state.vc(vc_name)
+            while q:
+                _, _, jidx = q[0]
+                job = jobs[jidx]
+                if consolidate_place(vc_state, job.gpu_num) is None:
+                    if not (preemptive and try_preempt(job, now)):
+                        break
+                    if consolidate_place(vc_state, job.gpu_num) is None:
+                        break  # fragmentation: freed GPUs not consolidatable
+                heapq.heappop(q)
+                start_job(job, now)
+
+        qseq = 0
+        while heap:
+            now, kind, _, jidx, epoch = heapq.heappop(heap)
+            job = jobs[jidx]
+            if kind == _FINISH:
+                if epoch != job.epoch or job.alloc is None:
+                    continue  # stale event from a preempted run
+                job.remaining = 0.0
+                release_job(job, now)
+                drain_vc(job.vc, now)
+            else:  # arrival
+                heapq.heappush(queues[job.vc], (job.priority, qseq, jidx))
+                qseq += 1
+                drain_vc(job.vc, now)
+
+        return self._result(trace, jobs, intervals, state)
+
+    # ------------------------------------------------------------------
+    def _check_capacity(self, trace: Table) -> None:
+        caps = {vc.name: vc.num_gpus for vc in self.spec.vcs}
+        for name in np.unique(trace["vc"]) if len(trace) else []:
+            if name not in caps:
+                raise ValueError(f"trace references unknown VC {name!r}")
+            biggest = int(trace["gpu_num"][trace["vc"] == name].max())
+            if biggest > caps[name]:
+                raise ValueError(
+                    f"job demands {biggest} GPUs but VC {name} has {caps[name]}"
+                )
+
+    def _build_jobs(self, trace: Table) -> list[SimJob]:
+        priorities = np.asarray(self.scheduler.priorities(trace), dtype=float)
+        if priorities.shape != (len(trace),):
+            raise ValueError("scheduler.priorities must return one value per job")
+        submit = trace["submit_time"].astype(float)
+        duration = trace["duration"].astype(float)
+        gpus = trace["gpu_num"].astype(int)
+        vcs = trace["vc"]
+        return [
+            SimJob(
+                idx=i, vc=str(vcs[i]), gpu_num=int(gpus[i]), submit=float(submit[i]),
+                duration=float(duration[i]), remaining=float(duration[i]),
+                priority=float(priorities[i]), start=-1.0, end=np.nan,
+                run_started=np.nan, alloc=None, epoch=0, preemptions=0,
+            )
+            for i in range(len(trace))
+        ]
+
+    def _result(self, trace, jobs, intervals, state) -> ReplayResult:
+        n = len(jobs)
+        start = np.array([j.start for j in jobs])
+        end = np.array([j.end for j in jobs])
+        submit = trace["submit_time"].astype(float) if n else np.empty(0)
+        if n and (np.any(start < 0) or np.any(~np.isfinite(end))):
+            raise RuntimeError("some jobs never ran: trace exceeds cluster capacity")
+        if intervals:
+            node_ids = np.concatenate([iv[0] for iv in intervals])
+            starts = np.concatenate([np.full(len(iv[0]), iv[1]) for iv in intervals])
+            ends = np.concatenate([np.full(len(iv[0]), iv[2]) for iv in intervals])
+            gpus = np.concatenate([iv[3] for iv in intervals])
+        else:
+            node_ids = np.empty(0, dtype=np.int64)
+            starts = ends = np.empty(0)
+            gpus = np.empty(0, dtype=np.int64)
+        return ReplayResult(
+            trace=trace,
+            start_times=start,
+            end_times=end,
+            queue_delays=start - submit,
+            preemptions=np.array([j.preemptions for j in jobs], dtype=np.int64),
+            node_intervals=Table(
+                {"node": node_ids, "start": starts, "end": ends, "gpus": gpus}
+            ),
+            num_nodes=state.num_nodes,
+            total_gpus=state.total_gpus,
+        )

@@ -1,0 +1,61 @@
+"""Job placement policies.
+
+The paper's default is *ConsolidateAllocate* (§4.2.2): pack each job onto
+as few nodes as possible to minimize communication overhead.  A 16-GPU
+job on 8-GPU nodes must wait for two fully-idle nodes; a 4-GPU job takes
+the best-fitting partially-free node.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cluster import VCState
+
+__all__ = ["consolidate_place", "can_place"]
+
+
+def consolidate_place(
+    vc: VCState, gpu_num: int
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Find a consolidated placement for ``gpu_num`` GPUs in ``vc``.
+
+    Returns ``(local_node_indices, gpus_per_chosen_node)`` or ``None`` if
+    the job cannot be placed right now.  Placement rules:
+
+    * ``gpu_num // gpus_per_node`` fully-idle nodes for the whole part;
+    * the remainder goes to the partially-free node with the *least*
+      free GPUs that still fits (best fit → least fragmentation).
+    """
+    if gpu_num <= 0:
+        raise ValueError("gpu_num must be positive for placement")
+    gpn = vc.gpus_per_node
+    full, rem = divmod(gpu_num, gpn)
+    free = vc.free
+
+    full_idx = np.empty(0, dtype=np.int64)
+    if full > 0:
+        fully_free = np.flatnonzero(free == gpn)
+        if len(fully_free) < full:
+            return None
+        full_idx = fully_free[:full]
+
+    if rem == 0:
+        return full_idx, np.full(len(full_idx), gpn, dtype=np.int64)
+
+    # Best-fit node for the remainder, excluding the chosen full nodes.
+    fits = free >= rem
+    if full > 0:
+        fits[full_idx] = False
+    candidates = np.flatnonzero(fits)
+    if len(candidates) == 0:
+        return None
+    best = candidates[np.argmin(free[candidates])]
+    nodes = np.concatenate([full_idx, [best]])
+    gpus = np.concatenate([np.full(len(full_idx), gpn, dtype=np.int64), [rem]])
+    return nodes, gpus
+
+
+def can_place(vc: VCState, gpu_num: int) -> bool:
+    """Whether a consolidated placement currently exists (no side effects)."""
+    return consolidate_place(vc, gpu_num) is not None

@@ -1,0 +1,97 @@
+"""Post-replay telemetry: utilization and node-occupancy time series.
+
+These feed the cluster characterization (Figs 2–4) and the CES service
+(Figs 14–15 need "running nodes over time").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frame import Table
+from ..stats.timeseries import TimeGrid, interval_concurrency, interval_load
+from .engine import ReplayResult
+
+__all__ = [
+    "utilization_series",
+    "busy_gpus_series",
+    "running_nodes_series",
+    "node_busy_intervals",
+]
+
+
+def busy_gpus_series(result: ReplayResult, grid: TimeGrid) -> np.ndarray:
+    """Mean busy GPUs per bin (interval-weighted).
+
+    Uses the executed node segments, not job [start, end] spans — under
+    preemption a job's span includes re-queue gaps during which it holds
+    no GPUs.
+    """
+    iv = result.node_intervals
+    if len(iv) == 0:
+        if len(result.trace) == 0:
+            return np.zeros(grid.bins)
+        raise ValueError(
+            "no node intervals recorded; run the Simulator with "
+            "collect_node_intervals=True for telemetry"
+        )
+    return interval_load(grid, iv["start"], iv["end"], iv["gpus"].astype(float))
+
+
+def utilization_series(result: ReplayResult, grid: TimeGrid) -> np.ndarray:
+    """Cluster utilization per bin = busy GPUs / total GPUs (§2.3.1)."""
+    total = result.total_gpus
+    if total == 0:
+        return np.zeros(grid.bins)
+    return busy_gpus_series(result, grid) / total
+
+
+def node_busy_intervals(result: ReplayResult) -> Table:
+    """Merge per-(node, job) segments into per-node busy intervals.
+
+    A node is *busy* while it hosts at least one GPU job.  Overlapping or
+    adjacent segments on the same node are coalesced with a sweep over
+    (node, time) sorted events — O(S log S) in the number of segments.
+    """
+    iv = result.node_intervals
+    if len(iv) == 0:
+        return Table({"node": np.empty(0, np.int64), "start": np.empty(0), "end": np.empty(0)})
+    nodes = iv["node"]
+    starts = iv["start"]
+    ends = iv["end"]
+    # Event sweep per node: +1 at start, -1 at end, sorted by (node, t, -delta).
+    ev_node = np.concatenate([nodes, nodes])
+    ev_time = np.concatenate([starts, ends])
+    ev_delta = np.concatenate([np.ones(len(nodes)), -np.ones(len(nodes))])
+    order = np.lexsort((-ev_delta, ev_time, ev_node))
+    ev_node, ev_time, ev_delta = ev_node[order], ev_time[order], ev_delta[order]
+    # Running depth per node: cumulative sum reset at node boundaries.
+    csum = np.cumsum(ev_delta)
+    new_node = np.ones(len(ev_node), dtype=bool)
+    new_node[1:] = ev_node[1:] != ev_node[:-1]
+    # Subtract the cumulative total before each node's first event.
+    base = np.zeros(len(ev_node))
+    starts_idx = np.flatnonzero(new_node)
+    base[starts_idx] = csum[starts_idx - 1] if len(ev_node) else 0.0
+    base[starts_idx[0]] = 0.0
+    depth = csum - np.repeat(base[starts_idx], np.diff(np.append(starts_idx, len(ev_node))))
+    # Busy interval opens when depth goes 0 -> 1 and closes at 1 -> 0.
+    prev_depth = depth - ev_delta
+    opens = (ev_delta > 0) & (prev_depth == 0)
+    closes = (ev_delta < 0) & (depth == 0)
+    out_nodes = ev_node[opens]
+    out_start = ev_time[opens]
+    out_end = ev_time[closes]
+    return Table({"node": out_nodes, "start": out_start, "end": out_end})
+
+
+def running_nodes_series(result: ReplayResult, grid: TimeGrid) -> np.ndarray:
+    """Number of nodes hosting >=1 job, sampled at each bin start.
+
+    This is the paper's "Running" curve in Figs 14–15 and the demand
+    signal the CES forecaster learns.
+    """
+    busy = node_busy_intervals(result)
+    if len(busy) == 0:
+        return np.zeros(grid.bins)
+    return interval_concurrency(grid, busy["start"], busy["end"])

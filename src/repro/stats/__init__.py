@@ -1,0 +1,40 @@
+"""Statistics substrate: distributions, time series, and error metrics."""
+
+from .distributions import (
+    Categorical,
+    EmpiricalCDF,
+    LogNormal,
+    LogNormalMixture,
+    powerlaw_weights,
+)
+from .metrics import mae, mape, quantile_abs_error, r2_score, rmse, smape
+from .timeseries import (
+    TimeGrid,
+    hourly_profile,
+    interval_concurrency,
+    interval_load,
+    resample_mean,
+    rolling_mean,
+    rolling_std,
+)
+
+__all__ = [
+    "Categorical",
+    "EmpiricalCDF",
+    "LogNormal",
+    "LogNormalMixture",
+    "powerlaw_weights",
+    "smape",
+    "mape",
+    "mae",
+    "rmse",
+    "r2_score",
+    "quantile_abs_error",
+    "TimeGrid",
+    "interval_load",
+    "interval_concurrency",
+    "rolling_mean",
+    "rolling_std",
+    "hourly_profile",
+    "resample_mean",
+]

@@ -1,0 +1,71 @@
+"""Forecast / regression error metrics.
+
+SMAPE is the headline metric of §4.3.2 (the paper reports ~3.6% SMAPE for
+the GBDT node forecaster on Earth); the rest support model comparison in
+the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["smape", "mape", "mae", "rmse", "r2_score", "quantile_abs_error"]
+
+
+def _pair(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    t = np.asarray(y_true, dtype=float)
+    p = np.asarray(y_pred, dtype=float)
+    if t.shape != p.shape:
+        raise ValueError(f"shape mismatch {t.shape} vs {p.shape}")
+    if t.size == 0:
+        raise ValueError("empty input")
+    return t, p
+
+
+def smape(y_true, y_pred) -> float:
+    """Symmetric Mean Absolute Percentage Error, in percent (0..200).
+
+    SMAPE = 100/n * sum(|p - t| / ((|t| + |p|) / 2)); terms where both
+    values are zero contribute zero error.
+    """
+    t, p = _pair(y_true, y_pred)
+    denom = (np.abs(t) + np.abs(p)) / 2.0
+    err = np.zeros_like(t)
+    nz = denom > 0
+    err[nz] = np.abs(p[nz] - t[nz]) / denom[nz]
+    return float(100.0 * err.mean())
+
+
+def mape(y_true, y_pred) -> float:
+    """Mean Absolute Percentage Error in percent; zero-true terms skipped."""
+    t, p = _pair(y_true, y_pred)
+    nz = t != 0
+    if not np.any(nz):
+        raise ValueError("MAPE undefined: all true values are zero")
+    return float(100.0 * np.mean(np.abs((p[nz] - t[nz]) / t[nz])))
+
+
+def mae(y_true, y_pred) -> float:
+    t, p = _pair(y_true, y_pred)
+    return float(np.mean(np.abs(p - t)))
+
+
+def rmse(y_true, y_pred) -> float:
+    t, p = _pair(y_true, y_pred)
+    return float(np.sqrt(np.mean((p - t) ** 2)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination; 1.0 = perfect, 0.0 = mean predictor."""
+    t, p = _pair(y_true, y_pred)
+    ss_res = float(np.sum((t - p) ** 2))
+    ss_tot = float(np.sum((t - t.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def quantile_abs_error(y_true, y_pred, q: float = 0.9) -> float:
+    """q-quantile of absolute errors (tail-error summary)."""
+    t, p = _pair(y_true, y_pred)
+    return float(np.quantile(np.abs(p - t), q))

@@ -1,0 +1,81 @@
+"""Workload substrate: schemas, cluster specs, and trace generators."""
+
+from .cluster import (
+    HELIOS_CLUSTER_TABLE,
+    ClusterSpec,
+    VCSpec,
+    helios_cluster_specs,
+    partition_vcs,
+    philly_cluster_spec,
+)
+from .io import (
+    load_trace,
+    month_of,
+    save_trace,
+    slice_month,
+    slice_period,
+    split_train_eval,
+)
+from .philly import PhillyParams, PhillyTraceGenerator
+from .schema import (
+    CANCELED,
+    COMPLETED,
+    DAYS_PER_MONTH,
+    FAILED,
+    REPLAYED_COLUMNS,
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    STATUSES,
+    TRACE_COLUMNS,
+    cpu_time,
+    gpu_time,
+    is_cpu_job,
+    is_gpu_job,
+)
+from .synth import (
+    ClusterWorkloadModel,
+    HeliosTraceGenerator,
+    SynthParams,
+    sequence_within_group,
+)
+from .users import JobTemplate, UserPopulation, UserProfile
+from .validate import TraceValidationError, validate_trace
+
+__all__ = [
+    "CANCELED",
+    "COMPLETED",
+    "DAYS_PER_MONTH",
+    "FAILED",
+    "HELIOS_CLUSTER_TABLE",
+    "REPLAYED_COLUMNS",
+    "SECONDS_PER_DAY",
+    "SECONDS_PER_HOUR",
+    "STATUSES",
+    "TRACE_COLUMNS",
+    "ClusterSpec",
+    "ClusterWorkloadModel",
+    "HeliosTraceGenerator",
+    "JobTemplate",
+    "PhillyParams",
+    "PhillyTraceGenerator",
+    "SynthParams",
+    "TraceValidationError",
+    "UserPopulation",
+    "UserProfile",
+    "VCSpec",
+    "cpu_time",
+    "gpu_time",
+    "helios_cluster_specs",
+    "is_cpu_job",
+    "is_gpu_job",
+    "load_trace",
+    "month_of",
+    "partition_vcs",
+    "philly_cluster_spec",
+    "save_trace",
+    "sequence_within_group",
+    "slice_month",
+    "slice_period",
+    "split_train_eval",
+    "validate_trace",
+]

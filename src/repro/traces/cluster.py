@@ -1,0 +1,200 @@
+"""Cluster and virtual-cluster specifications (Table 1 of the paper).
+
+Helios has four clusters managed by Slurm, each statically partitioned
+into VCs; nodes are exclusively owned by one VC and all GPUs within a VC
+are homogeneous (§2.1).  ``scale`` lets experiments shrink node counts
+proportionally while keeping the topology shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..stats.distributions import powerlaw_weights
+
+__all__ = [
+    "VCSpec",
+    "ClusterSpec",
+    "HELIOS_CLUSTER_TABLE",
+    "helios_cluster_specs",
+    "philly_cluster_spec",
+    "partition_vcs",
+]
+
+
+@dataclass(frozen=True)
+class VCSpec:
+    """A virtual cluster: a fixed set of nodes dedicated to one group."""
+
+    name: str
+    num_nodes: int
+    gpus_per_node: int
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("VC must have at least one node")
+        if self.gpus_per_node < 1:
+            raise ValueError("gpus_per_node must be >= 1")
+
+    @property
+    def num_gpus(self) -> int:
+        return self.num_nodes * self.gpus_per_node
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A physical cluster partitioned into VCs."""
+
+    name: str
+    gpus_per_node: int
+    vcs: tuple[VCSpec, ...]
+    gpu_model: str = "Volta"
+    cpu_threads_per_node: int = 48
+    ram_gb_per_node: int = 376
+    network: str = "IB EDR"
+
+    @property
+    def num_nodes(self) -> int:
+        return sum(vc.num_nodes for vc in self.vcs)
+
+    @property
+    def num_gpus(self) -> int:
+        return sum(vc.num_gpus for vc in self.vcs)
+
+    @property
+    def num_vcs(self) -> int:
+        return len(self.vcs)
+
+    def vc(self, name: str) -> VCSpec:
+        for vc in self.vcs:
+            if vc.name == name:
+                return vc
+        raise KeyError(f"no VC {name!r} in cluster {self.name}")
+
+
+#: Table 1 of the paper (nodes, GPUs, VC counts as of 2020-09-01).
+HELIOS_CLUSTER_TABLE: dict[str, dict] = {
+    "Venus": dict(
+        nodes=133, gpus=1064, vcs=27, gpu_model="Volta",
+        cpu_threads=48, ram_gb=376, network="IB EDR", reported_jobs=247_000,
+    ),
+    "Earth": dict(
+        nodes=143, gpus=1144, vcs=25, gpu_model="Volta",
+        cpu_threads=48, ram_gb=376, network="IB EDR", reported_jobs=873_000,
+    ),
+    "Saturn": dict(
+        nodes=262, gpus=2096, vcs=28, gpu_model="Pascal & Volta",
+        cpu_threads=64, ram_gb=256, network="IB FDR", reported_jobs=1_753_000,
+    ),
+    "Uranus": dict(
+        nodes=264, gpus=2112, vcs=25, gpu_model="Pascal",
+        cpu_threads=64, ram_gb=256, network="IB FDR", reported_jobs=490_000,
+    ),
+}
+
+
+def partition_vcs(
+    cluster_name: str,
+    n_nodes: int,
+    n_vcs: int,
+    gpus_per_node: int,
+    rng: np.random.Generator,
+    concentration: float = 0.9,
+) -> tuple[VCSpec, ...]:
+    """Split ``n_nodes`` into ``n_vcs`` skewed VC sizes.
+
+    Real VC sizes are heavy-tailed (Fig 4: one 208-GPU VC, many 32–96-GPU
+    VCs); a power-law weight vector rounded to whole nodes with a one-node
+    floor reproduces that shape.
+    """
+    # Prefer VCs of >= 2 nodes: cut the VC count rather than create
+    # single-node VCs (which cannot host any multi-node job).
+    n_vcs = max(1, min(n_vcs, n_nodes // 2 if n_nodes >= 2 else n_nodes))
+    weights = powerlaw_weights(n_vcs, alpha=concentration)
+    sizes = np.maximum(2 if n_nodes >= 2 * n_vcs else 1, np.floor(weights * n_nodes).astype(int))
+    # Adjust to the exact node total: trim from the largest / grow the smallest.
+    diff = n_nodes - int(sizes.sum())
+    order = np.argsort(sizes)
+    i = 0
+    while diff != 0:
+        j = order[-1 - (i % n_vcs)] if diff > 0 else order[-1 - (i % n_vcs)]
+        if diff > 0:
+            sizes[j] += 1
+            diff -= 1
+        elif sizes[j] > 1:
+            sizes[j] -= 1
+            diff += 1
+        i += 1
+    names = _vc_names(cluster_name, n_vcs, rng)
+    return tuple(
+        VCSpec(name=names[i], num_nodes=int(sizes[i]), gpus_per_node=gpus_per_node)
+        for i in range(n_vcs)
+    )
+
+
+def _vc_names(cluster_name: str, n: int, rng: np.random.Generator) -> list[str]:
+    """Synthetic VC names in the paper's style (``vc6YE``, ``vcLJZ``...)."""
+    alphabet = np.array(list("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"))
+    names = set()
+    out = []
+    while len(out) < n:
+        name = "vc" + "".join(rng.choice(alphabet, size=3))
+        if name not in names:
+            names.add(name)
+            out.append(name)
+    return out
+
+
+def helios_cluster_specs(
+    seed: int = 0, scale: float = 1.0
+) -> dict[str, ClusterSpec]:
+    """Build the four Table-1 clusters, optionally scaled down.
+
+    ``scale`` multiplies node counts (min 4 nodes per cluster); VC counts
+    scale linearly (floor of 3) so the average VC keeps the real system's
+    ~5 nodes — gang scheduling behaves pathologically in 1-node VCs.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    rng = np.random.default_rng(seed)
+    specs: dict[str, ClusterSpec] = {}
+    for name, row in HELIOS_CLUSTER_TABLE.items():
+        n_nodes = max(4, int(round(row["nodes"] * scale)))
+        gpus_per_node = row["gpus"] // row["nodes"]
+        n_vcs = max(3, int(round(row["vcs"] * min(1.0, scale))))
+        vcs = partition_vcs(name, n_nodes, n_vcs, gpus_per_node, rng)
+        specs[name] = ClusterSpec(
+            name=name,
+            gpus_per_node=gpus_per_node,
+            vcs=vcs,
+            gpu_model=row["gpu_model"],
+            cpu_threads_per_node=row["cpu_threads"],
+            ram_gb_per_node=row["ram_gb"],
+            network=row["network"],
+        )
+    return specs
+
+
+def philly_cluster_spec(seed: int = 1, scale: float = 1.0) -> ClusterSpec:
+    """The Microsoft Philly cluster as described in [39] / Table 2.
+
+    ~550 nodes with 4 GPUs each (≈2.2k GPUs), 14 VCs.  Fig 15 of the
+    paper shows its node count is over twice Earth's.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    rng = np.random.default_rng(seed)
+    n_nodes = max(4, int(round(552 * scale)))
+    n_vcs = max(3, int(round(14 * min(1.0, np.sqrt(scale)))))
+    vcs = partition_vcs("Philly", n_nodes, n_vcs, 4, rng)
+    return ClusterSpec(
+        name="Philly",
+        gpus_per_node=4,
+        vcs=vcs,
+        gpu_model="Mixed",
+        cpu_threads_per_node=24,
+        ram_gb_per_node=256,
+        network="IB + Ethernet",
+    )

@@ -1,0 +1,67 @@
+"""Trace persistence and slicing utilities."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..frame import Table, read_csv, write_csv
+from .schema import DAYS_PER_MONTH, SECONDS_PER_DAY, validate_columns
+
+__all__ = [
+    "save_trace",
+    "load_trace",
+    "slice_period",
+    "slice_month",
+    "split_train_eval",
+]
+
+
+def save_trace(trace: Table, path: str | Path) -> None:
+    """Persist a trace (schema-checked) as typed CSV."""
+    validate_columns(trace)
+    write_csv(trace, path)
+
+
+def load_trace(path: str | Path) -> Table:
+    """Load a trace and check the schema."""
+    trace = read_csv(path)
+    validate_columns(trace)
+    return trace
+
+
+def slice_period(trace: Table, t0: float, t1: float, by: str = "submit_time") -> Table:
+    """Jobs whose ``by`` timestamp falls in ``[t0, t1)``."""
+    if t1 <= t0:
+        raise ValueError("t1 must be > t0")
+    t = trace[by]
+    return trace.filter((t >= t0) & (t < t1))
+
+
+def slice_month(trace: Table, month: int, start_epoch: int = 0) -> Table:
+    """Jobs submitted in the given 30-day month index (0 = April)."""
+    if month < 0:
+        raise ValueError("month must be >= 0")
+    month_s = DAYS_PER_MONTH * SECONDS_PER_DAY
+    t0 = start_epoch + month * month_s
+    return slice_period(trace, t0, t0 + month_s)
+
+
+def split_train_eval(
+    trace: Table, eval_month: int, start_epoch: int = 0
+) -> tuple[Table, Table]:
+    """The paper's QSSF protocol: train on months before ``eval_month``,
+    evaluate on ``eval_month`` (April-August -> September, §4.2.3)."""
+    month_s = DAYS_PER_MONTH * SECONDS_PER_DAY
+    cutoff = start_epoch + eval_month * month_s
+    t = trace["submit_time"]
+    train = trace.filter(t < cutoff)
+    eval_part = slice_month(trace, eval_month, start_epoch)
+    return train, eval_part
+
+
+def month_of(times: np.ndarray, start_epoch: int = 0) -> np.ndarray:
+    """Month index (30-day convention) of each timestamp."""
+    return ((np.asarray(times, dtype=np.int64) - start_epoch)
+            // (DAYS_PER_MONTH * SECONDS_PER_DAY))

@@ -1,0 +1,99 @@
+"""Job trace schema and terminology (§2.3.1 of the paper).
+
+A trace is a :class:`repro.frame.Table` with the columns below.  Statuses
+follow the paper's convention: timeout and node-fail are folded into
+``failed``.
+
+Columns
+-------
+job_id:       unique within a trace (string)
+cluster:      cluster name (Venus/Earth/Saturn/Uranus/Philly)
+vc:           virtual-cluster name
+user:         user id string
+name:         job name (recurrent jobs share name stems)
+gpu_num:      requested GPUs (0 for CPU jobs)
+cpu_num:      requested CPU cores
+node_num:     number of nodes needed under consolidated placement
+submit_time:  epoch seconds (local-midnight aligned)
+duration:     execution time in seconds (queuing excluded)
+status:       completed | canceled | failed
+
+After replay through the simulator, traces gain ``start_time``,
+``end_time`` and ``queue_delay``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frame import Table
+
+__all__ = [
+    "COMPLETED",
+    "CANCELED",
+    "FAILED",
+    "STATUSES",
+    "TRACE_COLUMNS",
+    "REPLAYED_COLUMNS",
+    "gpu_time",
+    "cpu_time",
+    "is_gpu_job",
+    "is_cpu_job",
+    "SECONDS_PER_DAY",
+    "SECONDS_PER_HOUR",
+    "DAYS_PER_MONTH",
+]
+
+COMPLETED = "completed"
+CANCELED = "canceled"
+FAILED = "failed"
+STATUSES = (COMPLETED, CANCELED, FAILED)
+
+SECONDS_PER_HOUR = 3_600
+SECONDS_PER_DAY = 86_400
+#: The generator uses a fixed 30-day month convention (see ml.encoding).
+DAYS_PER_MONTH = 30
+
+TRACE_COLUMNS = (
+    "job_id",
+    "cluster",
+    "vc",
+    "user",
+    "name",
+    "gpu_num",
+    "cpu_num",
+    "node_num",
+    "submit_time",
+    "duration",
+    "status",
+)
+
+REPLAYED_COLUMNS = TRACE_COLUMNS + ("start_time", "end_time", "queue_delay")
+
+
+def gpu_time(trace: Table) -> np.ndarray:
+    """GPU time per job: execution time × number of GPUs (§2.3.1)."""
+    return trace["duration"] * trace["gpu_num"]
+
+
+def cpu_time(trace: Table) -> np.ndarray:
+    """CPU time per job: execution time × number of CPUs (§2.3.1)."""
+    return trace["duration"] * trace["cpu_num"]
+
+
+def is_gpu_job(trace: Table) -> np.ndarray:
+    """Mask of jobs that require GPUs."""
+    return trace["gpu_num"] > 0
+
+
+def is_cpu_job(trace: Table) -> np.ndarray:
+    """Mask of jobs executed without any GPU."""
+    return trace["gpu_num"] == 0
+
+
+def validate_columns(trace: Table, replayed: bool = False) -> None:
+    """Raise if the trace is missing schema columns."""
+    needed = REPLAYED_COLUMNS if replayed else TRACE_COLUMNS
+    missing = [c for c in needed if c not in trace]
+    if missing:
+        raise ValueError(f"trace missing columns: {missing}")

@@ -1,0 +1,248 @@
+"""User population model.
+
+§3.3: each cluster has 200–400 users; user activity is heavy-tailed (the
+top 5% of users hold 45–60% of GPU time and >90% of CPU time); only ~25%
+of users run CPU jobs at all.  Users submit *recurrent* jobs: a small
+pool of named job templates whose instances share duration scale and GPU
+size — this is the regularity both the rolling estimator and the GBDT
+exploit (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..stats.distributions import powerlaw_weights
+
+__all__ = ["JobTemplate", "UserProfile", "UserPopulation"]
+
+_NAME_STEMS = (
+    "train", "finetune", "pretrain", "eval", "test", "debug",
+    "preprocess", "extract", "quantize", "infer", "sweep", "ablation",
+)
+_MODEL_STEMS = (
+    "resnet", "vgg", "bert", "gpt", "yolo", "unet", "transformer",
+    "lstm", "gan", "detector", "segmenter", "ranker",
+)
+
+
+@dataclass(frozen=True)
+class JobTemplate:
+    """A recurrent job a user re-submits many times.
+
+    ``median_duration`` is the template's characteristic runtime; actual
+    instances scatter log-normally around it (sigma ~0.4-0.6), giving the
+    history-based predictability the paper measures.
+    """
+
+    template_id: int
+    user: str
+    vc: str
+    base_name: str
+    gpu_num: int
+    median_duration: float
+    weight: float
+    is_debug: bool = False
+
+
+@dataclass
+class UserProfile:
+    """One user: home VC, activity weight, template pool."""
+
+    user_id: str
+    vc: str
+    activity: float
+    is_cpu_user: bool
+    cpu_activity: float
+    templates: list[JobTemplate] = field(default_factory=list)
+
+
+class UserPopulation:
+    """Generate users + their job-template pools for one cluster.
+
+    Parameters
+    ----------
+    cluster_name:
+        Used for deterministic user naming.
+    vc_names / vc_node_share:
+        VC names and their share of cluster nodes (users are assigned to
+        VCs proportionally to VC size).
+    vc_gpu_dist:
+        Per-VC categorical over GPU counts: dict vc -> (sizes, probs).
+    vc_whole_node_min:
+        Optional per-VC threshold: *non-debug* templates draw sizes >=
+        this value and debug templates sizes < it (large-job VCs keep
+        their production jobs in whole-node units so packing is clean,
+        while debugging happens on slivers).
+    vc_duration_scale:
+        Per-VC multiplier applied to template median durations (creates
+        Fig 4's long-job VCs).
+    duration_sampler:
+        Callable ``(rng, size) -> medians`` drawing template-level median
+        durations from the cluster's duration mixture.
+    """
+
+    def __init__(
+        self,
+        cluster_name: str,
+        vc_names: list[str],
+        vc_node_share: np.ndarray,
+        vc_gpu_dist: dict[str, tuple[np.ndarray, np.ndarray]],
+        vc_duration_scale: dict[str, float],
+        duration_sampler,
+        vc_whole_node_min: dict[str, int] | None = None,
+        n_users: int = 300,
+        cpu_user_fraction: float = 0.25,
+        activity_alpha: float = 1.1,
+        cpu_activity_alpha: float = 2.8,
+        templates_per_user: tuple[int, int] = (2, 9),
+        debug_template_prob: float = 0.15,
+        seed: int = 0,
+    ) -> None:
+        if n_users < 1:
+            raise ValueError("need at least one user")
+        if not 0.0 <= cpu_user_fraction <= 1.0:
+            raise ValueError("cpu_user_fraction must be in [0,1]")
+        self.cluster_name = cluster_name
+        self.rng = np.random.default_rng(seed)
+        self.users: list[UserProfile] = []
+        self._whole_node_min = vc_whole_node_min or {}
+        self._build(
+            vc_names,
+            np.asarray(vc_node_share, dtype=float),
+            vc_gpu_dist,
+            vc_duration_scale,
+            duration_sampler,
+            n_users,
+            cpu_user_fraction,
+            activity_alpha,
+            cpu_activity_alpha,
+            templates_per_user,
+            debug_template_prob,
+        )
+
+    # ------------------------------------------------------------------
+    def _build(
+        self,
+        vc_names,
+        vc_node_share,
+        vc_gpu_dist,
+        vc_duration_scale,
+        duration_sampler,
+        n_users,
+        cpu_user_fraction,
+        activity_alpha,
+        cpu_activity_alpha,
+        templates_per_user,
+        debug_template_prob,
+    ) -> None:
+        rng = self.rng
+        share = vc_node_share / vc_node_share.sum()
+        user_vcs = rng.choice(vc_names, size=n_users, p=share)
+        # Heavy-tailed GPU activity; even heavier CPU activity (Fig 8).
+        activity = powerlaw_weights(n_users, activity_alpha, rng)
+        cpu_flags = rng.random(n_users) < cpu_user_fraction
+        cpu_act_raw = powerlaw_weights(n_users, cpu_activity_alpha, rng)
+        cpu_act = np.where(cpu_flags, cpu_act_raw, 0.0)
+        if cpu_act.sum() > 0:
+            cpu_act = cpu_act / cpu_act.sum()
+
+        template_counter = 0
+        lo, hi = templates_per_user
+        for i in range(n_users):
+            uid = f"u{self.cluster_name[:2].lower()}{i:04d}"
+            profile = UserProfile(
+                user_id=uid,
+                vc=str(user_vcs[i]),
+                activity=float(activity[i]),
+                is_cpu_user=bool(cpu_flags[i]),
+                cpu_activity=float(cpu_act[i]),
+            )
+            n_templates = int(rng.integers(lo, hi + 1))
+            sizes, probs = vc_gpu_dist[profile.vc]
+            dur_scale = vc_duration_scale[profile.vc]
+            medians = duration_sampler(rng, n_templates) * dur_scale
+            t_weights = powerlaw_weights(n_templates, 0.8, rng)
+            wn_min = self._whole_node_min.get(profile.vc, 0)
+            # Users of large-job VCs debug their big runs with frequent
+            # short trials before committing whole-node GPU time.
+            vc_debug_prob = max(debug_template_prob, 0.35) if wn_min else debug_template_prob
+            for k in range(n_templates):
+                is_debug = rng.random() < vc_debug_prob
+                stem = rng.choice(_NAME_STEMS)
+                model = rng.choice(_MODEL_STEMS)
+                base_name = f"{stem}_{model}_{uid[-3:]}"
+                gpu = int(self._draw_size(rng, sizes, probs, wn_min, is_debug))
+                # Larger jobs run longer on average: the size coupling is
+                # what lets >=8-GPU jobs carry ~60% of GPU time (Fig 6b).
+                median = float(medians[k]) * gpu**0.5
+                weight = float(t_weights[k])
+                if is_debug:
+                    # Debug/testing jobs are much shorter than training
+                    # runs (§2.3.2 reason 2) and submitted less often
+                    # than the production recurrents.
+                    median = float(np.clip(median * 0.02, 5.0, 600.0))
+                    weight *= 0.55
+                profile.templates.append(
+                    JobTemplate(
+                        template_id=template_counter,
+                        user=uid,
+                        vc=profile.vc,
+                        base_name=base_name,
+                        gpu_num=gpu,
+                        median_duration=median,
+                        weight=weight,
+                        is_debug=is_debug,
+                    )
+                )
+                template_counter += 1
+            self.users.append(profile)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _draw_size(
+        rng: np.random.Generator,
+        sizes: np.ndarray,
+        probs: np.ndarray,
+        whole_node_min: int,
+        is_debug: bool,
+    ) -> int:
+        """Template GPU size; in large-job VCs production templates take
+        whole-node sizes and debug templates the sub-node slivers."""
+        if whole_node_min > 0:
+            mask = (sizes < whole_node_min) if is_debug else (sizes >= whole_node_min)
+            if np.any(mask) and probs[mask].sum() > 0:
+                p = probs[mask] / probs[mask].sum()
+                return int(rng.choice(sizes[mask], p=p))
+        return int(rng.choice(sizes, p=probs))
+
+    @property
+    def n_users(self) -> int:
+        return len(self.users)
+
+    def all_templates(self) -> list[JobTemplate]:
+        return [t for u in self.users for t in u.templates]
+
+    def template_probabilities(self) -> tuple[list[JobTemplate], np.ndarray]:
+        """Flattened templates with submission probabilities
+        p(template) = user_activity × template_weight."""
+        templates = []
+        probs = []
+        for u in self.users:
+            for t in u.templates:
+                templates.append(t)
+                probs.append(u.activity * t.weight)
+        p = np.asarray(probs)
+        return templates, p / p.sum()
+
+    def cpu_user_probabilities(self) -> tuple[list[str], np.ndarray]:
+        """CPU-capable users and their CPU-activity distribution."""
+        users = [u for u in self.users if u.is_cpu_user and u.cpu_activity > 0]
+        if not users:
+            # Degenerate tiny populations: let the most active user run CPU jobs.
+            users = [max(self.users, key=lambda u: u.activity)]
+            return [users[0].user_id], np.array([1.0])
+        p = np.asarray([u.cpu_activity for u in users])
+        return [u.user_id for u in users], p / p.sum()

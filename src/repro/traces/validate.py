@@ -1,0 +1,108 @@
+"""Trace invariant validation.
+
+Every generated (or loaded) trace must satisfy these invariants before it
+is fed to the simulator or analysis; the property-based tests hammer the
+generator through this checker.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frame import Table
+from .cluster import ClusterSpec
+from .schema import STATUSES, validate_columns
+
+__all__ = ["validate_trace", "TraceValidationError"]
+
+
+class TraceValidationError(ValueError):
+    """A trace violates a schema or physical invariant."""
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise TraceValidationError(message)
+
+
+def validate_trace(
+    trace: Table,
+    spec: ClusterSpec | None = None,
+    replayed: bool = False,
+) -> None:
+    """Raise :class:`TraceValidationError` on any violated invariant.
+
+    Checks (base): schema columns present; unique job ids; non-negative
+    demands; positive durations; statuses in the vocabulary; GPU jobs
+    carry node counts consistent with consolidated placement.  With
+    ``spec``: VC names exist and no job exceeds its VC's capacity.  With
+    ``replayed``: start >= submit, end = start + duration, queue_delay
+    consistent.
+    """
+    validate_columns(trace, replayed=replayed)
+    n = len(trace)
+    if n == 0:
+        return
+    _check(len(np.unique(trace["job_id"])) == n, "job ids are not unique")
+    _check(bool(np.all(trace["gpu_num"] >= 0)), "negative gpu_num")
+    _check(bool(np.all(trace["cpu_num"] >= 0)), "negative cpu_num")
+    _check(bool(np.all(trace["duration"] > 0)), "non-positive duration")
+    _check(bool(np.all(trace["node_num"] >= 1)), "node_num must be >= 1")
+    _check(
+        bool(np.all(np.isin(trace["status"], STATUSES))),
+        "status outside {completed, canceled, failed}",
+    )
+    gpu_jobs = trace["gpu_num"] > 0
+    _check(
+        bool(np.all(trace["cpu_num"][~gpu_jobs] > 0)),
+        "CPU jobs must request at least one CPU",
+    )
+
+    if spec is not None:
+        vc_caps = {vc.name: vc.num_gpus for vc in spec.vcs}
+        vc_nodes = {vc.name: vc.num_nodes for vc in spec.vcs}
+        names = set(np.unique(trace["vc"]).tolist())
+        unknown = names - set(vc_caps)
+        _check(not unknown, f"unknown VCs in trace: {sorted(unknown)}")
+        for name in names:
+            mask = trace["vc"] == name
+            _check(
+                int(trace["gpu_num"][mask].max(initial=0)) <= vc_caps[name],
+                f"job exceeds VC {name} GPU capacity",
+            )
+            _check(
+                int(trace["node_num"][mask].max(initial=0)) <= vc_nodes[name],
+                f"job exceeds VC {name} node count",
+            )
+        # Consolidated placement: node_num == ceil(gpus / gpus_per_node).
+        gj = trace.filter(gpu_jobs)
+        if len(gj):
+            expect = np.maximum(
+                1, np.ceil(gj["gpu_num"] / spec.gpus_per_node)
+            ).astype(np.int64)
+            _check(
+                bool(np.all(gj["node_num"] == expect)),
+                "node_num inconsistent with consolidated placement",
+            )
+
+    if replayed:
+        _check(
+            bool(np.all(trace["start_time"] >= trace["submit_time"])),
+            "job started before submission",
+        )
+        _check(
+            bool(
+                np.allclose(
+                    trace["end_time"], trace["start_time"] + trace["duration"]
+                )
+            ),
+            "end_time != start_time + duration",
+        )
+        _check(
+            bool(
+                np.allclose(
+                    trace["queue_delay"], trace["start_time"] - trace["submit_time"]
+                )
+            ),
+            "queue_delay != start_time - submit_time",
+        )

@@ -1,0 +1,239 @@
+"""Tests for the §3 characterization analysis modules."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    duration_cdf,
+    duration_summary,
+    gpu_time_by_status,
+    helios_philly_table,
+    hourly_submission_profile,
+    hourly_utilization_profile,
+    job_size_cdfs,
+    marquee_users,
+    monthly_job_counts,
+    monthly_utilization,
+    render_cdf_points,
+    render_kv,
+    render_series,
+    render_table,
+    status_by_gpu_demand,
+    status_distribution,
+    user_completion_rates,
+    user_queue_curve,
+    user_resource_curve,
+    vc_queue_and_duration,
+    vc_utilization_stats,
+)
+from repro.frame import Table
+from repro.sched import FIFOScheduler
+from repro.sim import Simulator
+from repro.traces import (
+    HeliosTraceGenerator,
+    PhillyParams,
+    PhillyTraceGenerator,
+    SynthParams,
+    is_gpu_job,
+)
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return HeliosTraceGenerator(SynthParams(months=2, scale=0.08, seed=3))
+
+
+@pytest.fixture(scope="module")
+def venus(gen):
+    return gen.generate_cluster("Venus")
+
+
+@pytest.fixture(scope="module")
+def venus_replay(gen, venus):
+    gpu = venus.filter(is_gpu_job(venus))
+    return Simulator(gen.specs["Venus"], FIFOScheduler()).run(gpu)
+
+
+class TestJobChars:
+    def test_duration_cdf_monotone(self, venus):
+        xs, ys = duration_cdf(venus, "gpu")
+        assert np.all(np.diff(ys) >= 0)
+        assert ys[-1] == pytest.approx(1.0)
+
+    def test_duration_cdf_cpu_left_of_gpu(self, venus):
+        """Fig 5: CPU jobs are much shorter than GPU jobs."""
+        _, g = duration_cdf(venus, "gpu", points=50)
+        _, c = duration_cdf(venus, "cpu", points=50)
+        # median positions: CPU CDF reaches 0.5 at smaller durations
+        xs_g, ys_g = duration_cdf(venus, "gpu", points=50)
+        xs_c, ys_c = duration_cdf(venus, "cpu", points=50)
+        med_g = xs_g[np.searchsorted(ys_g, 0.5)]
+        med_c = xs_c[np.searchsorted(ys_c, 0.5)]
+        assert med_c < med_g
+
+    def test_duration_cdf_bad_kind(self, venus):
+        with pytest.raises(ValueError):
+            duration_cdf(venus, "tpu")
+
+    def test_gpu_time_by_status_sums_to_one(self, venus):
+        shares = gpu_time_by_status(venus)
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares["completed"] > shares["failed"]
+
+    def test_job_size_cdfs(self, venus):
+        t = job_size_cdfs(venus)
+        assert np.all(np.diff(t["job_fraction"]) >= 0)
+        assert np.all(np.diff(t["gpu_time_fraction"]) >= 0)
+        # Implication #4: count CDF is far above the GPU-time CDF at size 1
+        assert t["job_fraction"][0] > t["gpu_time_fraction"][0]
+
+    def test_status_distribution(self, venus):
+        t = status_distribution(venus)
+        for row in t.iter_rows():
+            assert row["completed"] + row["canceled"] + row["failed"] == pytest.approx(1.0)
+        cpu = t.filter(t["kind"] == "cpu")
+        gpu = t.filter(t["kind"] == "gpu")
+        assert cpu["completed"][0] > gpu["completed"][0]
+
+    def test_status_by_gpu_demand_monotonic_trend(self, venus):
+        t = status_by_gpu_demand(venus)
+        comp = t["completed"]
+        # completion at the largest observed bucket < at single-GPU
+        assert comp[-1] < comp[0]
+
+    def test_duration_summary_keys(self, venus):
+        s = duration_summary(venus)
+        assert s["gpu_mean"] > s["gpu_median"]
+        assert s["n_gpu_jobs"] > 0 and s["n_cpu_jobs"] > 0
+
+
+class TestClusterChars:
+    def test_hourly_utilization_profile(self, venus_replay):
+        prof = hourly_utilization_profile(venus_replay)
+        assert prof.shape == (24,)
+        assert np.all((prof >= 0) & (prof <= 1))
+
+    def test_night_dip(self, venus_replay):
+        """Fig 2a: utilization dips a few percent at night."""
+        prof = hourly_utilization_profile(venus_replay)
+        night = prof[2:7].mean()
+        day = prof[10:18].mean()
+        assert night <= day + 0.02  # dip (or at worst flat)
+
+    def test_hourly_submission_profile(self, venus):
+        prof = hourly_submission_profile(venus, months=2)
+        assert prof.shape == (24,)
+        assert prof[3] < prof[14]  # night trough vs afternoon
+
+    def test_monthly_job_counts(self, venus):
+        t = monthly_job_counts(venus)
+        assert len(t) == 2
+        assert (t["single_gpu_jobs"] + t["multi_gpu_jobs"]).sum() == len(
+            venus.filter(is_gpu_job(venus))
+        )
+
+    def test_monthly_utilization(self, venus_replay):
+        t = monthly_utilization(venus_replay, months=2, split_by_size=True)
+        assert len(t) == 2
+        total = t["utilization"]
+        assert np.all((total > 0.2) & (total <= 1.1))
+        np.testing.assert_allclose(
+            t["single_gpu_utilization"] + t["multi_gpu_utilization"], total, atol=1e-9
+        )
+
+    def test_vc_utilization_stats(self, gen, venus_replay):
+        t = vc_utilization_stats(venus_replay, gen.specs["Venus"])
+        assert len(t) >= 3
+        assert np.all(t["util_q1"] <= t["util_median"])
+        assert np.all(t["util_median"] <= t["util_q3"])
+
+    def test_vc_queue_and_duration_normalized(self, venus_replay):
+        t = vc_queue_and_duration(venus_replay)
+        assert t["norm_queue_delay"].min() >= 0.0
+        assert t["norm_queue_delay"].max() <= 1.0
+
+
+class TestUserChars:
+    def test_resource_curve_concave(self, venus):
+        frac, share = user_resource_curve(venus, "gpu")
+        assert share[0] == 0.0
+        assert share[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(share) >= -1e-12)
+        # heavy tail: top 20% of users hold > 40% of GPU time
+        assert share[20] > 0.4
+
+    def test_cpu_more_concentrated(self, venus):
+        """Fig 8: the CPU-time user curve is steeper than the GPU one.
+
+        Compared via Gini coefficient — point-wise comparison is too
+        coarse with the handful of CPU users a scaled-down cluster has.
+        """
+
+        def gini(curve):
+            frac, share = curve
+            return 2.0 * np.trapezoid(share, frac) - 1.0
+
+        assert gini(user_resource_curve(venus, "cpu")) > gini(
+            user_resource_curve(venus, "gpu")
+        )
+
+    def test_queue_curve(self, venus_replay):
+        frac, share = user_queue_curve(venus_replay)
+        assert share[-1] == pytest.approx(1.0)
+        assert share[25] > 0.5  # few users bear most queueing (Fig 9a)
+
+    def test_completion_rates(self, venus):
+        t = user_completion_rates(venus)
+        assert np.all((t["completion_rate"] >= 0) & (t["completion_rate"] <= 1))
+        assert len(t) > 5
+
+    def test_marquee_users(self, venus_replay):
+        m = marquee_users(venus_replay, 0.05)
+        assert m["n_users"] >= 1
+        assert 0.0 < m["queue_share"] <= 1.0
+
+    def test_marquee_validation(self, venus_replay):
+        with pytest.raises(ValueError):
+            marquee_users(venus_replay, 0.0)
+
+
+class TestCompare:
+    def test_table2(self, gen):
+        traces = {"Venus": gen.generate_cluster("Venus")}
+        philly = PhillyTraceGenerator(PhillyParams(days=15, scale=0.05, seed=9)).generate()
+        t = helios_philly_table(traces, philly, helios_vcs=4, philly_vcs=3,
+                                helios_months=2, philly_days=15)
+        rows = {r["metric"]: r for r in t.iter_rows()}
+        assert rows["cpu_jobs"]["philly"] == "0"
+        # Table 2: Philly jobs statistically run much longer than Helios.
+        assert float(rows["avg_duration_s"]["philly"]) > float(
+            rows["avg_duration_s"]["helios"]
+        )
+
+
+class TestReport:
+    def test_render_table(self):
+        t = Table({"a": np.array([1, 2]), "b": np.array([0.5, 1234.5])})
+        out = render_table(t, title="demo")
+        assert "demo" in out and "a" in out and "1.23e+03" in out
+
+    def test_render_table_empty(self):
+        assert "(empty)" in render_table(Table({"a": np.array([])}))
+
+    def test_render_series(self):
+        out = render_series(np.sin(np.arange(200) / 10), title="wave")
+        assert "wave" in out and "[" in out
+
+    def test_render_series_constant(self):
+        out = render_series(np.ones(5))
+        assert "▄" in out or "[1..1]" in out
+
+    def test_render_cdf_points(self):
+        out = render_cdf_points(
+            np.array([1.0, 10.0, 100.0]), np.array([0.1, 0.5, 1.0]), [10.0]
+        )
+        assert "F(10)" in out
+
+    def test_render_kv(self):
+        out = render_kv({"alpha": 1.0, "b": "x"}, title="t")
+        assert "alpha" in out and ": x" in out

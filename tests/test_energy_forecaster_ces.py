@@ -1,0 +1,144 @@
+"""Tests for the node-demand forecaster and the CES service pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.energy import (
+    CESConfig,
+    CESService,
+    ForecastFeatures,
+    GBDTSeriesForecaster,
+    NodeDemandForecaster,
+)
+from repro.sched import FIFOScheduler
+from repro.sim import Simulator
+from repro.stats import smape
+from repro.traces import HeliosTraceGenerator, SynthParams, is_gpu_job
+
+
+def _daily_series(n=3000, seed=0, base=60.0, amp=15.0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return np.round(
+        base + amp * np.sin(2 * np.pi * t / 144.0) + rng.normal(0, 1.5, n)
+    )
+
+
+class TestForecastFeatures:
+    def test_shape(self):
+        f = ForecastFeatures()
+        X = f.build(np.arange(100.0))
+        assert X.shape == (100, f.n_features)
+
+    def test_lag_clipping(self):
+        f = ForecastFeatures(lags=(5,), windows=())
+        X = f.build(np.arange(10.0))
+        assert X[0, -1] == 0.0  # clipped to index 0
+        assert X[9, -1] == 4.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ForecastFeatures(bin_seconds=0)
+        with pytest.raises(ValueError):
+            ForecastFeatures(lags=(0,))
+
+
+class TestNodeDemandForecaster:
+    def test_learns_daily_pattern(self):
+        s = _daily_series()
+        model = NodeDemandForecaster(horizon_bins=18).fit(s[:2500])
+        idx = np.arange(2500, 3000 - 18)
+        pred = model.predict_at(s, idx)
+        truth = s[idx + 18]
+        assert smape(truth + 1, pred + 1) < 8.0
+
+    def test_beats_persistence(self):
+        s = _daily_series(seed=3)
+        model = NodeDemandForecaster(horizon_bins=36).fit(s[:2500])
+        idx = np.arange(2500, 3000 - 36)
+        pred = model.predict_at(s, idx)
+        truth = s[idx + 36]
+        persist = s[idx]
+        assert smape(truth + 1, pred + 1) < smape(truth + 1, persist + 1)
+
+    def test_nonnegative(self):
+        s = np.maximum(_daily_series(base=3, amp=5), 0)
+        model = NodeDemandForecaster(horizon_bins=6).fit(s[:2500])
+        pred = model.predict_at(s, np.arange(2500, 2900))
+        assert pred.min() >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeDemandForecaster(horizon_bins=0)
+        with pytest.raises(ValueError):
+            NodeDemandForecaster().fit(np.arange(50.0))
+        with pytest.raises(RuntimeError):
+            NodeDemandForecaster().predict_at(np.arange(2000.0), np.array([0]))
+
+
+class TestGBDTSeriesForecaster:
+    def test_fit_forecast_api(self):
+        s = _daily_series()
+        fc = GBDTSeriesForecaster().fit(s[:2500]).forecast(30)
+        assert fc.shape == (30,)
+        assert np.all(np.isfinite(fc))
+
+    def test_unfitted(self):
+        with pytest.raises(RuntimeError):
+            GBDTSeriesForecaster().forecast(1)
+
+
+@pytest.fixture(scope="module")
+def earth_replay():
+    gen = HeliosTraceGenerator(SynthParams(months=3, scale=0.2, seed=7))
+    trace = gen.generate_cluster("Earth")
+    gpu = trace.filter(is_gpu_job(trace))
+    return Simulator(gen.specs["Earth"], FIFOScheduler()).run(gpu)
+
+
+MONTH = 30 * 86_400
+
+
+class TestCESService:
+    def test_full_pipeline(self, earth_replay):
+        rep = CESService().evaluate(
+            earth_replay, eval_start=2 * MONTH, eval_end=3 * MONTH - 9 * 86_400,
+            cluster="Earth",
+        )
+        s = rep.summary()
+        # Table-5 shape: CES parks nodes, raises node utilization, and
+        # wakes nodes only a few times a day.
+        assert s["avg_drs_nodes"] > 0.5
+        assert s["util_ces"] > s["util_original"]
+        assert s["daily_wake_ups"] < 10.0
+        # Predictive CES beats reactive DRS on wake churn and impact.
+        assert s["vanilla_daily_wake_ups"] > s["daily_wake_ups"]
+        assert s["vanilla_affected_jobs"] >= s["affected_jobs"]
+
+    def test_forecast_quality(self, earth_replay):
+        """§4.3.2: GBDT reaches a few-percent SMAPE on Earth's series."""
+        rep = CESService().evaluate(
+            earth_replay, eval_start=2 * MONTH, eval_end=3 * MONTH - 9 * 86_400,
+        )
+        assert rep.smape_forecast < 12.0
+
+    def test_energy_accounting(self, earth_replay):
+        rep = CESService().evaluate(
+            earth_replay, eval_start=2 * MONTH, eval_end=3 * MONTH - 9 * 86_400,
+        )
+        assert rep.saved_kwh_eval > 0.0
+        assert rep.annual_saved_kwh > rep.saved_kwh_eval
+
+    def test_always_on_baseline(self, earth_replay):
+        rep = CESService().evaluate(
+            earth_replay, eval_start=2 * MONTH, eval_end=3 * MONTH - 9 * 86_400,
+        )
+        assert rep.always_on.avg_parked_nodes == 0.0
+
+    def test_window_validation(self, earth_replay):
+        with pytest.raises(ValueError):
+            CESService().evaluate(earth_replay, eval_start=0, eval_end=0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CESConfig(bin_seconds=0)

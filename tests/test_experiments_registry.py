@@ -1,0 +1,45 @@
+"""Tests for the experiment registry and CLI runner (cheap exhibits only)."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, experiment_ids, run_experiment
+from repro.experiments.runner import main as runner_main
+
+
+EXPECTED_IDS = {
+    # every table and figure of the paper's evaluation + ablations
+    "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+    "fig7", "fig8", "fig9", "fig11", "fig12", "fig13", "table3", "table4",
+    "fig14", "fig15", "table5",
+    "ablation_lambda", "ablation_forecaster", "ablation_buffer",
+    "ablation_oracle",
+}
+
+
+class TestRegistry:
+    def test_every_exhibit_registered(self):
+        assert set(experiment_ids()) == EXPECTED_IDS
+
+    def test_all_callables(self):
+        assert all(callable(fn) for fn in EXPERIMENTS.values())
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_table1_payload(self):
+        payload = run_experiment("table1")
+        assert "text" in payload
+        assert payload["table"]["paper_gpus"].sum() == 6416
+
+
+class TestRunner:
+    def test_list_mode(self, capsys):
+        assert runner_main([]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out and "fig14" in out
+
+    def test_run_one(self, capsys):
+        assert runner_main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out

@@ -1,0 +1,164 @@
+"""Failure-injection tests: corrupt inputs must fail loudly, and
+degenerate-but-legal inputs must degrade gracefully."""
+
+import numpy as np
+import pytest
+
+from repro.energy import CESService, DRSParams, NodeDemandForecaster, run_drs
+from repro.frame import Table
+from repro.ml import ARIMAForecaster, FourierForecaster, GBDTParams, GBDTRegressor
+from repro.sched import FIFOScheduler, QSSFScheduler, RollingEstimator, Scheduler
+from repro.sim import Simulator
+from repro.traces import (
+    ClusterSpec,
+    TraceValidationError,
+    VCSpec,
+    validate_trace,
+)
+
+from .test_sim_engine import make_spec, make_trace
+
+
+class BrokenScheduler(Scheduler):
+    """Returns the wrong number of priorities."""
+
+    name = "broken"
+
+    def priorities(self, trace):
+        return np.zeros(max(len(trace) - 1, 0))
+
+
+class NaNScheduler(Scheduler):
+    name = "nan"
+
+    def priorities(self, trace):
+        return np.full(len(trace), np.nan)
+
+
+class TestSimulatorRejection:
+    def test_broken_scheduler_detected(self):
+        with pytest.raises(ValueError, match="one value per job"):
+            Simulator(make_spec(), BrokenScheduler()).run(make_trace([(0, 1, 10)]))
+
+    def test_nan_priorities_still_terminate(self):
+        """NaN priorities are legal floats; the run must still complete
+        every job (heap ordering with NaN is arbitrary but total)."""
+        res = Simulator(make_spec(), NaNScheduler()).run(
+            make_trace([(0, 1, 10), (0, 1, 10)])
+        )
+        assert np.all(np.isfinite(res.end_times))
+
+    def test_zero_gpu_job_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator(make_spec(), FIFOScheduler()).run(make_trace([(0, 0, 5)]))
+
+    def test_job_larger_than_vc_rejected_before_running(self):
+        spec = ClusterSpec(
+            name="T", gpus_per_node=8,
+            vcs=(VCSpec("vc0", num_nodes=1, gpus_per_node=8),),
+        )
+        with pytest.raises(ValueError, match="demands"):
+            Simulator(spec, FIFOScheduler()).run(make_trace([(0, 16, 5)]))
+
+
+class TestTraceCorruption:
+    def _valid(self):
+        return make_trace([(0, 1, 10), (5, 2, 20)])
+
+    def test_duplicate_job_ids(self):
+        t = self._valid()
+        t = t.with_column("job_id", np.array(["same", "same"]))
+        with pytest.raises(TraceValidationError):
+            validate_trace(t)
+
+    def test_negative_gpu(self):
+        t = self._valid().with_column("gpu_num", np.array([-1, 2], dtype=np.int64))
+        with pytest.raises(TraceValidationError):
+            validate_trace(t)
+
+    def test_zero_duration(self):
+        t = self._valid().with_column("duration", np.array([0.0, 5.0]))
+        with pytest.raises(TraceValidationError):
+            validate_trace(t)
+
+    def test_missing_column(self):
+        t = self._valid().without_columns("status")
+        with pytest.raises(ValueError, match="missing columns"):
+            validate_trace(t)
+
+
+class TestDegenerateLearning:
+    def test_gbdt_constant_target(self):
+        X = np.random.default_rng(0).normal(size=(100, 3))
+        y = np.full(100, 5.0)
+        model = GBDTRegressor(GBDTParams(n_estimators=5)).fit(X, y)
+        np.testing.assert_allclose(model.predict(X), 5.0, atol=1e-9)
+
+    def test_gbdt_single_row(self):
+        model = GBDTRegressor(GBDTParams(n_estimators=3, min_samples_leaf=1)).fit(
+            np.zeros((1, 2)), np.array([3.0])
+        )
+        assert model.predict(np.zeros((1, 2)))[0] == pytest.approx(3.0)
+
+    def test_gbdt_nan_features_tolerated_in_binning(self):
+        X = np.random.default_rng(0).normal(size=(50, 2))
+        X[::7, 0] = np.nan
+        y = np.arange(50.0)
+        model = GBDTRegressor(GBDTParams(n_estimators=3)).fit(X, y)
+        assert np.all(np.isfinite(model.predict(X)))
+
+    def test_arima_constant_series(self):
+        fc = ARIMAForecaster(p=2, d=0).fit(np.full(100, 7.0)).forecast(5)
+        np.testing.assert_allclose(fc, 7.0, atol=1e-6)
+
+    def test_fourier_constant_series(self):
+        fc = FourierForecaster(periods=(24,)).fit(np.full(100, 3.0)).forecast(5)
+        np.testing.assert_allclose(fc, 3.0, atol=1e-6)
+
+    def test_forecaster_constant_demand(self):
+        series = np.full(1500, 10.0)
+        model = NodeDemandForecaster(horizon_bins=3).fit(series)
+        pred = model.predict_at(series, np.array([1200, 1300]))
+        np.testing.assert_allclose(pred, 10.0, atol=0.5)
+
+    def test_rolling_estimator_pathological_names(self):
+        est = RollingEstimator()
+        est.update("u", "", 1, 10.0)
+        est.update("u", "####", 1, 20.0)
+        assert est.estimate("u", "", 1) > 0
+
+    def test_qssf_on_tiny_history(self):
+        hist = make_trace([(0, 1, 10)])
+        sched = QSSFScheduler(hist, lam=1.0)
+        out = sched.priorities(make_trace([(1, 2, 5)]))
+        assert out.shape == (1,)
+
+
+class TestDRSEdgeCases:
+    def test_zero_demand_everywhere(self):
+        d = np.zeros(200)
+        out = run_drs(d, d.copy(), total_nodes=50, params=DRSParams.scaled(50))
+        assert out.avg_parked_nodes > 0
+        assert out.wake_events == 0
+
+    def test_full_demand_everywhere(self):
+        d = np.full(200, 50.0)
+        out = run_drs(d, d.copy(), total_nodes=50, params=DRSParams.scaled(50))
+        assert out.avg_parked_nodes == pytest.approx(0.0)
+        assert out.utilization_ces == pytest.approx(1.0)
+
+    def test_demand_spike_recovery(self):
+        """Park, spike wakes everything needed, park again."""
+        d = np.concatenate([np.full(100, 40.0), np.full(3, 10.0),
+                            np.full(5, 45.0), np.full(100, 10.0)])
+        fc = d.copy()
+        out = run_drs(d, fc, total_nodes=50, params=DRSParams.scaled(50))
+        assert np.all(out.active >= d)
+
+    def test_ces_service_rejects_short_training(self):
+        from repro.sched import SJFScheduler
+        from .test_sim_engine import make_spec as ms, make_trace as mt
+
+        res = Simulator(ms(), SJFScheduler()).run(mt([(0, 1, 100)]))
+        with pytest.raises(ValueError):
+            CESService().evaluate(res, eval_start=50.0, eval_end=100.0)

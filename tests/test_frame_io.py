@@ -1,0 +1,68 @@
+"""CSV round-trip tests for the frame IO layer."""
+
+import numpy as np
+import pytest
+
+from repro.frame import Table, from_csv_string, read_csv, to_csv_string, write_csv
+
+
+@pytest.fixture
+def table():
+    return Table(
+        {
+            "i": np.array([1, -2, 3], dtype=np.int64),
+            "f": np.array([0.5, 1e-12, -3.25]),
+            "s": np.array(["abc", "d e", "x,y"]),
+            "b": np.array([True, False, True]),
+        }
+    )
+
+
+def test_roundtrip_file(tmp_path, table):
+    path = tmp_path / "t.csv"
+    write_csv(table, path)
+    back = read_csv(path)
+    assert back.columns == table.columns
+    assert back["i"].dtype.kind == "i"
+    assert back["f"].dtype.kind == "f"
+    assert back["b"].dtype.kind == "b"
+    np.testing.assert_array_equal(back["i"], table["i"])
+    np.testing.assert_allclose(back["f"], table["f"])
+    assert back["s"].tolist() == table["s"].tolist()
+    assert back["b"].tolist() == table["b"].tolist()
+
+
+def test_roundtrip_string(table):
+    text = to_csv_string(table)
+    back = from_csv_string(text)
+    assert back == Table({k: table[k] for k in table.columns})
+
+
+def test_quoted_comma_preserved(table):
+    back = from_csv_string(to_csv_string(table))
+    assert back["s"][2] == "x,y"
+
+
+def test_empty_table_roundtrip(tmp_path):
+    t = Table({"a": np.array([], dtype=np.int64)})
+    path = tmp_path / "empty.csv"
+    write_csv(t, path)
+    back = read_csv(path)
+    assert back.columns == ["a"]
+    assert len(back) == 0
+
+
+def test_missing_kind_raises():
+    with pytest.raises(ValueError, match="kind"):
+        from_csv_string("plainheader\n1\n")
+
+
+def test_unknown_kind_raises():
+    with pytest.raises(ValueError, match="unknown column kind"):
+        from_csv_string("a:z\n1\n")
+
+
+def test_write_creates_parent_dirs(tmp_path, table):
+    path = tmp_path / "nested" / "dir" / "t.csv"
+    write_csv(table, path)
+    assert path.exists()

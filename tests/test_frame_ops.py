@@ -1,0 +1,174 @@
+"""Unit + property tests for groupby/aggregation helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frame import (
+    Table,
+    apply_per_group,
+    group_reduce,
+    groupby_agg,
+    quantiles,
+    top_k_share,
+    value_counts,
+    weighted_share,
+)
+
+
+@pytest.fixture
+def table():
+    return Table(
+        {
+            "user": np.array(["u1", "u2", "u1", "u3", "u2", "u1"]),
+            "vc": np.array(["a", "a", "b", "b", "a", "a"]),
+            "gpus": np.array([1, 2, 4, 8, 2, 1], dtype=np.int64),
+            "dur": np.array([10.0, 20.0, 30.0, 40.0, 50.0, 60.0]),
+        }
+    )
+
+
+class TestGroupReduce:
+    def test_sum(self, table):
+        keys, sums = group_reduce(table["user"], table["dur"], "sum")
+        assert list(keys) == ["u1", "u2", "u3"]
+        assert sums.tolist() == [100.0, 70.0, 40.0]
+
+    def test_count(self, table):
+        keys, counts = group_reduce(table["user"], None, "count")
+        assert counts.tolist() == [3, 2, 1]
+
+    def test_mean(self, table):
+        _, means = group_reduce(table["user"], table["dur"], "mean")
+        np.testing.assert_allclose(means, [100 / 3, 35.0, 40.0])
+
+    def test_min_max(self, table):
+        _, mins = group_reduce(table["user"], table["dur"], "min")
+        _, maxs = group_reduce(table["user"], table["dur"], "max")
+        assert mins.tolist() == [10.0, 20.0, 40.0]
+        assert maxs.tolist() == [60.0, 50.0, 40.0]
+
+    def test_median(self, table):
+        _, med = group_reduce(table["user"], table["dur"], "median")
+        assert med.tolist() == [30.0, 35.0, 40.0]
+
+    def test_std_matches_numpy(self, table):
+        _, stds = group_reduce(table["user"], table["dur"], "std")
+        expect = [
+            np.std([10.0, 30.0, 60.0]),
+            np.std([20.0, 50.0]),
+            np.std([40.0]),
+        ]
+        np.testing.assert_allclose(stds, expect, atol=1e-9)
+
+    def test_unknown_agg(self, table):
+        with pytest.raises(ValueError, match="unknown aggregation"):
+            group_reduce(table["user"], table["dur"], "nope")
+
+    def test_count_needs_no_values_others_do(self, table):
+        with pytest.raises(ValueError, match="values required"):
+            group_reduce(table["user"], None, "sum")
+
+    def test_multikey(self, table):
+        keys, sums = group_reduce(
+            [table["user"], table["vc"]], table["dur"], "sum"
+        )
+        users, vcs = keys
+        got = dict(zip(zip(users.tolist(), vcs.tolist()), sums.tolist()))
+        assert got[("u1", "a")] == 70.0
+        assert got[("u1", "b")] == 30.0
+        assert got[("u3", "b")] == 40.0
+
+
+class TestGroupbyAgg:
+    def test_basic(self, table):
+        out = groupby_agg(
+            table,
+            "user",
+            {"total": ("dur", "sum"), "n": ("dur", "count")},
+        )
+        assert out["user"].tolist() == ["u1", "u2", "u3"]
+        assert out["total"].tolist() == [100.0, 70.0, 40.0]
+        assert out["n"].tolist() == [3, 2, 1]
+
+    def test_multikey(self, table):
+        out = groupby_agg(table, ["vc", "user"], {"n": ("dur", "count")})
+        assert len(out) == 4  # (a,u1),(a,u2),(b,u1),(b,u3)
+
+    def test_empty_aggs(self, table):
+        with pytest.raises(ValueError):
+            groupby_agg(table, "user", {})
+
+
+class TestHelpers:
+    def test_value_counts(self, table):
+        vc = value_counts(table["user"])
+        assert vc["value"][0] == "u1"
+        assert vc["count"][0] == 3
+
+    def test_value_counts_normalized(self, table):
+        vc = value_counts(table["user"], normalize=True)
+        np.testing.assert_allclose(vc["count"].sum(), 1.0)
+
+    def test_weighted_share(self, table):
+        ws = weighted_share(table["user"], table["dur"])
+        assert ws["value"][0] == "u1"
+        np.testing.assert_allclose(ws["share"].sum(), 1.0)
+
+    def test_quantiles(self):
+        q = quantiles(np.arange(101, dtype=float), (0.25, 0.5, 0.75))
+        np.testing.assert_allclose(q, [25.0, 50.0, 75.0])
+
+    def test_quantiles_empty(self):
+        assert np.all(np.isnan(quantiles(np.array([]))))
+
+    def test_top_k_share_all(self, table):
+        assert top_k_share(table["user"], table["dur"], 1.0) == pytest.approx(1.0)
+
+    def test_top_k_share_top_third(self, table):
+        # top 1 of 3 users (u1 with 100) over total 210
+        share = top_k_share(table["user"], table["dur"], 1 / 3)
+        assert share == pytest.approx(100.0 / 210.0)
+
+    def test_top_k_share_validates(self, table):
+        with pytest.raises(ValueError):
+            top_k_share(table["user"], table["dur"], 0.0)
+
+    def test_apply_per_group(self, table):
+        out = apply_per_group(
+            table, "vc", lambda sub: {"mean_gpus": float(sub["gpus"].mean())}
+        )
+        assert out["vc"].tolist() == ["a", "b"]
+        np.testing.assert_allclose(out["mean_gpus"], [1.5, 6.0])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=60),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_group_sum_matches_python(keys, seed):
+    """Property: segment sums equal a reference dict-based accumulation."""
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=len(keys))
+    uniq, sums = group_reduce(np.asarray(keys), values, "sum")
+    ref: dict[int, float] = {}
+    for k, v in zip(keys, values):
+        ref[k] = ref.get(k, 0.0) + v
+    assert list(uniq) == sorted(ref)
+    np.testing.assert_allclose(sums, [ref[k] for k in sorted(ref)], atol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=50),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_group_median_matches_numpy(keys, seed):
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=len(keys))
+    uniq, med = group_reduce(np.asarray(keys), values, "median")
+    for k, m in zip(uniq, med):
+        expect = np.median(values[np.asarray(keys) == k])
+        assert m == pytest.approx(expect)

@@ -1,0 +1,109 @@
+"""Property-based laws for the Table container and interval rasterizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frame import Table, group_reduce
+from repro.stats import TimeGrid, interval_concurrency, interval_load
+
+
+def _table(values):
+    arr = np.asarray(values, dtype=float)
+    return Table({"v": arr, "i": np.arange(len(arr))})
+
+
+values_lists = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=50
+)
+
+
+class TestTableLaws:
+    @settings(max_examples=60, deadline=None)
+    @given(values=values_lists, seed=st.integers(0, 99))
+    def test_filter_then_concat_partition(self, values, seed):
+        """filter(m) + filter(~m) is a permutation-free partition."""
+        t = _table(values)
+        rng = np.random.default_rng(seed)
+        mask = rng.random(len(t)) < 0.5
+        a, b = t.filter(mask), t.filter(~mask)
+        assert len(a) + len(b) == len(t)
+        merged = Table.concat([a, b]).sort_by("i")
+        assert merged == t.sort_by("i")
+
+    @settings(max_examples=60, deadline=None)
+    @given(values=values_lists)
+    def test_sort_idempotent(self, values):
+        t = _table(values)
+        once = t.sort_by("v", "i")
+        twice = once.sort_by("v", "i")
+        assert once == twice
+
+    @settings(max_examples=60, deadline=None)
+    @given(values=values_lists)
+    def test_take_inverse(self, values):
+        """take(argsort) then take(inverse permutation) is identity."""
+        t = _table(values)
+        order = np.argsort(t["v"], kind="stable")
+        inverse = np.empty_like(order)
+        inverse[order] = np.arange(len(order))
+        assert t.take(order).take(inverse) == t
+
+    @settings(max_examples=60, deadline=None)
+    @given(values=values_lists)
+    def test_group_sum_total_invariant(self, values):
+        """Sum of group sums equals the grand total for any grouping."""
+        t = _table(values)
+        keys = (np.arange(len(t)) % 3).astype(np.int64)
+        _, sums = group_reduce(keys, t["v"], "sum")
+        assert sums.sum() == pytest.approx(t["v"].sum(), rel=1e-9, abs=1e-6)
+
+
+intervals = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=900, allow_nan=False),
+        st.floats(min_value=0.1, max_value=300, allow_nan=False),
+        st.integers(min_value=1, max_value=8),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestIntervalLaws:
+    @settings(max_examples=60, deadline=None)
+    @given(ivs=intervals)
+    def test_load_conserves_weighted_time(self, ivs):
+        """Σ load·dt == Σ weight·clipped_duration for any interval set."""
+        s = np.array([a for a, _, _ in ivs])
+        e = np.array([a + d for a, d, _ in ivs])
+        w = np.array([float(g) for _, _, g in ivs])
+        grid = TimeGrid(0.0, 10.0, 130)  # covers [0, 1300) > all intervals
+        load = interval_load(grid, s, e, w)
+        assert load.sum() * grid.dt == pytest.approx((w * (e - s)).sum(), rel=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(ivs=intervals)
+    def test_load_additivity(self, ivs):
+        """Load of the union equals the sum of per-interval loads."""
+        s = np.array([a for a, _, _ in ivs])
+        e = np.array([a + d for a, d, _ in ivs])
+        w = np.array([float(g) for _, _, g in ivs])
+        grid = TimeGrid(0.0, 25.0, 52)
+        whole = interval_load(grid, s, e, w)
+        parts = sum(
+            interval_load(grid, s[i : i + 1], e[i : i + 1], w[i : i + 1])
+            for i in range(len(ivs))
+        )
+        np.testing.assert_allclose(whole, parts, atol=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(ivs=intervals)
+    def test_concurrency_bounded_by_count(self, ivs):
+        s = np.array([a for a, _, _ in ivs])
+        e = np.array([a + d for a, d, _ in ivs])
+        grid = TimeGrid(0.0, 5.0, 260)
+        conc = interval_concurrency(grid, s, e)
+        assert conc.max() <= len(ivs)
+        assert conc.min() >= 0

@@ -1,0 +1,150 @@
+"""Unit tests for the columnar Table container."""
+
+import numpy as np
+import pytest
+
+from repro.frame import Table
+
+
+@pytest.fixture
+def table():
+    return Table(
+        {
+            "a": np.array([3, 1, 2, 1], dtype=np.int64),
+            "b": np.array([0.5, 1.5, 2.5, 3.5]),
+            "s": np.array(["x", "y", "x", "z"]),
+        }
+    )
+
+
+class TestConstruction:
+    def test_empty(self):
+        t = Table()
+        assert len(t) == 0
+        assert t.columns == []
+
+    def test_basic(self, table):
+        assert len(table) == 4
+        assert table.columns == ["a", "b", "s"]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="length"):
+            Table({"a": [1, 2], "b": [1]})
+
+    def test_2d_column_raises(self):
+        with pytest.raises(ValueError, match="1-D"):
+            Table({"a": np.zeros((2, 2))})
+
+    def test_scalar_becomes_length_one(self):
+        t = Table({"a": 5})
+        assert len(t) == 1
+        assert t["a"][0] == 5
+
+    def test_from_rows(self):
+        t = Table.from_rows([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        assert t["a"].tolist() == [1, 2]
+        assert t["b"].tolist() == ["x", "y"]
+
+    def test_from_rows_empty_with_columns(self):
+        t = Table.from_rows([], columns=["a", "b"])
+        assert t.columns == ["a", "b"]
+        assert len(t) == 0
+
+
+class TestAccess:
+    def test_getitem_missing(self, table):
+        with pytest.raises(KeyError, match="no column"):
+            table["nope"]
+
+    def test_contains(self, table):
+        assert "a" in table
+        assert "nope" not in table
+
+    def test_row(self, table):
+        r = table.row(1)
+        assert r == {"a": 1, "b": 1.5, "s": "y"}
+
+    def test_iter_rows(self, table):
+        rows = list(table.iter_rows())
+        assert len(rows) == 4
+        assert rows[0]["s"] == "x"
+
+    def test_equality(self, table):
+        assert table == table.copy()
+        assert table != table.filter(table["a"] > 1)
+
+
+class TestTransforms:
+    def test_filter(self, table):
+        sub = table.filter(table["a"] == 1)
+        assert len(sub) == 2
+        assert sub["s"].tolist() == ["y", "z"]
+
+    def test_filter_requires_bool(self, table):
+        with pytest.raises(TypeError, match="boolean"):
+            table.filter(np.array([1, 0, 1, 0]))
+
+    def test_filter_wrong_length(self, table):
+        with pytest.raises(ValueError, match="length"):
+            table.filter(np.array([True, False]))
+
+    def test_take(self, table):
+        sub = table.take(np.array([2, 0]))
+        assert sub["a"].tolist() == [2, 3]
+
+    def test_slice_and_head(self, table):
+        assert len(table.slice(1, 3)) == 2
+        assert len(table.head(2)) == 2
+        assert len(table.head(100)) == 4
+
+    def test_sort_single_key(self, table):
+        s = table.sort_by("a")
+        assert s["a"].tolist() == [1, 1, 2, 3]
+
+    def test_sort_is_stable_and_multikey(self, table):
+        s = table.sort_by("a", "b")
+        # rows with a==1 sorted by b: (1,1.5,'y') then (1,3.5,'z')
+        assert s["s"].tolist() == ["y", "z", "x", "x"]
+
+    def test_sort_descending(self, table):
+        s = table.sort_by("a", descending=True)
+        assert s["a"].tolist() == [3, 2, 1, 1]
+
+    def test_sort_no_keys_raises(self, table):
+        with pytest.raises(ValueError):
+            table.sort_by()
+
+    def test_with_column_replaces(self, table):
+        t2 = table.with_column("a", np.zeros(4))
+        assert t2["a"].tolist() == [0, 0, 0, 0]
+        assert table["a"].tolist() == [3, 1, 2, 1]  # original untouched
+
+    def test_with_column_wrong_length(self, table):
+        with pytest.raises(ValueError):
+            table.with_column("c", np.zeros(3))
+
+    def test_without_columns(self, table):
+        t2 = table.without_columns("b", "missing")
+        assert t2.columns == ["a", "s"]
+
+    def test_rename(self, table):
+        t2 = table.rename({"a": "alpha"})
+        assert "alpha" in t2 and "a" not in t2
+
+    def test_select(self, table):
+        t2 = table.select("s", "a")
+        assert t2.columns == ["s", "a"]
+
+
+class TestConcat:
+    def test_concat(self, table):
+        both = Table.concat([table, table])
+        assert len(both) == 8
+        assert both["a"].tolist() == table["a"].tolist() * 2
+
+    def test_concat_mismatch(self, table):
+        with pytest.raises(ValueError, match="mismatch"):
+            Table.concat([table, table.select("a")])
+
+    def test_concat_empty_list(self):
+        assert len(Table.concat([])) == 0

@@ -1,0 +1,153 @@
+"""Tests for the prediction-based framework (§4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.framework import (
+    CESNodeService,
+    ModelUpdateEngine,
+    PredictionService,
+    QSSFService,
+    ResourceOrchestrator,
+    UpdatePolicy,
+)
+from repro.traces import HeliosTraceGenerator, SynthParams, is_gpu_job
+
+
+class CountingService(PredictionService):
+    """Trivial service for engine/orchestrator mechanics."""
+
+    service_name = "counter"
+
+    def __init__(self):
+        self.fit_calls = 0
+        self.observed = []
+
+    def fit(self, history):
+        self.fit_calls += 1
+        self.last_history = history
+        return self
+
+    def predict(self, request):
+        return len(self.observed)
+
+    def act(self, state):
+        return f"act({state})"
+
+    def observe(self, event):
+        self.observed.append(event)
+
+
+class TestModelUpdateEngine:
+    def test_register_and_refit_on_time(self):
+        eng = ModelUpdateEngine(UpdatePolicy(interval_seconds=100))
+        svc = CountingService()
+        eng.register(svc, history_builder=list)
+        eng.observe("counter", {"x": 1}, now=10.0)
+        assert svc.fit_calls == 0
+        eng.observe("counter", {"x": 2}, now=150.0)
+        assert svc.fit_calls == 1
+        assert svc.last_history == [{"x": 1}, {"x": 2}]
+
+    def test_refit_on_buffer_size(self):
+        eng = ModelUpdateEngine(UpdatePolicy(interval_seconds=1e9, max_buffered=3))
+        svc = CountingService()
+        eng.register(svc, list)
+        for i in range(3):
+            eng.observe("counter", i, now=float(i))
+        assert svc.fit_calls == 1
+
+    def test_duplicate_registration(self):
+        eng = ModelUpdateEngine()
+        eng.register(CountingService(), list)
+        with pytest.raises(ValueError):
+            eng.register(CountingService(), list)
+
+    def test_unknown_service(self):
+        with pytest.raises(KeyError):
+            ModelUpdateEngine().refit("nope", 0.0)
+
+    def test_refit_empty_buffer_noop(self):
+        eng = ModelUpdateEngine()
+        svc = CountingService()
+        eng.register(svc, list)
+        eng.refit("counter", 5.0)
+        assert svc.fit_calls == 0
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            UpdatePolicy(interval_seconds=0)
+        with pytest.raises(ValueError):
+            UpdatePolicy(max_buffered=0)
+
+
+class TestOrchestrator:
+    def test_install_and_decide(self):
+        orch = ResourceOrchestrator()
+        orch.install(CountingService())
+        assert orch.installed == ["counter"]
+        assert orch.decide("counter", "queue") == "act(queue)"
+
+    def test_duplicate_install(self):
+        orch = ResourceOrchestrator()
+        orch.install(CountingService())
+        with pytest.raises(ValueError):
+            orch.install(CountingService())
+
+    def test_uninstall(self):
+        orch = ResourceOrchestrator()
+        orch.install(CountingService())
+        orch.uninstall("counter")
+        assert orch.installed == []
+        with pytest.raises(KeyError):
+            orch.uninstall("counter")
+
+    def test_unknown_service(self):
+        with pytest.raises(KeyError):
+            ResourceOrchestrator().decide("ghost", None)
+
+
+@pytest.fixture(scope="module")
+def small_history():
+    gen = HeliosTraceGenerator(SynthParams(months=1, scale=0.05, seed=13))
+    trace = gen.generate_cluster("Venus")
+    return trace.filter(is_gpu_job(trace))
+
+
+class TestQSSFService:
+    def test_fit_predict_act(self, small_history):
+        svc = QSSFService(lam=1.0).fit(small_history)
+        head = small_history.head(20)
+        pred = svc.predict(head)
+        assert pred.shape == (20,)
+        ordered = svc.act(head)
+        got = svc.predict(ordered)
+        assert np.all(np.diff(got) >= -1e-9)  # sorted ascending
+
+    def test_unfitted(self, small_history):
+        with pytest.raises(RuntimeError):
+            QSSFService().predict(small_history.head(1))
+
+    def test_observe(self, small_history):
+        svc = QSSFService(lam=1.0).fit(small_history)
+        svc.observe({"user": "ux", "name": "j_1", "gpu_num": 2, "duration": 123.0})
+        assert svc.scheduler.rolling.estimate("ux", "j_2", 2) == pytest.approx(123.0)
+
+
+class TestCESNodeService:
+    def _series(self, n=2500):
+        t = np.arange(n)
+        return np.round(40 + 10 * np.sin(2 * np.pi * t / 144.0))
+
+    def test_fit_predict_act(self):
+        svc = CESNodeService().fit(self._series())
+        demand = self._series(600)
+        pred = svc.predict(demand)
+        assert pred.shape == demand.shape
+        outcome = svc.act((demand, 64))
+        assert outcome.total_nodes == 64
+        assert np.all(outcome.active >= outcome.demand)
+
+    def test_unfitted(self):
+        with pytest.raises(RuntimeError):
+            CESNodeService().predict(np.zeros(10))

@@ -1,0 +1,118 @@
+"""Tests for category encoders, time features, and ridge regression."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    FrequencyEncoder,
+    OrdinalEncoder,
+    RidgeRegressor,
+    TIME_FEATURE_NAMES,
+    grid_search,
+    time_features,
+)
+
+
+class TestOrdinalEncoder:
+    def test_first_seen_order(self):
+        enc = OrdinalEncoder().fit(np.array(["b", "a", "b", "c"]))
+        out = enc.transform(np.array(["a", "b", "c"]))
+        assert out.tolist() == [1, 0, 2]
+
+    def test_unseen_is_minus_one(self):
+        enc = OrdinalEncoder().fit(np.array(["x"]))
+        assert enc.transform(np.array(["y"])).tolist() == [-1]
+
+    def test_n_categories(self):
+        enc = OrdinalEncoder().fit(np.array(["a", "a", "b"]))
+        assert enc.n_categories == 2
+
+    def test_fit_transform(self):
+        out = OrdinalEncoder().fit_transform(np.array(["p", "q", "p"]))
+        assert out.tolist() == [0, 1, 0]
+
+
+class TestFrequencyEncoder:
+    def test_frequencies(self):
+        enc = FrequencyEncoder().fit(np.array(["a", "a", "a", "b"]))
+        out = enc.transform(np.array(["a", "b", "zzz"]))
+        np.testing.assert_allclose(out, [0.75, 0.25, 0.0])
+
+    def test_fit_transform_sums_consistent(self):
+        vals = np.array(["x"] * 7 + ["y"] * 3)
+        out = FrequencyEncoder().fit_transform(vals)
+        np.testing.assert_allclose(np.unique(out), [0.3, 0.7])
+
+
+class TestTimeFeatures:
+    def test_shape_and_names(self):
+        out = time_features(np.array([0, 86_400], dtype=np.int64))
+        assert out.shape == (2, len(TIME_FEATURE_NAMES))
+
+    def test_midnight_epoch(self):
+        out = time_features(np.array([0]))
+        month, day, weekday, hour, minute = out[0]
+        assert (month, day, weekday, hour, minute) == (0, 0, 0, 0, 0)
+
+    def test_hour_minute(self):
+        t = 3 * 3600 + 25 * 60
+        out = time_features(np.array([t]))
+        assert out[0][3] == 3 and out[0][4] == 25
+
+    def test_weekday_cycles(self):
+        days = np.arange(14) * 86_400
+        out = time_features(days)
+        assert out[:, 2].tolist() == list(range(7)) * 2
+
+    def test_month_convention(self):
+        out = time_features(np.array([31 * 86_400]))
+        assert out[0][0] == 1  # 30-day months
+
+
+class TestRidge:
+    def test_recovers_linear_model(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(500, 3))
+        y = 2.0 * X[:, 0] - 1.0 * X[:, 2] + 5.0
+        model = RidgeRegressor(alpha=1e-6).fit(X, y)
+        pred = model.predict(X)
+        np.testing.assert_allclose(pred, y, atol=1e-6)
+
+    def test_regularization_shrinks(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(50, 2))
+        y = 3.0 * X[:, 0]
+        small = RidgeRegressor(alpha=1e-9).fit(X, y)
+        large = RidgeRegressor(alpha=1e4).fit(X, y)
+        assert np.abs(large.coef_).sum() < np.abs(small.coef_).sum()
+
+    def test_constant_feature_no_blowup(self):
+        X = np.column_stack([np.ones(20), np.arange(20.0)])
+        y = np.arange(20.0)
+        pred = RidgeRegressor(alpha=1e-6).fit(X, y).predict(X)
+        np.testing.assert_allclose(pred, y, atol=1e-5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RidgeRegressor(alpha=-1.0)
+        with pytest.raises(ValueError):
+            RidgeRegressor().fit(np.zeros((0, 2)), np.zeros(0))
+        with pytest.raises(ValueError):
+            RidgeRegressor().fit(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(RuntimeError):
+            RidgeRegressor().predict(np.zeros((1, 2)))
+
+
+class TestGridSearch:
+    def test_minimizes(self):
+        best, score = grid_search(
+            lambda a, b: (a, b),
+            {"a": [1, 2, 3], "b": [10, 20]},
+            score=lambda model: (model[0] - 2) ** 2 + (model[1] - 20) ** 2,
+        )
+        assert best == {"a": 2, "b": 20}
+        assert score == 0
+
+    def test_no_finite_score_raises(self):
+        with pytest.raises(ValueError):
+            grid_search(lambda a: a, {"a": [1]}, score=lambda m: float("inf"))

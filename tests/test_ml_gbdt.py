@@ -1,0 +1,123 @@
+"""Tests for the GBDT regressor."""
+
+import numpy as np
+import pytest
+
+from repro.ml import GBDTParams, GBDTRegressor
+
+
+@pytest.fixture(scope="module")
+def friedman():
+    """Nonlinear regression problem (Friedman #1 style)."""
+    rng = np.random.default_rng(0)
+    X = rng.uniform(size=(1200, 5))
+    y = (
+        10 * np.sin(np.pi * X[:, 0] * X[:, 1])
+        + 20 * (X[:, 2] - 0.5) ** 2
+        + 10 * X[:, 3]
+        + 5 * X[:, 4]
+        + rng.normal(0, 0.5, 1200)
+    )
+    return X, y
+
+
+class TestParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GBDTParams(n_estimators=0)
+        with pytest.raises(ValueError):
+            GBDTParams(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GBDTParams(subsample=1.5)
+
+
+class TestFit:
+    def test_training_loss_decreases(self, friedman):
+        X, y = friedman
+        model = GBDTRegressor(GBDTParams(n_estimators=40, max_depth=4)).fit(X, y)
+        losses = model.staged_mse()
+        assert losses[-1] < losses[0] * 0.2
+        # monotone non-increasing (squared loss + full data per stage)
+        assert all(b <= a + 1e-9 for a, b in zip(losses, losses[1:]))
+
+    def test_beats_mean_baseline(self, friedman):
+        X, y = friedman
+        train, test = X[:800], X[800:]
+        yt, yv = y[:800], y[800:]
+        model = GBDTRegressor(GBDTParams(n_estimators=120, max_depth=4)).fit(train, yt)
+        pred = model.predict(test)
+        mse_model = np.mean((pred - yv) ** 2)
+        mse_mean = np.mean((yt.mean() - yv) ** 2)
+        assert mse_model < 0.15 * mse_mean
+
+    def test_subsample_still_learns(self, friedman):
+        X, y = friedman
+        model = GBDTRegressor(
+            GBDTParams(n_estimators=60, subsample=0.5, random_state=1)
+        ).fit(X, y)
+        pred = model.predict(X)
+        assert np.mean((pred - y) ** 2) < 0.3 * np.var(y)
+
+    def test_deterministic_given_seed(self, friedman):
+        X, y = friedman
+        p = GBDTParams(n_estimators=10, subsample=0.7, random_state=42)
+        m1 = GBDTRegressor(p).fit(X, y)
+        m2 = GBDTRegressor(p).fit(X, y)
+        np.testing.assert_array_equal(m1.predict(X), m2.predict(X))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            GBDTRegressor().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            GBDTRegressor().fit(np.zeros((3, 2)), np.zeros(4))
+
+
+class TestEarlyStopping:
+    def test_early_stop_halts(self, friedman):
+        X, y = friedman
+        model = GBDTRegressor(
+            GBDTParams(n_estimators=500, early_stopping_rounds=5, max_depth=2)
+        ).fit(X[:600], y[:600], eval_set=(X[600:], y[600:]))
+        assert len(model.trees_) < 500
+        assert model.best_iteration_ is not None
+
+    def test_predict_uses_best_iteration(self, friedman):
+        X, y = friedman
+        model = GBDTRegressor(
+            GBDTParams(n_estimators=200, early_stopping_rounds=10, max_depth=2)
+        ).fit(X[:600], y[:600], eval_set=(X[600:], y[600:]))
+        best = model.best_iteration_
+        full = model.predict(X[600:], n_trees=len(model.trees_))
+        best_pred = model.predict(X[600:])
+        trunc = model.predict(X[600:], n_trees=best + 1)
+        np.testing.assert_array_equal(best_pred, trunc)
+        # best-iteration predictions shouldn't be much worse than full
+        yv = y[600:]
+        assert np.mean((best_pred - yv) ** 2) <= np.mean((full - yv) ** 2) + 1e-6
+
+
+class TestPredict:
+    def test_predict_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            GBDTRegressor().predict(np.zeros((1, 2)))
+
+    def test_predict_1d_input(self, friedman):
+        X, y = friedman
+        model = GBDTRegressor(GBDTParams(n_estimators=5)).fit(X, y)
+        out = model.predict(X[0])
+        assert out.shape == (1,)
+
+    def test_feature_importances(self, friedman):
+        X, y = friedman
+        model = GBDTRegressor(GBDTParams(n_estimators=30, max_depth=4)).fit(X, y)
+        imp = model.feature_importances()
+        assert imp.shape == (5,)
+        assert imp.sum() == pytest.approx(1.0)
+        # features 0,1,3 carry the most signal in Friedman #1
+        assert imp[:2].sum() + imp[3] > imp[4]
+
+    def test_importances_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            GBDTRegressor().feature_importances()

@@ -1,0 +1,126 @@
+"""Tests for Levenshtein distance and job-name bucketing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import NameBucketizer, levenshtein, levenshtein_ratio, similar_names
+
+
+def _reference_levenshtein(a: str, b: str) -> int:
+    """Textbook O(nm) DP for cross-checking."""
+    dp = list(range(len(b) + 1))
+    for i, ca in enumerate(a, 1):
+        prev = dp[0]
+        dp[0] = i
+        for j, cb in enumerate(b, 1):
+            cur = dp[j]
+            dp[j] = min(dp[j] + 1, dp[j - 1] + 1, prev + (ca != cb))
+            prev = cur
+    return dp[-1]
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a,b,expect",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("abc", "", 3),
+            ("", "xyz", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("gumbo", "gambol", 2),
+            ("train_v1", "train_v2", 1),
+            ("resnet50_train", "resnet101_train", 2),
+        ],
+    )
+    def test_known_cases(self, a, b, expect):
+        assert levenshtein(a, b) == expect
+
+    def test_symmetry(self):
+        assert levenshtein("abcdef", "azced") == levenshtein("azced", "abcdef")
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.text(max_size=12), st.text(max_size=12))
+    def test_matches_reference(self, a, b):
+        assert levenshtein(a, b) == _reference_levenshtein(a, b)
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.text(max_size=10), st.text(max_size=10), st.text(max_size=10))
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+
+class TestRatio:
+    def test_identical(self):
+        assert levenshtein_ratio("x", "x") == 1.0
+        assert levenshtein_ratio("", "") == 1.0
+
+    def test_disjoint(self):
+        assert levenshtein_ratio("aaa", "bbb") == 0.0
+
+    def test_range(self):
+        assert 0.0 <= levenshtein_ratio("hello", "help") <= 1.0
+
+
+class TestSimilarNames:
+    def test_finds_variants(self):
+        cands = ["train_v1", "train_v2", "eval_run", "totally_different_name"]
+        hits = similar_names("train_v3", cands, threshold=0.7)
+        assert "train_v1" in hits and "train_v2" in hits
+        assert "totally_different_name" not in hits
+
+    def test_empty_candidates(self):
+        assert similar_names("x", [], 0.5) == []
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            similar_names("x", ["y"], threshold=1.5)
+
+    def test_length_prefilter_consistent(self):
+        """The length-based pruning must not drop true positives."""
+        cands = ["ab", "abcdefgh", "abcd"]
+        naive = [c for c in cands if levenshtein_ratio("abcde", c) >= 0.6]
+        assert similar_names("abcde", cands, 0.6) == naive
+
+
+class TestNameBucketizer:
+    def test_canonicalize(self):
+        assert NameBucketizer.canonicalize("Train_12a") == "train_#a"
+        assert NameBucketizer.canonicalize("v1_2_3") == "v#_#_#"
+        assert NameBucketizer.canonicalize("no-digits") == "no-digits"
+
+    def test_numbered_variants_share_bucket(self):
+        b = NameBucketizer()
+        ids = b.fit_transform(["exp_1", "exp_2", "exp_37"])
+        assert len(set(ids.tolist())) == 1
+
+    def test_distinct_names_get_distinct_buckets(self):
+        b = NameBucketizer(threshold=0.8)
+        ids = b.fit_transform(["resnet_training", "bert_pretrain_wiki"])
+        assert ids[0] != ids[1]
+
+    def test_unseen_names_assigned_online(self):
+        b = NameBucketizer()
+        b.fit(["alpha_run"])
+        out = b.transform(["alpha_run", "zzz_completely_new"])
+        assert out[0] == 0
+        assert out[1] == 1
+        assert b.n_buckets == 2
+
+    def test_max_buckets_overflow(self):
+        b = NameBucketizer(threshold=1.0, max_buckets=2)
+        ids = b.fit_transform(["aaaa", "bbbb", "cccc", "dddd"])
+        assert ids.max() <= 1
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            NameBucketizer(threshold=0.0)
+
+    def test_deterministic(self):
+        names = ["job_%d" % i for i in range(20)] + ["eval_x", "eval_y"]
+        a = NameBucketizer().fit_transform(names)
+        b = NameBucketizer().fit_transform(names)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,155 @@
+"""Tests for the binner and histogram regression tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import Binner, RegressionTree, TreeParams
+
+
+class TestBinner:
+    def test_fit_transform_shape(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 3))
+        b = Binner(max_bins=16)
+        Xb = b.fit_transform(X)
+        assert Xb.shape == X.shape
+        assert Xb.dtype == np.int32
+        assert Xb.max() < 16
+
+    def test_monotone_binning(self):
+        X = np.linspace(0, 1, 50).reshape(-1, 1)
+        Xb = Binner(max_bins=8).fit_transform(X)
+        assert np.all(np.diff(Xb[:, 0]) >= 0)
+
+    def test_constant_feature_single_bin(self):
+        X = np.ones((20, 1))
+        Xb = Binner(max_bins=8).fit_transform(X)
+        assert set(Xb[:, 0].tolist()) <= {0}
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            Binner().transform(np.zeros((2, 2)))
+
+    def test_invalid_max_bins(self):
+        with pytest.raises(ValueError):
+            Binner(max_bins=1)
+
+    def test_transform_unseen_values_clip_into_range(self):
+        b = Binner(max_bins=4).fit(np.arange(10.0).reshape(-1, 1))
+        out = b.transform(np.array([[-100.0], [100.0]]))
+        assert out.min() >= 0
+        assert out.max() <= b.n_bins - 1
+
+    def test_split_semantics_consistent(self):
+        """bin(x1) <= bin(x2) whenever x1 <= x2 across fit/transform data."""
+        rng = np.random.default_rng(3)
+        train = rng.normal(size=(200, 1))
+        b = Binner(max_bins=32).fit(train)
+        test = np.sort(rng.normal(size=(50, 1)), axis=0)
+        bins = b.transform(test)[:, 0]
+        assert np.all(np.diff(bins) >= 0)
+
+
+class TestTreeParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TreeParams(max_depth=0)
+        with pytest.raises(ValueError):
+            TreeParams(min_samples_leaf=0)
+
+
+class TestRegressionTree:
+    def _fit(self, X, y, **kw):
+        b = Binner(max_bins=64)
+        Xb = b.fit_transform(X)
+        tree = RegressionTree(TreeParams(**kw)).fit(Xb, y)
+        return tree, b
+
+    def test_perfect_step_function(self):
+        X = np.linspace(0, 1, 200).reshape(-1, 1)
+        y = (X[:, 0] > 0.5).astype(float)
+        tree, b = self._fit(X, y, max_depth=2, min_samples_leaf=5)
+        pred = tree.predict_binned(b.transform(X))
+        assert np.mean((pred - y) ** 2) < 1e-6
+
+    def test_stump_on_constant_target(self):
+        X = np.random.default_rng(0).normal(size=(100, 2))
+        y = np.full(100, 7.0)
+        tree, b = self._fit(X, y)
+        assert tree.n_leaves == 1
+        np.testing.assert_allclose(tree.predict_binned(b.transform(X)), 7.0)
+
+    def test_depth_limit_respected(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(500, 3))
+        y = rng.normal(size=500)
+        tree, _ = self._fit(X, y, max_depth=3, min_samples_leaf=2)
+        assert tree.depth <= 3
+
+    def test_min_samples_leaf(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 1))
+        y = rng.normal(size=100)
+        tree, b = self._fit(X, y, max_depth=8, min_samples_leaf=30)
+        Xb = b.transform(X)
+        leaves = {}
+        pred = tree.predict_binned(Xb)
+        for v in np.unique(pred):
+            leaves[v] = int(np.sum(pred == v))
+        assert min(leaves.values()) >= 30
+
+    def test_prediction_reduces_variance(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(-2, 2, size=(1000, 2))
+        y = np.sin(X[:, 0]) + 0.1 * rng.normal(size=1000)
+        tree, b = self._fit(X, y, max_depth=6, min_samples_leaf=10)
+        pred = tree.predict_binned(b.transform(X))
+        assert np.mean((pred - y) ** 2) < 0.5 * np.var(y)
+
+    def test_sample_indices_subsetting(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 1))
+        y = X[:, 0].copy()
+        b = Binner(max_bins=32)
+        Xb = b.fit_transform(X)
+        idx = np.arange(100)
+        tree = RegressionTree(TreeParams(max_depth=2)).fit(Xb, y, sample_indices=idx)
+        assert tree.n_nodes >= 1
+
+    def test_empty_fit_gives_zero_stump(self):
+        tree = RegressionTree().fit(np.zeros((0, 2), dtype=np.int32), np.zeros(0))
+        assert tree.n_leaves == 1
+        assert tree.predict_binned(np.zeros((3, 2), dtype=np.int32)).tolist() == [0, 0, 0]
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.zeros((5, 2), dtype=np.int32), np.zeros(4))
+
+    def test_predict_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict_binned(np.zeros((1, 1), dtype=np.int32))
+
+    def test_feature_gains_identify_signal(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(500, 3))
+        y = 10.0 * X[:, 1]  # only feature 1 matters
+        tree, _ = self._fit(X, y, max_depth=4)
+        gains = tree.feature_gains()
+        assert np.argmax(gains) == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=999))
+    def test_leaf_prediction_is_mean_property(self, seed):
+        """Property: per-leaf predictions equal the mean target in that leaf."""
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(120, 2))
+        y = rng.normal(size=120)
+        b = Binner(max_bins=16)
+        Xb = b.fit_transform(X)
+        tree = RegressionTree(TreeParams(max_depth=3, min_samples_leaf=5)).fit(Xb, y)
+        pred = tree.predict_binned(Xb)
+        for v in np.unique(pred):
+            mask = pred == v
+            assert y[mask].mean() == pytest.approx(v, abs=1e-9)

@@ -1,0 +1,144 @@
+"""Tests for the QSSF duration estimators (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.frame import Table
+from repro.sched import MLEstimator, RollingEstimator
+
+
+def make_history(rows):
+    """rows: (user, name, gpus, duration, submit)."""
+    n = len(rows)
+    return Table(
+        {
+            "job_id": np.array([f"h{i}" for i in range(n)]),
+            "cluster": np.full(n, "T"),
+            "vc": np.full(n, "vc0"),
+            "user": np.array([r[0] for r in rows]),
+            "name": np.array([r[1] for r in rows]),
+            "gpu_num": np.array([r[2] for r in rows], dtype=np.int64),
+            "cpu_num": np.array([r[2] * 6 for r in rows], dtype=np.int64),
+            "node_num": np.ones(n, dtype=np.int64),
+            "submit_time": np.array([r[4] for r in rows], dtype=np.int64),
+            "duration": np.array([float(r[3]) for r in rows]),
+            "status": np.full(n, "completed"),
+        }
+    )
+
+
+class TestRollingEstimator:
+    def test_exact_name_match_uses_decay(self):
+        est = RollingEstimator(decay=0.5).fit(
+            make_history(
+                [("u1", "train_r_1", 1, 100.0, 0), ("u1", "train_r_2", 1, 200.0, 10)]
+            )
+        )
+        # canonical form matches; newest (200) weighted 1, older 0.5.
+        expect = (200 * 1.0 + 100 * 0.5) / 1.5
+        assert est.estimate("u1", "train_r_3", 1) == pytest.approx(expect)
+
+    def test_new_user_falls_back_to_gpu_demand(self):
+        est = RollingEstimator().fit(
+            make_history(
+                [("u1", "a", 1, 100.0, 0), ("u2", "b", 8, 5000.0, 1)]
+            )
+        )
+        assert est.estimate("stranger", "anything", 8) == pytest.approx(5000.0)
+        assert est.estimate("stranger", "anything", 1) == pytest.approx(100.0)
+
+    def test_new_user_unseen_demand_gets_global_mean(self):
+        est = RollingEstimator().fit(make_history([("u1", "a", 1, 100.0, 0)]))
+        assert est.estimate("stranger", "x", 64) == pytest.approx(100.0)
+
+    def test_known_user_new_name_uses_same_demand_jobs(self):
+        est = RollingEstimator().fit(
+            make_history(
+                [
+                    ("u1", "alpha_job", 1, 100.0, 0),
+                    ("u1", "beta_run", 8, 9000.0, 1),
+                ]
+            )
+        )
+        # A brand-new name for u1 with 8 GPUs -> u1's 8-GPU average.
+        assert est.estimate("u1", "zzz_qqq_www", 8) == pytest.approx(9000.0)
+
+    def test_fuzzy_name_match(self):
+        est = RollingEstimator(similarity_threshold=0.6).fit(
+            make_history([("u1", "train_resnet_run", 1, 500.0, 0)])
+        )
+        assert est.estimate("u1", "train_resnet_runx", 1) == pytest.approx(500.0)
+
+    def test_empty_history_ties(self):
+        est = RollingEstimator()
+        assert est.estimate("u", "n", 4) == 1.0
+
+    def test_online_update(self):
+        est = RollingEstimator().fit(make_history([("u1", "a_1", 1, 100.0, 0)]))
+        est.update("u1", "a_2", 1, 300.0)
+        assert est.estimate("u1", "a_3", 1) > 100.0
+
+    def test_estimate_many_matches_scalar(self):
+        hist = make_history(
+            [("u1", "j_1", 1, 50.0, 0), ("u2", "k_1", 2, 500.0, 1)]
+        )
+        est = RollingEstimator().fit(hist)
+        batch = est.estimate_many(hist)
+        singles = [
+            est.estimate("u1", "j_1", 1),
+            est.estimate("u2", "k_1", 2),
+        ]
+        np.testing.assert_allclose(batch, singles)
+
+    def test_decay_validation(self):
+        with pytest.raises(ValueError):
+            RollingEstimator(decay=0.0)
+
+
+class TestMLEstimator:
+    def _synthetic_history(self, n=800, seed=0):
+        """Recurrent jobs whose duration depends on name and gpus."""
+        rng = np.random.default_rng(seed)
+        base = {"shortjob": 60.0, "mediumjob": 1200.0, "longjob": 30000.0}
+        names = rng.choice(list(base), size=n)
+        gpus = rng.choice([1, 2, 4, 8], size=n)
+        durations = np.array(
+            [base[nm] * g**0.5 * rng.lognormal(0, 0.2) for nm, g in zip(names, gpus)]
+        )
+        users = rng.choice(["ua", "ub", "uc"], size=n)
+        rows = [
+            (users[i], f"{names[i]}_{i}", int(gpus[i]), float(durations[i]), i * 60)
+            for i in range(n)
+        ]
+        return make_history(rows)
+
+    def test_learns_name_duration_structure(self):
+        hist = self._synthetic_history()
+        est = MLEstimator().fit(hist)
+        pred = est.estimate_many(hist)
+        true = hist["duration"]
+        # Order-of-magnitude correctness: log-space correlation is high.
+        corr = np.corrcoef(np.log(pred), np.log(true))[0, 1]
+        assert corr > 0.8
+
+    def test_predictions_positive(self):
+        hist = self._synthetic_history(200)
+        est = MLEstimator().fit(hist)
+        assert est.estimate_many(hist).min() >= 1.0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MLEstimator().estimate_many(self._synthetic_history(10))
+
+    def test_empty_history_raises(self):
+        hist = self._synthetic_history(5).filter(np.zeros(5, dtype=bool))
+        with pytest.raises(ValueError):
+            MLEstimator().fit(hist)
+
+    def test_generalizes_to_unseen_instances(self):
+        hist = self._synthetic_history(600, seed=1)
+        est = MLEstimator().fit(hist)
+        future = self._synthetic_history(200, seed=2)
+        pred = est.estimate_many(future)
+        corr = np.corrcoef(np.log(pred), np.log(future["duration"]))[0, 1]
+        assert corr > 0.7

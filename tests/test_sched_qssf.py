@@ -1,0 +1,139 @@
+"""End-to-end tests for QSSF scheduling (Algorithm 1 + simulator)."""
+
+import numpy as np
+import pytest
+
+from repro.sched import (
+    FIFOScheduler,
+    NoisyOracleScheduler,
+    OracleGpuTimeScheduler,
+    QSSFScheduler,
+    SJFScheduler,
+    compute_metrics,
+    queue_delay_ratio_by_group,
+    queuing_by_vc,
+)
+from repro.sim import Simulator
+from repro.traces import HeliosTraceGenerator, SynthParams, is_gpu_job, split_train_eval
+
+from .test_sim_engine import make_spec, make_trace
+
+
+@pytest.fixture(scope="module")
+def venus_setup():
+    """Small Venus workload: train on month 0, evaluate month 1."""
+    gen = HeliosTraceGenerator(SynthParams(months=2, scale=0.1, seed=21))
+    trace = gen.generate_cluster("Venus")
+    gpu = trace.filter(is_gpu_job(trace))
+    train, evalp = split_train_eval(gpu, eval_month=1)
+    return gen.specs["Venus"], train, evalp
+
+
+class TestQSSFScheduler:
+    def test_lambda_validation(self, venus_setup):
+        _, train, _ = venus_setup
+        with pytest.raises(ValueError):
+            QSSFScheduler(train, lam=1.5)
+
+    def test_priorities_scale_with_gpu_demand(self, venus_setup):
+        """Priority is GPU time: same duration estimate, more GPUs ->
+        larger priority value (scheduled later)."""
+        _, train, evalp = venus_setup
+        sched = QSSFScheduler(train, lam=1.0)  # rolling only (fast)
+        pred_dur = sched.predicted_durations(evalp)
+        pri = sched.priorities(evalp)
+        np.testing.assert_allclose(pri, pred_dur * evalp["gpu_num"], rtol=1e-12)
+
+    def test_prediction_correlates_with_truth(self, venus_setup):
+        _, train, evalp = venus_setup
+        sched = QSSFScheduler(train, lam=0.5)
+        pred = sched.predicted_durations(evalp)
+        true = evalp["duration"]
+        corr = np.corrcoef(np.log(pred + 1), np.log(true + 1))[0, 1]
+        assert corr > 0.35
+
+    def test_observe_updates_rolling(self, venus_setup):
+        _, train, _ = venus_setup
+        sched = QSSFScheduler(train, lam=1.0)
+        before = sched.rolling.estimate("brand_new_user", "fresh_job", 1)
+        sched.observe("brand_new_user", "fresh_job_1", 1, 77777.0)
+        after = sched.rolling.estimate("brand_new_user", "fresh_job_2", 1)
+        assert after != before
+        assert after == pytest.approx(77777.0)
+
+
+class TestQSSFImprovesOnFIFO:
+    def test_jct_between_fifo_and_sjf(self, venus_setup):
+        """The headline result (Table 3): QSSF ~ SJF, both >> FIFO."""
+        spec, train, evalp = venus_setup
+        fifo = compute_metrics("FIFO", Simulator(spec, FIFOScheduler()).run(evalp))
+        sjf = compute_metrics("SJF", Simulator(spec, SJFScheduler()).run(evalp))
+        qssf_s = QSSFScheduler(train, lam=0.5)
+        qssf = compute_metrics("QSSF", Simulator(spec, qssf_s).run(evalp))
+        # Queueing (what QSSF attacks) improves dramatically; JCT
+        # improves by whatever share queueing holds of it.
+        assert qssf.avg_queue_time < 0.6 * fifo.avg_queue_time
+        assert qssf.avg_jct < fifo.avg_jct
+        assert qssf.avg_jct < 3.0 * sjf.avg_jct  # comparable with oracle
+
+    def test_all_duration_groups_benefit(self, venus_setup):
+        """Table 4: short > middle > long improvements, all >= 1."""
+        spec, train, evalp = venus_setup
+        fifo_res = Simulator(spec, FIFOScheduler()).run(evalp)
+        qssf_res = Simulator(spec, QSSFScheduler(train, lam=0.5)).run(evalp)
+        ratios = queue_delay_ratio_by_group(fifo_res, qssf_res)
+        assert ratios["short-term"] > 1.0
+        assert ratios["short-term"] > ratios["long-term"]
+
+
+class TestOracles:
+    def test_oracle_gpu_time_ranks_perfectly(self):
+        trace = make_trace([(0, 8, 100), (1, 1, 100), (2, 8, 1)])
+        pri = OracleGpuTimeScheduler().priorities(trace)
+        assert pri.tolist() == [800.0, 100.0, 8.0]
+
+    def test_noisy_oracle_deterministic_per_seed(self):
+        trace = make_trace([(0, 4, 50), (1, 2, 500)])
+        a = NoisyOracleScheduler(seed=3).priorities(trace)
+        b = NoisyOracleScheduler(seed=3).priorities(trace)
+        np.testing.assert_array_equal(a, b)
+        c = NoisyOracleScheduler(seed=4).priorities(trace)
+        assert not np.array_equal(a, c)
+
+    def test_noisy_oracle_validation(self):
+        with pytest.raises(ValueError):
+            NoisyOracleScheduler(log_error_sigma=-1.0)
+
+    def test_noisy_oracle_beats_fifo(self):
+        """The Philly protocol: noisy priorities still beat FIFO."""
+        rng = np.random.default_rng(5)
+        rows = [
+            (int(rng.integers(0, 2000)), int(2 ** rng.integers(0, 4)),
+             float(rng.lognormal(4.5, 1.6)))
+            for _ in range(400)
+        ]
+        trace = make_trace(rows)
+        spec = make_spec(nodes=2)
+        fifo = compute_metrics(
+            "FIFO", Simulator(spec, FIFOScheduler()).run(trace)
+        )
+        noisy = compute_metrics(
+            "QSSF", Simulator(spec, NoisyOracleScheduler(seed=1)).run(trace)
+        )
+        assert noisy.avg_jct < fifo.avg_jct
+
+
+class TestVCMetrics:
+    def test_queuing_by_vc(self, venus_setup):
+        spec, _, evalp = venus_setup
+        res = Simulator(spec, FIFOScheduler()).run(evalp)
+        by_vc = queuing_by_vc(res)
+        assert set(by_vc["vc"]) <= {vc.name for vc in spec.vcs}
+        assert int(by_vc["num_jobs"].sum()) == len(evalp)
+
+    def test_ratio_requires_same_trace(self, venus_setup):
+        spec, _, evalp = venus_setup
+        r1 = Simulator(spec, FIFOScheduler()).run(evalp)
+        r2 = Simulator(spec, FIFOScheduler()).run(evalp.slice(0, len(evalp) - 1))
+        with pytest.raises(ValueError):
+            queue_delay_ratio_by_group(r1, r2)

@@ -1,0 +1,96 @@
+"""Tests for replay telemetry (utilization / node series)."""
+
+import numpy as np
+import pytest
+
+from repro.sched import FIFOScheduler
+from repro.sim import (
+    Simulator,
+    busy_gpus_series,
+    node_busy_intervals,
+    running_nodes_series,
+    utilization_series,
+)
+from repro.stats import TimeGrid
+
+from .test_sim_engine import make_spec, make_trace
+
+
+class TestUtilization:
+    def test_single_job_utilization(self):
+        res = Simulator(make_spec(nodes=2), FIFOScheduler()).run(
+            make_trace([(0, 8, 100)])
+        )
+        grid = TimeGrid(0.0, 50.0, 4)
+        util = utilization_series(res, grid)
+        np.testing.assert_allclose(util, [0.5, 0.5, 0.0, 0.0])
+
+    def test_busy_gpus(self):
+        res = Simulator(make_spec(nodes=2), FIFOScheduler()).run(
+            make_trace([(0, 8, 100), (0, 4, 100)])
+        )
+        grid = TimeGrid(0.0, 100.0, 2)
+        np.testing.assert_allclose(busy_gpus_series(res, grid), [12.0, 0.0])
+
+    def test_empty_result(self):
+        res = Simulator(make_spec(), FIFOScheduler()).run(make_trace([]))
+        grid = TimeGrid(0.0, 10.0, 2)
+        assert utilization_series(res, grid).tolist() == [0.0, 0.0]
+
+    def test_requires_intervals(self):
+        res = Simulator(
+            make_spec(), FIFOScheduler(), collect_node_intervals=False
+        ).run(make_trace([(0, 1, 10)]))
+        with pytest.raises(ValueError, match="collect_node_intervals"):
+            utilization_series(res, TimeGrid(0.0, 10.0, 1))
+
+
+class TestNodeBusyIntervals:
+    def test_merges_overlaps(self):
+        # Two jobs overlap on the same node (1 GPU each).
+        res = Simulator(make_spec(nodes=1), FIFOScheduler()).run(
+            make_trace([(0, 1, 100), (50, 1, 100)])
+        )
+        busy = node_busy_intervals(res)
+        assert len(busy) == 1
+        assert busy["start"][0] == 0.0
+        assert busy["end"][0] == 150.0
+
+    def test_gap_produces_two_intervals(self):
+        res = Simulator(make_spec(nodes=1), FIFOScheduler()).run(
+            make_trace([(0, 1, 10), (100, 1, 10)])
+        )
+        busy = node_busy_intervals(res)
+        assert len(busy) == 2
+        assert busy["end"].tolist() == [10.0, 110.0]
+
+    def test_multiple_nodes(self):
+        res = Simulator(make_spec(nodes=2), FIFOScheduler()).run(
+            make_trace([(0, 8, 10), (0, 8, 20)])
+        )
+        busy = node_busy_intervals(res)
+        assert len(busy) == 2
+        assert sorted(busy["end"].tolist()) == [10.0, 20.0]
+
+    def test_empty(self):
+        res = Simulator(make_spec(), FIFOScheduler()).run(make_trace([]))
+        assert len(node_busy_intervals(res)) == 0
+
+
+class TestRunningNodes:
+    def test_counts_nodes_not_gpus(self):
+        res = Simulator(make_spec(nodes=2), FIFOScheduler()).run(
+            make_trace([(0, 1, 100), (0, 1, 100), (0, 8, 100)])
+        )
+        grid = TimeGrid(0.0, 50.0, 4)
+        nodes = running_nodes_series(res, grid)
+        # Two 1-GPU jobs pack on one node; the 8-GPU job takes the other.
+        np.testing.assert_allclose(nodes, [2.0, 2.0, 0.0, 0.0])
+
+    def test_zero_after_all_done(self):
+        res = Simulator(make_spec(nodes=1), FIFOScheduler()).run(
+            make_trace([(0, 1, 10)])
+        )
+        grid = TimeGrid(0.0, 10.0, 3)
+        nodes = running_nodes_series(res, grid)
+        assert nodes[0] == 1.0 and nodes[-1] == 0.0

@@ -1,0 +1,154 @@
+"""Tests for distribution primitives and metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import (
+    Categorical,
+    EmpiricalCDF,
+    LogNormal,
+    LogNormalMixture,
+    mae,
+    mape,
+    powerlaw_weights,
+    quantile_abs_error,
+    r2_score,
+    rmse,
+    smape,
+)
+
+
+class TestEmpiricalCDF:
+    def test_basic(self):
+        cdf = EmpiricalCDF([1.0, 2.0, 3.0, 4.0])
+        assert cdf(0.5) == 0.0
+        assert cdf(2.0) == 0.5
+        assert cdf(100.0) == 1.0
+
+    def test_vectorized(self):
+        cdf = EmpiricalCDF([1.0, 2.0])
+        np.testing.assert_allclose(cdf(np.array([1.0, 1.5, 2.0])), [0.5, 0.5, 1.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([])
+
+    def test_median_mean(self):
+        cdf = EmpiricalCDF([1.0, 3.0])
+        assert cdf.median() == 2.0
+        assert cdf.mean() == 2.0
+
+    def test_curve_monotone(self):
+        rng = np.random.default_rng(1)
+        cdf = EmpiricalCDF(rng.lognormal(3, 2, size=500))
+        xs, ys = cdf.curve(100)
+        assert np.all(np.diff(xs) > 0)
+        assert np.all(np.diff(ys) >= 0)
+        assert ys[-1] == pytest.approx(1.0)
+
+    def test_quantile_inverts(self):
+        cdf = EmpiricalCDF(np.arange(1, 101, dtype=float))
+        assert cdf.quantile(0.5) == pytest.approx(50.5)
+
+
+class TestSamplers:
+    def test_lognormal_median(self):
+        rng = np.random.default_rng(0)
+        s = LogNormal(median=100.0, sigma=1.0).sample(rng, 40_000)
+        assert np.median(s) == pytest.approx(100.0, rel=0.05)
+
+    def test_lognormal_truncation(self):
+        rng = np.random.default_rng(0)
+        s = LogNormal(median=100.0, sigma=2.0, low=10.0, high=1000.0).sample(rng, 5000)
+        assert s.min() >= 10.0 and s.max() <= 1000.0
+
+    def test_mixture_weights_validate(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            LogNormalMixture((LogNormal(1, 1), LogNormal(2, 1)), (0.5, 0.6))
+
+    def test_mixture_component_count_validates(self):
+        with pytest.raises(ValueError, match="align"):
+            LogNormalMixture((LogNormal(1, 1),), (0.5, 0.5))
+
+    def test_mixture_sampling_is_bimodal(self):
+        rng = np.random.default_rng(0)
+        mix = LogNormalMixture(
+            (LogNormal(1.0, 0.1), LogNormal(10_000.0, 0.1)), (0.5, 0.5)
+        )
+        s = mix.sample(rng, 4000)
+        frac_small = np.mean(s < 100.0)
+        assert 0.4 < frac_small < 0.6
+
+    def test_categorical(self):
+        rng = np.random.default_rng(0)
+        cat = Categorical(values=(1, 2, 8), probs=(0.6, 0.3, 0.1))
+        s = cat.sample(rng, 20_000)
+        assert np.mean(s == 1) == pytest.approx(0.6, abs=0.02)
+        assert cat.prob_of(8) == 0.1
+        assert cat.prob_of(99) == 0.0
+
+    def test_categorical_validates(self):
+        with pytest.raises(ValueError):
+            Categorical(values=(1, 2), probs=(0.9, 0.2))
+
+    def test_powerlaw_weights(self):
+        w = powerlaw_weights(100, alpha=1.5)
+        assert w.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(w) <= 0)  # unshuffled is descending
+        # heavy head: top 5% of 100 users hold a large share
+        assert w[:5].sum() > 0.4
+
+    def test_powerlaw_invalid(self):
+        with pytest.raises(ValueError):
+            powerlaw_weights(0, 1.0)
+
+
+class TestMetrics:
+    def test_smape_perfect(self):
+        assert smape([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_smape_symmetric(self):
+        a = smape([100.0], [110.0])
+        b = smape([110.0], [100.0])
+        assert a == pytest.approx(b)
+
+    def test_smape_zero_pairs_ok(self):
+        assert smape([0.0, 1.0], [0.0, 1.0]) == 0.0
+
+    def test_smape_bounded(self):
+        assert smape([1.0], [-1.0]) <= 200.0
+
+    def test_mape_basic(self):
+        assert mape([100.0, 200.0], [110.0, 180.0]) == pytest.approx(10.0)
+
+    def test_mape_all_zero_true_raises(self):
+        with pytest.raises(ValueError):
+            mape([0.0], [1.0])
+
+    def test_mae_rmse(self):
+        assert mae([0.0, 0.0], [3.0, -3.0]) == 3.0
+        assert rmse([0.0, 0.0], [3.0, -3.0]) == 3.0
+
+    def test_r2_perfect_and_mean(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == 1.0
+        assert r2_score(y, np.full(3, y.mean())) == pytest.approx(0.0)
+
+    def test_quantile_abs_error(self):
+        err = quantile_abs_error(np.zeros(100), np.arange(100.0), q=0.5)
+        assert err == pytest.approx(49.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mae([1.0], [1.0, 2.0])
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=9999))
+    def test_smape_range_property(self, seed):
+        rng = np.random.default_rng(seed)
+        t = rng.normal(size=20)
+        p = rng.normal(size=20)
+        v = smape(t, p)
+        assert 0.0 <= v <= 200.0

@@ -1,0 +1,162 @@
+"""Tests for interval -> time-series conversion and rolling ops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import (
+    TimeGrid,
+    hourly_profile,
+    interval_concurrency,
+    interval_load,
+    resample_mean,
+    rolling_mean,
+    rolling_std,
+)
+
+
+class TestTimeGrid:
+    def test_covering(self):
+        g = TimeGrid.covering(0.0, 100.0, 10.0)
+        assert g.bins == 10
+        assert g.edges[0] == 0.0 and g.edges[-1] == 100.0
+
+    def test_covering_rounds_up(self):
+        g = TimeGrid.covering(0.0, 95.0, 10.0)
+        assert g.bins == 10
+
+    def test_covering_invalid(self):
+        with pytest.raises(ValueError):
+            TimeGrid.covering(10.0, 10.0, 1.0)
+
+    def test_index_of_clips(self):
+        g = TimeGrid(0.0, 10.0, 5)
+        idx = g.index_of(np.array([-5.0, 0.0, 49.9, 200.0]))
+        assert idx.tolist() == [0, 0, 4, 4]
+
+    def test_centers(self):
+        g = TimeGrid(0.0, 2.0, 3)
+        assert g.centers.tolist() == [1.0, 3.0, 5.0]
+
+
+class TestIntervalLoad:
+    def test_full_bin_interval(self):
+        g = TimeGrid(0.0, 10.0, 4)
+        # one unit-weight job covering exactly bin 1
+        load = interval_load(g, np.array([10.0]), np.array([20.0]))
+        assert load.tolist() == [0.0, 1.0, 0.0, 0.0]
+
+    def test_partial_bins(self):
+        g = TimeGrid(0.0, 10.0, 3)
+        load = interval_load(g, np.array([5.0]), np.array([25.0]))
+        np.testing.assert_allclose(load, [0.5, 1.0, 0.5])
+
+    def test_weighting(self):
+        g = TimeGrid(0.0, 10.0, 2)
+        load = interval_load(
+            g, np.array([0.0]), np.array([20.0]), weights=np.array([8.0])
+        )
+        np.testing.assert_allclose(load, [8.0, 8.0])
+
+    def test_within_one_bin(self):
+        g = TimeGrid(0.0, 10.0, 2)
+        load = interval_load(g, np.array([2.0]), np.array([4.0]))
+        np.testing.assert_allclose(load, [0.2, 0.0])
+
+    def test_clip_outside_grid(self):
+        g = TimeGrid(0.0, 10.0, 2)
+        load = interval_load(g, np.array([-100.0]), np.array([100.0]))
+        np.testing.assert_allclose(load, [1.0, 1.0])
+
+    def test_empty(self):
+        g = TimeGrid(0.0, 10.0, 2)
+        load = interval_load(g, np.array([]), np.array([]))
+        assert load.tolist() == [0.0, 0.0]
+
+    def test_conservation_of_gpu_time(self):
+        """Total load*dt equals total weighted duration (inside the grid)."""
+        rng = np.random.default_rng(0)
+        g = TimeGrid(0.0, 7.0, 50)
+        s = rng.uniform(0, 300, 200)
+        e = s + rng.uniform(0.1, 60, 200)
+        e = np.minimum(e, 350.0)
+        w = rng.integers(1, 9, 200).astype(float)
+        load = interval_load(g, s, e, w)
+        expected = np.sum(w * (np.clip(e, 0, 350) - np.clip(s, 0, 350)))
+        assert load.sum() * g.dt == pytest.approx(expected, rel=1e-9)
+
+
+class TestConcurrency:
+    def test_simple(self):
+        g = TimeGrid(0.0, 1.0, 5)
+        s = np.array([0.0, 1.0, 1.0])
+        e = np.array([3.0, 2.0, 5.0])
+        conc = interval_concurrency(g, s, e)
+        assert conc.tolist() == [1.0, 3.0, 2.0, 1.0, 1.0]
+
+    def test_weighted(self):
+        g = TimeGrid(0.0, 1.0, 3)
+        conc = interval_concurrency(
+            g, np.array([0.0]), np.array([2.0]), weights=np.array([4.0])
+        )
+        assert conc.tolist() == [4.0, 4.0, 0.0]
+
+
+class TestRolling:
+    def test_rolling_mean_basic(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_allclose(rolling_mean(x, 2), [1.0, 1.5, 2.5, 3.5])
+
+    def test_rolling_mean_window_one(self):
+        x = np.array([5.0, 6.0])
+        np.testing.assert_allclose(rolling_mean(x, 1), x)
+
+    def test_rolling_mean_invalid_window(self):
+        with pytest.raises(ValueError):
+            rolling_mean(np.array([1.0]), 0)
+
+    def test_rolling_std_constant(self):
+        np.testing.assert_allclose(rolling_std(np.full(10, 3.0), 4), np.zeros(10))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        window=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    def test_rolling_mean_matches_reference(self, n, window, seed):
+        x = np.random.default_rng(seed).normal(size=n)
+        got = rolling_mean(x, window)
+        ref = [x[max(0, i - window + 1) : i + 1].mean() for i in range(n)]
+        np.testing.assert_allclose(got, ref, atol=1e-9)
+
+
+class TestProfiles:
+    def test_hourly_profile_counts(self):
+        times = np.array([0, 3600, 3600, 7200], dtype=np.int64)
+        prof = hourly_profile(times)
+        assert prof[0] == 1 and prof[1] == 2 and prof[2] == 1
+
+    def test_hourly_profile_values(self):
+        times = np.array([0, 0, 3600], dtype=np.int64)
+        vals = np.array([1.0, 3.0, 10.0])
+        prof = hourly_profile(times, vals)
+        assert prof[0] == 2.0 and prof[1] == 10.0
+
+    def test_hourly_profile_wraps_days(self):
+        day = 86400
+        times = np.array([0, day, 2 * day], dtype=np.int64)
+        prof = hourly_profile(times)
+        assert prof[0] == 3
+
+    def test_resample_mean(self):
+        x = np.arange(10, dtype=float)
+        np.testing.assert_allclose(resample_mean(x, 5), [2.0, 7.0])
+
+    def test_resample_drops_tail(self):
+        np.testing.assert_allclose(resample_mean(np.arange(7.0), 3), [1.0, 4.0])
+
+    def test_resample_invalid(self):
+        with pytest.raises(ValueError):
+            resample_mean(np.arange(3.0), 0)

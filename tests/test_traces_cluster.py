@@ -1,0 +1,104 @@
+"""Tests for cluster/VC specifications."""
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    HELIOS_CLUSTER_TABLE,
+    ClusterSpec,
+    VCSpec,
+    helios_cluster_specs,
+    partition_vcs,
+    philly_cluster_spec,
+)
+
+
+class TestVCSpec:
+    def test_gpus(self):
+        vc = VCSpec("vcA", num_nodes=4, gpus_per_node=8)
+        assert vc.num_gpus == 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VCSpec("vcA", num_nodes=0, gpus_per_node=8)
+        with pytest.raises(ValueError):
+            VCSpec("vcA", num_nodes=1, gpus_per_node=0)
+
+
+class TestPartition:
+    def test_sizes_sum_to_total(self):
+        rng = np.random.default_rng(0)
+        vcs = partition_vcs("X", n_nodes=133, n_vcs=27, gpus_per_node=8, rng=rng)
+        assert sum(vc.num_nodes for vc in vcs) == 133
+        assert len(vcs) == 27
+
+    def test_every_vc_at_least_one_node(self):
+        rng = np.random.default_rng(1)
+        vcs = partition_vcs("X", n_nodes=10, n_vcs=10, gpus_per_node=8, rng=rng)
+        assert all(vc.num_nodes >= 1 for vc in vcs)
+
+    def test_vc_count_capped_by_nodes(self):
+        """VC count is cut so that VCs keep >= 2 nodes where possible."""
+        rng = np.random.default_rng(2)
+        vcs = partition_vcs("X", n_nodes=5, n_vcs=20, gpus_per_node=8, rng=rng)
+        assert len(vcs) == 2
+        assert sum(vc.num_nodes for vc in vcs) == 5
+
+    def test_skewed_sizes(self):
+        rng = np.random.default_rng(3)
+        vcs = partition_vcs("X", n_nodes=200, n_vcs=25, gpus_per_node=8, rng=rng)
+        sizes = sorted(vc.num_nodes for vc in vcs)
+        assert sizes[-1] >= 3 * sizes[0]  # heavy-tailed like Fig 4
+
+    def test_unique_names(self):
+        rng = np.random.default_rng(4)
+        vcs = partition_vcs("X", 50, 20, 8, rng)
+        names = [vc.name for vc in vcs]
+        assert len(set(names)) == len(names)
+
+
+class TestHeliosSpecs:
+    def test_full_scale_matches_table1(self):
+        specs = helios_cluster_specs(scale=1.0)
+        assert set(specs) == set(HELIOS_CLUSTER_TABLE)
+        for name, spec in specs.items():
+            row = HELIOS_CLUSTER_TABLE[name]
+            assert spec.num_nodes == row["nodes"]
+            assert spec.num_gpus == row["gpus"]
+            assert spec.num_vcs == row["vcs"]
+
+    def test_scaling(self):
+        specs = helios_cluster_specs(scale=0.25)
+        assert specs["Venus"].num_nodes == pytest.approx(133 * 0.25, abs=1)
+        assert specs["Venus"].num_vcs >= 3
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            helios_cluster_specs(scale=0.0)
+
+    def test_vc_lookup(self):
+        spec = helios_cluster_specs(scale=0.1)["Earth"]
+        vc = spec.vcs[0]
+        assert spec.vc(vc.name) is vc
+        with pytest.raises(KeyError):
+            spec.vc("nope")
+
+    def test_deterministic(self):
+        a = helios_cluster_specs(seed=5, scale=0.2)
+        b = helios_cluster_specs(seed=5, scale=0.2)
+        assert [vc.name for vc in a["Saturn"].vcs] == [vc.name for vc in b["Saturn"].vcs]
+
+
+class TestPhillySpec:
+    def test_shape(self):
+        spec = philly_cluster_spec(scale=1.0)
+        assert spec.name == "Philly"
+        assert spec.num_nodes == 552
+        assert spec.gpus_per_node == 4
+        assert spec.num_vcs == 14
+
+    def test_bigger_than_earth(self):
+        """Fig 15: Philly's node count is over twice Earth's."""
+        philly = philly_cluster_spec(scale=1.0)
+        earth = helios_cluster_specs(scale=1.0)["Earth"]
+        assert philly.num_nodes > 2 * earth.num_nodes

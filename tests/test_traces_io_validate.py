@@ -1,0 +1,132 @@
+"""Tests for trace IO, slicing, and the invariant validator."""
+
+import numpy as np
+import pytest
+
+from repro.frame import Table
+from repro.traces import (
+    HeliosTraceGenerator,
+    SynthParams,
+    TraceValidationError,
+    load_trace,
+    month_of,
+    save_trace,
+    slice_month,
+    slice_period,
+    split_train_eval,
+    validate_trace,
+)
+from repro.traces.schema import SECONDS_PER_DAY
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    gen = HeliosTraceGenerator(SynthParams(months=2, scale=0.04, seed=11))
+    return gen.generate_cluster("Venus")
+
+
+class TestIO:
+    def test_roundtrip(self, tmp_path, small_trace):
+        path = tmp_path / "venus.csv"
+        save_trace(small_trace, path)
+        back = load_trace(path)
+        assert len(back) == len(small_trace)
+        np.testing.assert_allclose(back["duration"], small_trace["duration"])
+        assert back["status"].tolist() == small_trace["status"].tolist()
+
+    def test_save_rejects_bad_schema(self, tmp_path):
+        with pytest.raises(ValueError, match="missing columns"):
+            save_trace(Table({"a": [1]}), tmp_path / "x.csv")
+
+
+class TestSlicing:
+    def test_slice_period(self, small_trace):
+        t0, t1 = 10 * SECONDS_PER_DAY, 20 * SECONDS_PER_DAY
+        sub = slice_period(small_trace, t0, t1)
+        assert np.all((sub["submit_time"] >= t0) & (sub["submit_time"] < t1))
+
+    def test_slice_period_validates(self, small_trace):
+        with pytest.raises(ValueError):
+            slice_period(small_trace, 10, 10)
+
+    def test_slice_month_partition(self, small_trace):
+        m0 = slice_month(small_trace, 0)
+        m1 = slice_month(small_trace, 1)
+        assert len(m0) + len(m1) == len(small_trace)
+
+    def test_slice_month_validates(self, small_trace):
+        with pytest.raises(ValueError):
+            slice_month(small_trace, -1)
+
+    def test_split_train_eval(self, small_trace):
+        train, ev = split_train_eval(small_trace, eval_month=1)
+        assert len(train) + len(ev) == len(small_trace)
+        assert train["submit_time"].max() < 30 * SECONDS_PER_DAY
+        assert ev["submit_time"].min() >= 30 * SECONDS_PER_DAY
+
+    def test_month_of(self):
+        t = np.array([0, 29 * SECONDS_PER_DAY, 30 * SECONDS_PER_DAY])
+        assert month_of(t).tolist() == [0, 0, 1]
+
+
+class TestValidator:
+    def _base(self):
+        return {
+            "job_id": np.array(["a", "b"]),
+            "cluster": np.array(["X", "X"]),
+            "vc": np.array(["v1", "v1"]),
+            "user": np.array(["u", "u"]),
+            "name": np.array(["n1", "n2"]),
+            "gpu_num": np.array([1, 0], dtype=np.int64),
+            "cpu_num": np.array([6, 2], dtype=np.int64),
+            "node_num": np.array([1, 1], dtype=np.int64),
+            "submit_time": np.array([0, 10], dtype=np.int64),
+            "duration": np.array([5.0, 5.0]),
+            "status": np.array(["completed", "failed"]),
+        }
+
+    def test_valid_passes(self):
+        validate_trace(Table(self._base()))
+
+    def test_empty_passes(self):
+        cols = {k: v[:0] for k, v in self._base().items()}
+        validate_trace(Table(cols))
+
+    def test_duplicate_ids(self):
+        cols = self._base()
+        cols["job_id"] = np.array(["a", "a"])
+        with pytest.raises(TraceValidationError, match="unique"):
+            validate_trace(Table(cols))
+
+    def test_negative_duration(self):
+        cols = self._base()
+        cols["duration"] = np.array([5.0, -1.0])
+        with pytest.raises(TraceValidationError, match="duration"):
+            validate_trace(Table(cols))
+
+    def test_bad_status(self):
+        cols = self._base()
+        cols["status"] = np.array(["completed", "exploded"])
+        with pytest.raises(TraceValidationError, match="status"):
+            validate_trace(Table(cols))
+
+    def test_cpu_job_without_cpus(self):
+        cols = self._base()
+        cols["cpu_num"] = np.array([6, 0], dtype=np.int64)
+        with pytest.raises(TraceValidationError, match="CPU"):
+            validate_trace(Table(cols))
+
+    def test_replayed_consistency(self):
+        cols = self._base()
+        cols["start_time"] = np.array([0.0, 12.0])
+        cols["end_time"] = np.array([5.0, 17.0])
+        cols["queue_delay"] = np.array([0.0, 2.0])
+        validate_trace(Table(cols), replayed=True)
+
+    def test_replayed_start_before_submit(self):
+        cols = self._base()
+        cols["start_time"] = np.array([-1.0, 12.0])
+        cols["end_time"] = np.array([4.0, 17.0])
+        cols["queue_delay"] = np.array([-1.0, 2.0])
+        with pytest.raises(TraceValidationError, match="before submission"):
+            validate_trace(Table(cols), replayed=True)

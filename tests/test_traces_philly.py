@@ -1,0 +1,79 @@
+"""Calibration tests for the Philly-like generator (Table 2 / Fig 1)."""
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    CANCELED,
+    COMPLETED,
+    FAILED,
+    PhillyParams,
+    PhillyTraceGenerator,
+    gpu_time,
+    validate_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return PhillyTraceGenerator(PhillyParams(days=30, scale=0.1, seed=5))
+
+
+@pytest.fixture(scope="module")
+def trace(gen):
+    return gen.generate()
+
+
+class TestInvariants:
+    def test_validates(self, gen, trace):
+        validate_trace(trace, gen.spec)
+
+    def test_no_cpu_jobs(self, trace):
+        """Table 2: Philly has 0 CPU jobs."""
+        assert trace["gpu_num"].min() >= 1
+
+    def test_deterministic(self):
+        p = PhillyParams(days=10, scale=0.05, seed=77)
+        a = PhillyTraceGenerator(p).generate()
+        b = PhillyTraceGenerator(p).generate()
+        assert a == b
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            PhillyParams(days=0)
+        with pytest.raises(ValueError):
+            PhillyParams(scale=0)
+
+
+class TestCalibration:
+    def test_avg_gpus_lower_than_helios(self, trace):
+        """Table 2: Philly averages ~1.75 GPUs/job (Helios ~3.7)."""
+        assert 1.3 <= trace["gpu_num"].mean() <= 2.6
+
+    def test_durations_longer_than_helios(self, trace):
+        """Table 2 / Fig 1a: Philly jobs statistically run longer."""
+        assert trace["duration"].mean() > 10_000
+        assert np.median(trace["duration"]) > 500
+
+    def test_max_size_bounded(self, trace):
+        assert trace["gpu_num"].max() <= 128
+
+    def test_failed_gpu_time_over_one_third(self, trace):
+        """Fig 1b: over one-third of Philly GPU time went to failed jobs
+        (vs ~9% in Helios)."""
+        gt = gpu_time(trace)
+        failed_share = gt[trace["status"] == FAILED].sum() / gt.sum()
+        assert failed_share > 0.25
+
+    def test_completed_share_below_helios(self, trace):
+        gt = gpu_time(trace)
+        completed_share = gt[trace["status"] == COMPLETED].sum() / gt.sum()
+        assert completed_share < 0.60
+
+    def test_offered_load_near_target(self, gen, trace):
+        offered = gpu_time(trace).sum() / (gen.spec.num_gpus * gen.params.horizon_seconds)
+        assert offered == pytest.approx(gen.params.target_utilization, abs=0.08)
+
+    def test_all_statuses_present(self, trace):
+        present = set(np.unique(trace["status"]))
+        assert present == {COMPLETED, CANCELED, FAILED}

@@ -1,0 +1,275 @@
+"""Calibration and invariant tests for the synthetic Helios generator.
+
+These assert the *paper-reported shapes* (loose bands, not exact numbers):
+see DESIGN.md §5 for the fidelity targets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.frame import top_k_share
+from repro.stats import hourly_profile
+from repro.traces import (
+    CANCELED,
+    COMPLETED,
+    FAILED,
+    HeliosTraceGenerator,
+    SynthParams,
+    gpu_time,
+    is_cpu_job,
+    is_gpu_job,
+    sequence_within_group,
+    validate_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return HeliosTraceGenerator(SynthParams(months=2, scale=0.08, seed=3))
+
+
+@pytest.fixture(scope="module")
+def traces(generator):
+    return generator.generate()
+
+
+@pytest.fixture(scope="module")
+def venus(traces):
+    return traces["Venus"]
+
+
+class TestInvariants:
+    def test_all_clusters_validate(self, generator, traces):
+        for name, tr in traces.items():
+            validate_trace(tr, generator.specs[name])
+
+    def test_submit_times_sorted_and_in_horizon(self, generator, traces):
+        horizon = generator.params.horizon_seconds
+        for tr in traces.values():
+            t = tr["submit_time"]
+            assert np.all(np.diff(t) >= 0)
+            assert t.min() >= 0 and t.max() < horizon
+
+    def test_deterministic(self):
+        p = SynthParams(months=1, scale=0.05, seed=9)
+        a = HeliosTraceGenerator(p).generate_cluster("Venus")
+        b = HeliosTraceGenerator(p).generate_cluster("Venus")
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = HeliosTraceGenerator(SynthParams(months=1, scale=0.05, seed=1)).generate_cluster("Venus")
+        b = HeliosTraceGenerator(SynthParams(months=1, scale=0.05, seed=2)).generate_cluster("Venus")
+        assert len(a) != len(b) or not np.array_equal(a["duration"], b["duration"])
+
+    def test_unknown_cluster_raises(self, generator):
+        with pytest.raises(KeyError):
+            generator.generate_cluster("Pluto")
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            SynthParams(months=0)
+        with pytest.raises(ValueError):
+            SynthParams(scale=-1)
+
+
+class TestOfferedLoad:
+    def test_utilization_targets(self, generator, traces):
+        """Offered GPU load must land near the Fig 2a utilization targets."""
+        from repro.traces.synth import TARGET_UTILIZATION
+
+        horizon = generator.params.horizon_seconds
+        for name, tr in traces.items():
+            spec = generator.specs[name]
+            offered = gpu_time(tr).sum() / (spec.num_gpus * horizon)
+            assert offered == pytest.approx(TARGET_UTILIZATION[name], abs=0.08)
+
+    def test_saturn_busiest(self, generator, traces):
+        horizon = generator.params.horizon_seconds
+        loads = {
+            name: gpu_time(tr).sum() / (generator.specs[name].num_gpus * horizon)
+            for name, tr in traces.items()
+        }
+        assert max(loads, key=loads.get) == "Saturn"
+
+
+class TestDurations:
+    def test_gpu_median_scale(self, venus):
+        """Paper: GPU-job median 206 s; ours must be the same order."""
+        gj = venus.filter(is_gpu_job(venus))
+        med = float(np.median(gj["duration"]))
+        assert 60 <= med <= 900
+
+    def test_gpu_mean_much_larger_than_median(self, venus):
+        gj = venus.filter(is_gpu_job(venus))
+        assert gj["duration"].mean() > 5 * np.median(gj["duration"])
+
+    def test_three_quarters_under_1000s(self, traces):
+        """§3.2.1: roughly three-quarters of GPU jobs last < 1000 s
+        (job-weighted aggregate across the four clusters)."""
+        short = total = 0
+        for tr in traces.values():
+            gj = tr.filter(is_gpu_job(tr))
+            short += int(np.sum(gj["duration"] < 1000.0))
+            total += len(gj)
+        assert 0.55 <= short / total <= 0.95
+
+    def test_gpu_jobs_longer_than_cpu_jobs(self, traces):
+        """§3.2.1: GPU mean duration ~10× CPU mean duration."""
+        for tr in traces.values():
+            gj = tr.filter(is_gpu_job(tr))
+            cj = tr.filter(is_cpu_job(tr))
+            assert gj["duration"].mean() > 3 * cj["duration"].mean()
+
+    def test_earth_cpu_jobs_one_second(self, traces):
+        """§3.2.1: nearly 90% of Earth CPU jobs run ~1 second."""
+        cj = traces["Earth"].filter(is_cpu_job(traces["Earth"]))
+        assert np.mean(cj["duration"] <= 3.0) > 0.75
+
+    def test_max_duration_clamped(self, traces):
+        for tr in traces.values():
+            assert tr["duration"].max() <= 50 * 86400
+
+
+class TestSizes:
+    def test_single_gpu_majority_of_counts(self, traces):
+        """Fig 6a: >50% single-GPU jobs in each cluster (90% in Earth)."""
+        singles = {}
+        for name, tr in traces.items():
+            gj = tr.filter(is_gpu_job(tr))
+            singles[name] = float(np.mean(gj["gpu_num"] == 1))
+        assert singles["Earth"] > 0.85
+        assert np.mean(list(singles.values())) > 0.5
+
+    def test_large_jobs_dominate_gpu_time(self, traces):
+        """Fig 6b / Implication #4: multi-GPU jobs consume most GPU time."""
+        for name, tr in traces.items():
+            if name == "Earth":
+                continue  # Earth is the single-GPU outlier by design
+            gj = tr.filter(is_gpu_job(tr))
+            gt = gpu_time(gj)
+            multi_share = gt[gj["gpu_num"] > 1].sum() / gt.sum()
+            assert multi_share > 0.5
+
+    def test_single_gpu_small_time_share(self, traces):
+        """Fig 6b: single-GPU jobs occupy only a small share of GPU time."""
+        for name, tr in traces.items():
+            gj = tr.filter(is_gpu_job(tr))
+            gt = gpu_time(gj)
+            single_share = gt[gj["gpu_num"] == 1].sum() / gt.sum()
+            bound = 0.40 if name != "Earth" else 0.95
+            assert single_share < bound
+
+    def test_sizes_are_powers_of_two(self, venus):
+        gj = venus.filter(is_gpu_job(venus))
+        sizes = np.unique(gj["gpu_num"])
+        assert all((s & (s - 1)) == 0 for s in sizes)
+
+    def test_jobs_fit_their_vc(self, generator, traces):
+        for name, tr in traces.items():
+            spec = generator.specs[name]
+            for vc in spec.vcs:
+                sub = tr.filter(tr["vc"] == vc.name)
+                if len(sub):
+                    assert sub["gpu_num"].max() <= vc.num_gpus
+
+
+class TestStatuses:
+    def test_gpu_unsuccessful_much_higher_than_cpu(self, traces):
+        """Fig 7a: unsuccessful GPU jobs ~37.6% vs CPU ~9.1%."""
+        for tr in traces.values():
+            gj = tr.filter(is_gpu_job(tr))
+            cj = tr.filter(is_cpu_job(tr))
+            gpu_bad = float(np.mean(gj["status"] != COMPLETED))
+            cpu_bad = float(np.mean(cj["status"] != COMPLETED))
+            assert gpu_bad > 0.25
+            assert cpu_bad < 0.15
+            assert gpu_bad > 2 * cpu_bad
+
+    def test_completion_falls_with_gpu_count(self, traces):
+        """Fig 7b: large jobs complete less, get canceled more."""
+        tr = traces["Saturn"]
+        gj = tr.filter(is_gpu_job(tr))
+        small = gj.filter(gj["gpu_num"] <= 2)
+        large = gj.filter(gj["gpu_num"] >= 32)
+        if len(large) > 50:
+            comp_small = np.mean(small["status"] == COMPLETED)
+            comp_large = np.mean(large["status"] == COMPLETED)
+            canc_large = np.mean(large["status"] == CANCELED)
+            assert comp_large < comp_small
+            assert canc_large > 0.35
+
+    def test_failed_jobs_are_short(self, venus):
+        """§3.2.2: most failed jobs are terminated within a short time."""
+        gj = venus.filter(is_gpu_job(venus))
+        failed = gj.filter(gj["status"] == FAILED)
+        completed = gj.filter(gj["status"] == COMPLETED)
+        assert np.median(failed["duration"]) < np.median(completed["duration"])
+
+    def test_gpu_time_share_by_status(self, traces):
+        """Fig 1b Helios: ~51% completed / ~39% canceled / ~9% failed."""
+        gt_by = {COMPLETED: 0.0, CANCELED: 0.0, FAILED: 0.0}
+        for tr in traces.values():
+            gj = tr.filter(is_gpu_job(tr))
+            gt = gpu_time(gj)
+            for s in gt_by:
+                gt_by[s] += float(gt[gj["status"] == s].sum())
+        total = sum(gt_by.values())
+        assert 0.45 <= gt_by[COMPLETED] / total <= 0.80
+        assert 0.12 <= gt_by[CANCELED] / total <= 0.45
+        assert 0.03 <= gt_by[FAILED] / total <= 0.20
+
+
+class TestUsers:
+    def test_user_counts(self, traces):
+        for tr in traces.values():
+            assert len(np.unique(tr["user"])) >= 20
+
+    def test_gpu_time_concentration(self, venus):
+        """Fig 8a: top 5% of users consume roughly half the GPU time."""
+        gj = venus.filter(is_gpu_job(venus))
+        share = top_k_share(gj["user"], gpu_time(gj), 0.05)
+        assert 0.25 <= share <= 0.9
+
+    def test_cpu_time_more_concentrated_than_gpu(self, traces):
+        """Fig 8b: CPU time is far more concentrated among users."""
+        tr = traces["Saturn"]
+        gj = tr.filter(is_gpu_job(tr))
+        cj = tr.filter(is_cpu_job(tr))
+        gshare = top_k_share(gj["user"], gpu_time(gj), 0.05)
+        cshare = top_k_share(cj["user"], cj["duration"] * cj["cpu_num"], 0.05)
+        assert cshare > gshare
+
+    def test_cpu_users_are_a_subset(self, traces):
+        """§3.3: only ~25% of users run CPU jobs."""
+        tr = traces["Venus"]
+        gpu_users = set(np.unique(tr.filter(is_gpu_job(tr))["user"]))
+        cpu_users = set(np.unique(tr.filter(is_cpu_job(tr))["user"]))
+        assert len(cpu_users) < 0.6 * len(gpu_users | cpu_users)
+
+
+class TestTemporalPatterns:
+    def test_diurnal_submission_dip_at_night(self, venus):
+        """Fig 2b: submission rate drops to its lowest point at night."""
+        prof = hourly_profile(venus["submit_time"])
+        night = prof[1:6].mean()
+        day = prof[9:18].mean()
+        assert night < 0.6 * day
+
+    def test_recurrent_names(self, venus):
+        """Recurrent jobs share name stems (enables QSSF estimators)."""
+        gj = venus.filter(is_gpu_job(venus))
+        stems = np.array([n.rsplit("_", 1)[0] for n in gj["name"][:2000]])
+        _, counts = np.unique(stems, return_counts=True)
+        assert counts.max() >= 10
+
+
+class TestSequenceWithinGroup:
+    def test_basic(self):
+        out = sequence_within_group(np.array([5, 3, 5, 5, 3]))
+        assert out.tolist() == [0, 0, 1, 2, 1]
+
+    def test_single_group(self):
+        assert sequence_within_group(np.zeros(4, dtype=int)).tolist() == [0, 1, 2, 3]
+
+    def test_all_distinct(self):
+        assert sequence_within_group(np.array([3, 1, 2])).tolist() == [0, 0, 0]
