@@ -1,0 +1,90 @@
+"""Orchestrator benchmarks: cold vs warm cache vs parallel wall-clock.
+
+Each test prints one ``BENCH {json}`` line so the numbers form a
+trajectory comparable across PRs (grep the suite output for ``BENCH``).
+The smoke profile (trace-only exhibits, no simulator replays) keeps the
+benchmark itself inside the suite budget; the full-exhibit-set numbers
+are recorded in ROADMAP.md from manual CLI runs.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import ArtifactCache, ExperimentOrchestrator, smoke_ids
+from repro.experiments.common import clear_scenario_caches
+
+
+def _emit(capsys, name: str, result, seconds: float) -> None:
+    statuses = [r.status for r in result.reports]
+    with capsys.disabled():
+        print()
+        print(
+            "BENCH "
+            + json.dumps(
+                {
+                    "bench": name,
+                    "seconds": round(seconds, 4),
+                    "jobs": result.jobs,
+                    "exhibits": len(result.reports),
+                    "computed": statuses.count("computed"),
+                    "cached": statuses.count("cached"),
+                },
+                sort_keys=True,
+            )
+        )
+
+
+@pytest.fixture(scope="module")
+def populated_cache(tmp_path_factory):
+    """One cold smoke run: its cache seeds the warm benchmark."""
+    cache_dir = tmp_path_factory.mktemp("runner-cache")
+    ExperimentOrchestrator(cache=ArtifactCache(cache_dir), jobs=1).run(smoke_ids())
+    return cache_dir
+
+
+def test_runner_cold_serial(benchmark, capsys, tmp_path):
+    """Cold cache, no memoized traces, one worker: the baseline."""
+
+    def cold():
+        clear_scenario_caches()
+        return ExperimentOrchestrator(
+            cache=ArtifactCache(tmp_path / "cold"), jobs=1, force=True
+        ).run(smoke_ids())
+
+    result = benchmark.pedantic(cold, rounds=1, iterations=1)
+    assert all(r.status == "computed" for r in result.reports)
+    _emit(capsys, "runner_cold_serial", result, benchmark.stats.stats.mean)
+
+
+def test_runner_warm_cache(benchmark, capsys, populated_cache):
+    """Every exhibit served from disk artifacts: should be milliseconds."""
+
+    def warm():
+        return ExperimentOrchestrator(
+            cache=ArtifactCache(populated_cache), jobs=1
+        ).run(smoke_ids())
+
+    result = benchmark.pedantic(warm, rounds=3, iterations=1)
+    assert all(r.status == "cached" for r in result.reports)
+    _emit(capsys, "runner_warm_cache", result, benchmark.stats.stats.mean)
+
+
+def test_runner_parallel_jobs4(benchmark, capsys, tmp_path):
+    """Forked 4-worker pool with precursor warming, cold memos.
+
+    On a single-core host this measures orchestration overhead rather
+    than speedup; the BENCH trajectory still catches regressions in the
+    fork/warm/serialize path, and on multi-core hosts it shows the
+    actual parallel win.
+    """
+
+    def parallel():
+        clear_scenario_caches()
+        return ExperimentOrchestrator(
+            cache=ArtifactCache(tmp_path / "par"), jobs=4, force=True
+        ).run(smoke_ids())
+
+    result = benchmark.pedantic(parallel, rounds=1, iterations=1)
+    assert all(r.status == "computed" for r in result.reports)
+    _emit(capsys, "runner_parallel_jobs4", result, benchmark.stats.stats.mean)

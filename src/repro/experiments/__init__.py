@@ -1,5 +1,34 @@
-"""Per-exhibit experiments (Tables 1-5, Figures 1-15, ablations)."""
+"""Per-exhibit experiments (Tables 1-5, Figures 1-15, ablations).
 
-from .registry import EXPERIMENTS, experiment_ids, run_experiment
+The registry maps exhibit ids to builders plus orchestration metadata
+(cost tier, shared precursor inputs); :mod:`.orchestrator` runs sets of
+exhibits through the content-addressed artifact cache and a forked
+worker pool; :mod:`.runner` is the CLI.
+"""
 
-__all__ = ["EXPERIMENTS", "experiment_ids", "run_experiment"]
+from .cache import ArtifactCache, code_fingerprint
+from .orchestrator import ExperimentOrchestrator, OrchestratorResult, RunReport
+from .registry import (
+    EXPERIMENTS,
+    ExperimentSpec,
+    SPECS,
+    experiment_ids,
+    get_spec,
+    run_experiment,
+    smoke_ids,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "EXPERIMENTS",
+    "ExperimentOrchestrator",
+    "ExperimentSpec",
+    "OrchestratorResult",
+    "RunReport",
+    "SPECS",
+    "code_fingerprint",
+    "experiment_ids",
+    "get_spec",
+    "run_experiment",
+    "smoke_ids",
+]

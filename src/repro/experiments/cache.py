@@ -1,0 +1,344 @@
+"""Content-addressed artifact cache for experiment payloads.
+
+Every exhibit run is keyed by ``(experiment id, parameters, code
+fingerprint)``; the key is a SHA-256 digest, so a change to either the
+parameters or any source file under :mod:`repro` produces a different
+key and transparently busts the cache.  Artifacts are self-verifying:
+each file stores a checksum of its payload bytes, and a corrupted or
+truncated artifact reads back as a miss (the caller recomputes and
+overwrites it) instead of raising.
+
+Payloads are arbitrary experiment dicts (numpy arrays, Tables, nested
+dicts/tuples, strings).  They are serialized with a pickler that routes
+:class:`repro.frame.Table` through the deterministic binary format in
+:mod:`repro.frame.io`, so equal payloads always serialize to identical
+bytes — the property the determinism tests (serial vs ``--jobs N``)
+assert on.
+
+The module also provides :class:`memo`, the warmable in-process memoizer
+used by :mod:`repro.experiments.common` for shared precursors (traces,
+replays, trained schedulers).  Unlike ``functools.lru_cache`` it can be
+*primed* with values computed elsewhere — which is how the parallel
+orchestrator injects precursors computed by worker processes back into
+the parent before fanning out experiments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import io
+import json
+import os
+import pickle
+import struct
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from ..frame.io import table_from_bytes, table_to_bytes
+from ..frame.table import Table
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "code_fingerprint",
+    "dumps_payload",
+    "loads_payload",
+    "memo",
+]
+
+_PICKLE_PROTOCOL = 4  # fixed (not HIGHEST) so artifact bytes are stable
+
+
+# ----------------------------------------------------------------------
+# Payload serialization
+# ----------------------------------------------------------------------
+
+
+class _PayloadPickler(pickle.Pickler):
+    """Pickler that stores Tables via the frame.io binary format."""
+
+    def reducer_override(self, obj):
+        if isinstance(obj, Table):
+            return (table_from_bytes, (table_to_bytes(obj),))
+        return NotImplemented
+
+
+def dumps_payload(payload: Any) -> bytes:
+    """Serialize an experiment payload to deterministic bytes."""
+    buf = io.BytesIO()
+    _PayloadPickler(buf, protocol=_PICKLE_PROTOCOL).dump(payload)
+    return buf.getvalue()
+
+
+def loads_payload(data: bytes) -> Any:
+    """Inverse of :func:`dumps_payload`."""
+    return pickle.loads(data)
+
+
+# ----------------------------------------------------------------------
+# Code fingerprint
+# ----------------------------------------------------------------------
+
+_FINGERPRINTS: dict[Path, str] = {}
+
+
+def code_fingerprint(root: str | Path | None = None, *, refresh: bool = False) -> str:
+    """SHA-256 over every ``*.py`` file under ``root`` (default: repro).
+
+    Deliberately coarse: *any* source change invalidates *every* cached
+    artifact.  That trades some unnecessary recomputation for a guarantee
+    that a cached exhibit can never silently disagree with the code that
+    would regenerate it.  The digest is memoized per root — the tree is
+    only hashed once per process.
+    """
+    if root is None:
+        root = Path(__file__).resolve().parent.parent  # src/repro
+    root = Path(root)
+    if not refresh and root in _FINGERPRINTS:
+        return _FINGERPRINTS[root]
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    fp = digest.hexdigest()
+    _FINGERPRINTS[root] = fp
+    return fp
+
+
+# ----------------------------------------------------------------------
+# Artifact cache
+# ----------------------------------------------------------------------
+
+#: artifact layout version; bump on any format change.
+_ARTIFACT_MAGIC = b"RART1\n"
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupted: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupted": self.corrupted,
+        }
+
+
+@dataclass
+class ArtifactCache:
+    """Disk cache mapping content-addressed keys to experiment payloads."""
+
+    root: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    # -- keys ----------------------------------------------------------
+
+    @staticmethod
+    def key_for(exp_id: str, params: dict | None = None, fingerprint: str = "") -> str:
+        """Content address of one experiment run.
+
+        ``params`` are canonicalized through sorted-key JSON so dict
+        ordering cannot produce spurious misses.
+        """
+        canon = json.dumps(params or {}, sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256()
+        digest.update(exp_id.encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(canon.encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(fingerprint.encode("utf-8"))
+        return digest.hexdigest()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.art"
+
+    # -- read ----------------------------------------------------------
+
+    def load(self, key: str) -> Any | None:
+        """Payload for ``key``, or ``None`` on miss/corruption."""
+        data = self.load_bytes(key)
+        if data is None:
+            return None
+        try:
+            return loads_payload(data)
+        except Exception:
+            self.stats.corrupted += 1
+            self.stats.hits -= 1
+            self.stats.misses += 1
+            return None
+
+    def load_bytes(self, key: str) -> bytes | None:
+        """Verified payload bytes for ``key``, or ``None``.
+
+        Any malformed artifact — bad magic, truncated header, payload
+        shorter than declared, checksum mismatch — counts as a miss, so
+        a crashed writer or bit-rot degrades to a recompute.
+        """
+        path = self.path_for(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        payload = self._verify(raw)
+        if payload is None:
+            self.stats.corrupted += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    @staticmethod
+    def _verify(raw: bytes) -> bytes | None:
+        if not raw.startswith(_ARTIFACT_MAGIC):
+            return None
+        try:
+            offset = len(_ARTIFACT_MAGIC)
+            (meta_len,) = struct.unpack_from("<I", raw, offset)
+            offset += 4
+            meta = json.loads(raw[offset : offset + meta_len].decode("utf-8"))
+            offset += meta_len
+            payload = raw[offset:]
+            if len(payload) != int(meta["payload_bytes"]):
+                return None
+            if hashlib.sha256(payload).hexdigest() != meta["payload_sha256"]:
+                return None
+            return payload
+        except Exception:
+            return None
+
+    def contains(self, key: str) -> bool:
+        path = self.path_for(key)
+        try:
+            return self._verify(path.read_bytes()) is not None
+        except OSError:
+            return False
+
+    def metadata(self, key: str) -> dict | None:
+        """The stored metadata header for ``key`` (no payload decode)."""
+        path = self.path_for(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        if not raw.startswith(_ARTIFACT_MAGIC):
+            return None
+        try:
+            offset = len(_ARTIFACT_MAGIC)
+            (meta_len,) = struct.unpack_from("<I", raw, offset)
+            return json.loads(raw[offset + 4 : offset + 4 + meta_len].decode("utf-8"))
+        except Exception:
+            return None
+
+    # -- write ---------------------------------------------------------
+
+    def store(
+        self,
+        key: str,
+        payload: Any,
+        *,
+        exp_id: str = "",
+        params: dict | None = None,
+        fingerprint: str = "",
+        payload_bytes: bytes | None = None,
+    ) -> Path:
+        """Write one artifact atomically; returns its path.
+
+        ``payload_bytes`` lets callers that already serialized the
+        payload (parallel workers ship bytes to the parent) skip a
+        second serialization.
+        """
+        if payload_bytes is None:
+            payload_bytes = dumps_payload(payload)
+        meta = {
+            "exp_id": exp_id,
+            "params": params or {},
+            "fingerprint": fingerprint,
+            "payload_bytes": len(payload_bytes),
+            "payload_sha256": hashlib.sha256(payload_bytes).hexdigest(),
+        }
+        meta_blob = json.dumps(meta, sort_keys=True, separators=(",", ":")).encode("utf-8")
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # unique temp name: concurrent writers of the same key must not
+        # truncate each other's partial file; last rename wins cleanly
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
+        try:
+            with tmp.open("wb") as fh:
+                fh.write(_ARTIFACT_MAGIC)
+                fh.write(struct.pack("<I", len(meta_blob)))
+                fh.write(meta_blob)
+                fh.write(payload_bytes)
+            tmp.replace(path)
+        except BaseException:  # incl. KeyboardInterrupt mid-write
+            tmp.unlink(missing_ok=True)
+            raise
+        self.stats.stores += 1
+        return path
+
+
+# ----------------------------------------------------------------------
+# Warmable in-process memoizer
+# ----------------------------------------------------------------------
+
+
+class memo:
+    """``functools.lru_cache``-alike that supports external warming.
+
+    ``fn.warm(args, value)`` installs a precomputed value, which is how
+    the parallel orchestrator shares precursors (computed once in worker
+    processes) with the parent before forking the experiment pool.
+
+    Keys are normalized through the function's signature (defaults
+    applied, keywords folded into positional order), so ``f("FIFO")``,
+    ``f("FIFO", 61)`` and ``f(sched="FIFO")`` all share one cache entry
+    when 61 is the default — and a precursor token's plain positional
+    args always address the same entry the experiment's call does.
+    """
+
+    def __init__(self, fn: Callable) -> None:
+        self.fn = fn
+        self.cache: dict[tuple, Any] = {}
+        self._signature = inspect.signature(fn)
+        self.__name__ = getattr(fn, "__name__", repr(fn))
+        self.__doc__ = fn.__doc__
+
+    def _key(self, args: tuple, kwargs: dict) -> tuple:
+        bound = self._signature.bind(*args, **kwargs)
+        bound.apply_defaults()
+        return tuple(bound.arguments.values())
+
+    def __call__(self, *args, **kwargs):
+        key = self._key(args, kwargs)
+        try:
+            return self.cache[key]
+        except KeyError:
+            value = self.fn(*args, **kwargs)
+            self.cache[key] = value
+            return value
+
+    def warm(self, args: tuple, value: Any) -> None:
+        """Install a value computed elsewhere (e.g. a worker process)."""
+        self.cache[self._key(tuple(args), {})] = value
+
+    def is_cached(self, *args, **kwargs) -> bool:
+        return self._key(args, kwargs) in self.cache
+
+    def cache_clear(self) -> None:
+        self.cache.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<memo {self.__name__} entries={len(self.cache)}>"

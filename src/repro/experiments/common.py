@@ -5,13 +5,18 @@ deployment so results are mutually consistent: 6 synthetic months at
 ``SCALE`` of the Table-1 node counts, plus a 92-day Philly trace.  The
 builders memoize aggressively — the full benchmark suite generates each
 trace and runs each (cluster, scheduler) replay exactly once.
+
+The memos are :class:`repro.experiments.cache.memo` (not
+``functools.lru_cache``) so the parallel orchestrator can *warm* them
+with precursors computed in worker processes: each shared input gets a
+string token (``"full_replay:Earth"``) that :func:`compute_precursor`
+evaluates in a worker and :func:`warm_precursor` installs in the parent.
 """
 
 from __future__ import annotations
 
-import functools
-
 from ..frame import Table
+from .cache import memo
 from ..ml.gbdt import GBDTParams
 from ..sched import (
     FIFOScheduler,
@@ -28,6 +33,7 @@ from ..traces import (
     SECONDS_PER_DAY,
     SynthParams,
     is_gpu_job,
+    params_signature,
     slice_period,
 )
 
@@ -38,6 +44,8 @@ __all__ = [
     "full_replay", "september_replay", "qssf_scheduler",
     "philly_generator", "philly_trace", "philly_replay",
     "SCHEDULER_NAMES",
+    "PRECURSOR_FNS", "compute_precursor", "warm_precursor", "is_warm",
+    "scenario_signature", "clear_scenario_caches",
 ]
 
 SCALE = 0.1
@@ -56,18 +64,18 @@ QSSF_GBDT = GBDTParams(n_estimators=60, learning_rate=0.12, max_depth=6,
                        min_samples_leaf=30)
 
 
-@functools.lru_cache(maxsize=None)
+@memo
 def generator() -> HeliosTraceGenerator:
     return HeliosTraceGenerator(SynthParams(months=MONTHS, scale=SCALE, seed=SEED))
 
 
-@functools.lru_cache(maxsize=None)
+@memo
 def cluster_trace(name: str) -> Table:
     """Full 6-month trace (GPU + CPU jobs) for one cluster."""
     return generator().generate_cluster(name)
 
 
-@functools.lru_cache(maxsize=None)
+@memo
 def cluster_gpu_trace(name: str) -> Table:
     trace = cluster_trace(name)
     return trace.filter(is_gpu_job(trace))
@@ -77,7 +85,7 @@ def cluster_spec(name: str):
     return generator().specs[name]
 
 
-@functools.lru_cache(maxsize=None)
+@memo
 def full_replay(name: str) -> ReplayResult:
     """FIFO replay of the whole horizon (production policy telemetry)."""
     return Simulator(cluster_spec(name), FIFOScheduler()).run(cluster_gpu_trace(name))
@@ -90,7 +98,7 @@ def full_replay(name: str) -> ReplayResult:
 QSSF_HISTORY_DAYS = 60
 
 
-@functools.lru_cache(maxsize=None)
+@memo
 def qssf_scheduler(name: str) -> QSSFScheduler:
     """QSSF trained on the jobs preceding the evaluation month (§4.2.3)."""
     gpu = cluster_gpu_trace(name)
@@ -113,7 +121,7 @@ def _scheduler(name: str, sched: str):
     raise KeyError(f"unknown scheduler {sched!r}")
 
 
-@functools.lru_cache(maxsize=None)
+@memo
 def september_replay(name: str, sched: str) -> ReplayResult:
     """Replay the evaluation month under one policy (Fig 11 protocol)."""
     gpu = cluster_gpu_trace(name)
@@ -128,19 +136,19 @@ def september_replay(name: str, sched: str) -> ReplayResult:
 # ----------------------------------------------------------------------
 
 
-@functools.lru_cache(maxsize=None)
+@memo
 def philly_generator() -> PhillyTraceGenerator:
     return PhillyTraceGenerator(
         PhillyParams(days=PHILLY_DAYS, scale=PHILLY_SCALE, seed=SEED + 1)
     )
 
 
-@functools.lru_cache(maxsize=None)
+@memo
 def philly_trace() -> Table:
     return philly_generator().generate()
 
 
-@functools.lru_cache(maxsize=None)
+@memo
 def philly_replay(sched: str, days: int = 61) -> ReplayResult:
     """Replay the first ``days`` of Philly (Oct 1 – Nov 30 for Table 3).
 
@@ -153,3 +161,79 @@ def philly_replay(sched: str, days: int = 61) -> ReplayResult:
     else:
         policy = _scheduler("", sched)
     return Simulator(philly_generator().spec, policy).run(trace)
+
+
+# ----------------------------------------------------------------------
+# Precursor tokens (shared-input declarations for the orchestrator)
+# ----------------------------------------------------------------------
+
+#: Memoized builders addressable by token.  A token is
+#: ``"<fn>"`` or ``"<fn>:<arg>[:<arg>...]"``; integer-looking args are
+#: converted (``"philly_replay:FIFO:61"`` -> ``philly_replay("FIFO", 61)``).
+PRECURSOR_FNS: dict[str, memo] = {
+    "cluster_trace": cluster_trace,
+    "cluster_gpu_trace": cluster_gpu_trace,
+    "full_replay": full_replay,
+    "qssf_scheduler": qssf_scheduler,
+    "september_replay": september_replay,
+    "philly_trace": philly_trace,
+    "philly_replay": philly_replay,
+}
+
+
+def _parse_precursor(token: str) -> tuple[memo, tuple]:
+    name, _, rest = token.partition(":")
+    try:
+        fn = PRECURSOR_FNS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown precursor {name!r}; available: {sorted(PRECURSOR_FNS)}"
+        ) from None
+    args = tuple(
+        int(a) if a.lstrip("-").isdigit() else a
+        for a in (rest.split(":") if rest else ())
+    )
+    return fn, args
+
+
+def compute_precursor(token: str):
+    """Evaluate one shared input (warming this process's memo)."""
+    fn, args = _parse_precursor(token)
+    return fn(*args)
+
+
+def warm_precursor(token: str, value) -> None:
+    """Install a shared input computed in another process."""
+    fn, args = _parse_precursor(token)
+    fn.warm(args, value)
+
+
+def is_warm(token: str) -> bool:
+    """True when the token's value is already memoized in this process."""
+    fn, args = _parse_precursor(token)
+    return fn.is_cached(*args)
+
+
+def scenario_signature() -> dict[str, str]:
+    """Provenance digests of the shared scenario's generator params.
+
+    Stamped into every artifact's cache key, so editing the scenario
+    constants above (SCALE, MONTHS, seeds, ...) invalidates cached
+    exhibits even if the code fingerprint were somehow unchanged.
+    """
+    return {
+        "helios": params_signature(
+            SynthParams(months=MONTHS, scale=SCALE, seed=SEED)
+        ),
+        "philly": params_signature(
+            PhillyParams(days=PHILLY_DAYS, scale=PHILLY_SCALE, seed=SEED + 1)
+        ),
+    }
+
+
+def clear_scenario_caches() -> None:
+    """Drop every memoized trace/replay (tests use this for isolation)."""
+    generator.cache_clear()
+    philly_generator.cache_clear()
+    for fn in PRECURSOR_FNS.values():
+        fn.cache_clear()

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import functools
-
 import numpy as np
 
 from ..analysis import render_kv, render_series, render_table
@@ -11,6 +9,7 @@ from ..energy import CESService, PowerModel
 from ..frame import Table
 from ..traces import SECONDS_PER_DAY
 from . import common
+from .cache import memo
 
 __all__ = ["exp_fig14", "exp_fig15", "exp_table5", "ces_report"]
 
@@ -24,7 +23,7 @@ _PHILLY_EVAL_START = 61 * SECONDS_PER_DAY
 _PHILLY_EVAL_END = 75 * SECONDS_PER_DAY
 
 
-@functools.lru_cache(maxsize=None)
+@memo
 def ces_report(cluster: str):
     """CES evaluation for one cluster (cached across exhibits)."""
     if cluster == "Philly":
@@ -36,6 +35,11 @@ def ces_report(cluster: str):
     return CESService().evaluate(
         replay, _HELIOS_EVAL_START, _HELIOS_EVAL_END, cluster=cluster
     )
+
+
+# CES reports are shared inputs of figs 14-15, table 5, and the buffer
+# ablation — make them addressable as precursor tokens ("ces_report:Earth").
+common.PRECURSOR_FNS["ces_report"] = ces_report
 
 
 def _node_state_text(cluster: str, title: str) -> tuple[dict, str]:

@@ -1,0 +1,273 @@
+"""Process-parallel experiment orchestration with artifact caching.
+
+Runs a set of registered exhibits end-to-end:
+
+1. **Cache probe** — each experiment's content address (id, params, code
+   fingerprint) is checked against the :class:`ArtifactCache`; hits
+   return in milliseconds without touching the simulator.
+2. **Precursor phase** — the union of the remaining experiments' shared
+   inputs (declared as precursor tokens in the registry) is computed
+   once across a forked worker pool, then installed into this process's
+   memos (:func:`repro.experiments.common.warm_precursor`).  This is
+   what keeps e.g. the Saturn/QSSF September replay from being computed
+   by three different workers.
+3. **Experiment phase** — a fresh pool is forked *after* warming, so
+   every worker inherits the precursors copy-on-write.  Workers return
+   serialized payload bytes; the parent stores them as artifacts and
+   decodes them for the report.
+
+Determinism: every experiment (serial or parallel, any worker count)
+runs under ``np.random.seed(stable_seed(exp_id))``, and payloads are
+serialized with the deterministic codec in
+:mod:`repro.experiments.cache` — so ``--jobs 4`` produces bytes
+identical to ``--jobs 1``, which the test suite asserts.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..framework.parallel import (
+    effective_jobs,
+    fork_available,
+    run_forked,
+    stable_seed,
+)
+from . import common
+from .cache import ArtifactCache, code_fingerprint, dumps_payload, loads_payload
+from .registry import get_spec
+
+__all__ = ["ExperimentOrchestrator", "OrchestratorResult", "RunReport"]
+
+#: drain heavy work first so the pool's tail is short.
+_COST_RANK = {"heavy": 0, "medium": 1, "cheap": 2}
+
+#: rough per-token weight for precursor scheduling (heaviest first).
+_TOKEN_RANK = ("ces_report", "september_replay", "full_replay",
+               "philly_replay", "qssf_scheduler", "cluster_gpu_trace",
+               "cluster_trace", "philly_trace")
+
+
+@dataclass
+class RunReport:
+    """Outcome of one experiment in one orchestrated run."""
+
+    exp_id: str
+    status: str  # "cached" | "computed" | "failed"
+    seconds: float
+    cache_key: str = ""
+    error: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "exp_id": self.exp_id,
+            "status": self.status,
+            "seconds": round(self.seconds, 4),
+            "cache_key": self.cache_key,
+            "error": self.error,
+        }
+
+
+@dataclass
+class OrchestratorResult:
+    """Everything one ``run()`` produced, JSON-ready via ``as_dict``."""
+
+    reports: list[RunReport]
+    payloads: dict[str, dict]
+    wall_seconds: float
+    jobs: int
+    fingerprint: str
+    cache_dir: str = ""
+    cache_stats: dict = field(default_factory=dict)
+
+    @property
+    def failed(self) -> list[RunReport]:
+        return [r for r in self.reports if r.status == "failed"]
+
+    def as_dict(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "fingerprint": self.fingerprint,
+            "cache_dir": self.cache_dir,
+            "cache": self.cache_stats,
+            "results": [r.as_dict() for r in self.reports],
+        }
+
+
+def _run_seeded(exp_id: str) -> dict:
+    """The one code path that executes an experiment (serial or worker).
+
+    The global RNG is re-seeded from the experiment id so any builder
+    that touches it draws an identical stream regardless of what ran
+    before it in this process — the invariant behind serial/parallel
+    payload equality.
+    """
+    np.random.seed(stable_seed(exp_id))
+    return get_spec(exp_id).fn()
+
+
+def _precursor_task(token: str) -> tuple[str, Any, bool]:
+    """Worker-side precursor: never raises, so one bad shared input
+    cannot abort the whole parallel run (the exhibits that need it fail
+    individually in the experiment phase, with a full traceback)."""
+    try:
+        return token, common.compute_precursor(token), True
+    except Exception:
+        return token, None, False
+
+
+def _experiment_task(exp_id: str) -> tuple[str, float, bytes | None, str]:
+    """Worker-side experiment run: ship serialized payload or an error."""
+    t0 = time.perf_counter()
+    try:
+        payload = _run_seeded(exp_id)
+        return exp_id, time.perf_counter() - t0, dumps_payload(payload), ""
+    except Exception:
+        return exp_id, time.perf_counter() - t0, None, traceback.format_exc()
+
+
+def _token_rank(token: str) -> int:
+    name = token.partition(":")[0]
+    try:
+        return _TOKEN_RANK.index(name)
+    except ValueError:
+        return len(_TOKEN_RANK)
+
+
+class ExperimentOrchestrator:
+    """Schedules experiments across cache, precursor pool, and workers."""
+
+    def __init__(
+        self,
+        cache: ArtifactCache | None = None,
+        jobs: int = 1,
+        force: bool = False,
+    ) -> None:
+        self.cache = cache
+        self.jobs = effective_jobs(jobs)
+        self.force = force
+
+    # -- public --------------------------------------------------------
+
+    def run(self, exp_ids: list[str]) -> OrchestratorResult:
+        t_start = time.perf_counter()
+        exp_ids = list(dict.fromkeys(exp_ids))  # dedup, keep order
+        specs = [get_spec(eid) for eid in exp_ids]  # fail fast on typos
+        fingerprint = code_fingerprint() if self.cache else ""
+        scenario = common.scenario_signature() if self.cache else {}
+        keys = {
+            s.exp_id: ArtifactCache.key_for(s.exp_id, scenario, fingerprint)
+            for s in specs
+        }
+
+        reports: dict[str, RunReport] = {}
+        payloads: dict[str, dict] = {}
+
+        to_run = []
+        for spec in specs:
+            cached = self._probe(spec.exp_id, keys[spec.exp_id])
+            if cached is not None:
+                payloads[spec.exp_id] = cached[0]
+                reports[spec.exp_id] = cached[1]
+            else:
+                to_run.append(spec)
+
+        # heavy exhibits first: the pool tail is the wall-clock floor.
+        to_run.sort(key=lambda s: (_COST_RANK[s.cost], s.exp_id))
+
+        parallel = self.jobs > 1 and len(to_run) > 1 and fork_available()
+        if parallel:
+            self._warm_precursors(to_run)
+            for exp_id, seconds, blob, error in run_forked(
+                _experiment_task, [s.exp_id for s in to_run], self.jobs
+            ):
+                if blob is None:
+                    reports[exp_id] = RunReport(
+                        exp_id, "failed", seconds, keys[exp_id], error
+                    )
+                    continue
+                payloads[exp_id] = loads_payload(blob)
+                self._store(keys[exp_id], exp_id, scenario, fingerprint, blob=blob)
+                reports[exp_id] = RunReport(
+                    exp_id, "computed", seconds, keys[exp_id]
+                )
+        else:
+            # in-process: keep the live payload, serialize only to store
+            for spec in to_run:
+                exp_id = spec.exp_id
+                t0 = time.perf_counter()
+                try:
+                    payload = _run_seeded(exp_id)
+                except Exception:
+                    reports[exp_id] = RunReport(
+                        exp_id, "failed", time.perf_counter() - t0,
+                        keys[exp_id], traceback.format_exc(),
+                    )
+                    continue
+                payloads[exp_id] = payload
+                self._store(keys[exp_id], exp_id, scenario, fingerprint,
+                            payload=payload)
+                reports[exp_id] = RunReport(
+                    exp_id, "computed", time.perf_counter() - t0, keys[exp_id]
+                )
+
+        return OrchestratorResult(
+            reports=[reports[eid] for eid in exp_ids],
+            payloads=payloads,
+            wall_seconds=time.perf_counter() - t_start,
+            jobs=self.jobs,
+            fingerprint=fingerprint,
+            cache_dir=str(self.cache.root) if self.cache else "",
+            cache_stats=self.cache.stats.as_dict() if self.cache else {},
+        )
+
+    # -- internals -----------------------------------------------------
+
+    def _store(
+        self,
+        key: str,
+        exp_id: str,
+        scenario: dict,
+        fingerprint: str,
+        *,
+        payload: dict | None = None,
+        blob: bytes | None = None,
+    ) -> None:
+        if self.cache is not None:
+            self.cache.store(
+                key,
+                payload,
+                exp_id=exp_id,
+                params=scenario,
+                fingerprint=fingerprint,
+                payload_bytes=blob,
+            )
+
+    def _probe(self, exp_id: str, key: str):
+        if self.cache is None or self.force:
+            return None
+        t0 = time.perf_counter()
+        payload = self.cache.load(key)
+        if payload is None:
+            return None
+        return payload, RunReport(exp_id, "cached", time.perf_counter() - t0, key)
+
+    def _warm_precursors(self, specs) -> None:
+        """Compute each distinct shared input once across the pool."""
+        tokens: list[str] = []
+        seen = set()
+        for spec in specs:
+            for token in spec.inputs:
+                if token not in seen and not common.is_warm(token):
+                    seen.add(token)
+                    tokens.append(token)
+        tokens.sort(key=_token_rank)
+        for token, value, ok in run_forked(_precursor_task, tokens, self.jobs):
+            if ok:
+                common.warm_precursor(token, value)

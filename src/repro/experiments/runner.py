@@ -1,38 +1,164 @@
-"""CLI experiment runner.
+"""CLI experiment runner: cached, parallel reproduction of the exhibits.
 
 Usage::
 
-    python -m repro.experiments.runner            # list experiments
-    python -m repro.experiments.runner fig11 table3
-    python -m repro.experiments.runner all        # everything (slow)
+    python -m repro.experiments.runner                  # list experiments
+    python -m repro.experiments.runner fig11 table3     # specific exhibits
+    python -m repro.experiments.runner all --jobs 4     # everything, 4 workers
+    python -m repro.experiments.runner --smoke          # fast trace-only profile
+    python -m repro.experiments.runner all --force      # ignore cached artifacts
+    python -m repro.experiments.runner all --json report.json
+
+Artifacts are content-addressed by (experiment id, parameters, source
+fingerprint) under ``--cache-dir`` (default ``$REPRO_CACHE_DIR`` or
+``~/.cache/repro/experiments``), so a re-run with unchanged code returns
+every exhibit from disk in milliseconds.  ``--jobs N`` fans independent
+exhibits across a forked worker pool with shared precursors computed
+once; payloads are bit-identical to a serial run.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import os
 import sys
-import time
+from pathlib import Path
 
-from .registry import experiment_ids, run_experiment
+from .cache import ArtifactCache
+from .orchestrator import ExperimentOrchestrator
+from .registry import SPECS, experiment_ids, get_spec, smoke_ids
+
+__all__ = ["main", "build_parser", "default_cache_dir"]
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "experiments"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner",
+        description="Run paper exhibits with caching and a parallel worker pool.",
+    )
+    parser.add_argument(
+        "ids", nargs="*", metavar="ID",
+        help="experiment ids to run, or 'all'; empty lists the registry",
+    )
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default 1; 0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None, metavar="DIR",
+        help="artifact cache location (default $REPRO_CACHE_DIR or "
+             "~/.cache/repro/experiments)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the artifact cache entirely",
+    )
+    parser.add_argument(
+        "--force", action="store_true",
+        help="recompute even when a cached artifact exists (and overwrite it)",
+    )
+    profile = parser.add_mutually_exclusive_group()
+    profile.add_argument(
+        "--smoke", action="store_true",
+        help="fast profile: the trace-only exhibits (no simulator replays)",
+    )
+    profile.add_argument(
+        "--full", action="store_true",
+        help="every registered exhibit (same as 'all')",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="write a structured run report (timings, cache keys) to PATH",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress exhibit text; print only the run summary",
+    )
+    return parser
+
+
+def _list_registry() -> None:
+    print("available experiments:")
+    for eid, spec in SPECS.items():
+        tags = [spec.cost] + (["smoke"] if spec.smoke else [])
+        print(f"  {eid:22s} [{', '.join(tags)}]")
+    print(
+        "run with: python -m repro.experiments.runner <id> [<id> ...] | all"
+        " [--jobs N] [--smoke]"
+    )
+
+
+def _select_ids(args: argparse.Namespace) -> list[str] | None:
+    if args.smoke:
+        return smoke_ids()
+    if args.full or args.ids == ["all"]:
+        return experiment_ids()
+    if not args.ids:
+        return None  # list mode
+    return list(dict.fromkeys(args.ids))  # de-dup, keep order
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = list(sys.argv[1:] if argv is None else argv)
-    if not args:
-        print("available experiments:")
-        for eid in experiment_ids():
-            print(f"  {eid}")
-        print("run with: python -m repro.experiments.runner <id> [<id> ...] | all")
+    parser = build_parser()
+    args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+    if (args.smoke or args.full) and args.ids:
+        parser.error("experiment IDs cannot be combined with --smoke/--full")
+    if "all" in args.ids and len(args.ids) > 1:
+        parser.error("'all' cannot be combined with other experiment IDs")
+    ids = _select_ids(args)
+    if ids is None:
+        _list_registry()
         return 0
-    ids = experiment_ids() if args == ["all"] else args
-    for eid in ids:
-        t0 = time.time()
-        payload = run_experiment(eid)
-        elapsed = time.time() - t0
+
+    # usage errors (typo'd id, bad --jobs) fail here with a one-line
+    # message; failures *inside* experiments are per-exhibit reports.
+    try:
+        for eid in ids:
+            get_spec(eid)
+        cache = None
+        if not args.no_cache:
+            cache = ArtifactCache(args.cache_dir or default_cache_dir())
+        orchestrator = ExperimentOrchestrator(
+            cache=cache, jobs=args.jobs, force=args.force
+        )
+    except (KeyError, ValueError) as exc:
+        msg = exc.args[0] if exc.args else exc
+        print(f"error: {msg}", file=sys.stderr)
+        return 2
+    result = orchestrator.run(ids)
+
+    for report in result.reports:
         print("=" * 72)
-        print(f"[{eid}] ({elapsed:.1f}s)")
-        print(payload.get("text", "(no text payload)"))
+        print(f"[{report.exp_id}] {report.status} ({report.seconds:.2f}s)")
+        if report.status == "failed":
+            print(report.error)
+        elif not args.quiet:
+            print(result.payloads[report.exp_id].get("text", "(no text payload)"))
         print()
-    return 0
+
+    counts = {"cached": 0, "computed": 0, "failed": 0}
+    for report in result.reports:
+        counts[report.status] += 1
+    print(
+        f"{len(result.reports)} exhibits in {result.wall_seconds:.1f}s "
+        f"(jobs={result.jobs}): {counts['computed']} computed, "
+        f"{counts['cached']} cached, {counts['failed']} failed"
+    )
+
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(result.as_dict(), indent=2) + "\n")
+        print(f"report written to {args.json}")
+
+    return 1 if counts["failed"] else 0
 
 
 if __name__ == "__main__":

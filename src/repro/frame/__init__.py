@@ -1,6 +1,13 @@
 """Mini columnar dataframe substrate (numpy-backed, no pandas)."""
 
-from .io import from_csv_string, read_csv, to_csv_string, write_csv
+from .io import (
+    from_csv_string,
+    read_csv,
+    table_from_bytes,
+    table_to_bytes,
+    to_csv_string,
+    write_csv,
+)
 from .ops import (
     apply_per_group,
     group_reduce,
@@ -25,4 +32,6 @@ __all__ = [
     "write_csv",
     "to_csv_string",
     "from_csv_string",
+    "table_to_bytes",
+    "table_from_bytes",
 ]

@@ -1,22 +1,37 @@
-"""CSV round-trip for :class:`repro.frame.Table`.
+"""Serialization for :class:`repro.frame.Table`.
 
-A small, dependency-free CSV layer.  Dtypes are preserved through a typed
-header line (``name:kind``) so that a written table reads back with
-identical column dtype kinds.  ``kind`` is one of ``i`` (int64), ``f``
-(float64), ``U`` (unicode), ``b`` (bool).
+Two dependency-free layers:
+
+* a CSV round-trip for human-readable interchange.  Dtypes are preserved
+  through a typed header line (``name:kind``) so that a written table
+  reads back with identical column dtype kinds.  ``kind`` is one of
+  ``i`` (int64), ``f`` (float64), ``U`` (unicode), ``b`` (bool).
+* a binary round-trip (:func:`table_to_bytes` / :func:`table_from_bytes`)
+  used by the experiment artifact cache: exact (bit-level) preservation
+  of every column, deterministic output for equal tables, and a couple
+  orders of magnitude faster than CSV on trace-sized tables.
 """
 
 from __future__ import annotations
 
 import csv
 import io as _io
+import json
+import struct
 from pathlib import Path
 
 import numpy as np
 
 from .table import Table
 
-__all__ = ["write_csv", "read_csv"]
+__all__ = [
+    "write_csv",
+    "read_csv",
+    "to_csv_string",
+    "from_csv_string",
+    "table_to_bytes",
+    "table_from_bytes",
+]
 
 _KINDS = {"i", "f", "U", "b"}
 
@@ -102,3 +117,78 @@ def to_csv_string(table: Table) -> str:
 def from_csv_string(text: str) -> Table:
     """Parse a table from :func:`to_csv_string` output."""
     return _read_csv_stream(_io.StringIO(text))
+
+
+# ----------------------------------------------------------------------
+# Binary round-trip (exact, deterministic — the artifact-cache format)
+# ----------------------------------------------------------------------
+
+#: magic + version; bump on any layout change so stale artifacts miss.
+_TABLE_MAGIC = b"RFT1"
+
+
+def _binary_dtype(arr: np.ndarray) -> np.dtype:
+    """Dtype ``arr`` is stored as: little-endian, unicode for objects."""
+    if arr.dtype.kind in ("O", "S"):
+        arr = arr.astype(str)
+    dt = arr.dtype
+    # force explicit little-endian: native ("=") means big-endian on BE
+    # hosts, which would break the cross-machine deterministic-bytes
+    # contract the artifact cache relies on
+    if dt.byteorder in (">", "="):
+        dt = dt.newbyteorder("<")
+    return dt
+
+
+def table_to_bytes(table: Table) -> bytes:
+    """Serialize ``table`` to a compact, deterministic binary blob.
+
+    Layout: ``RFT1`` magic, a little-endian uint32 header length, a JSON
+    header (``{"nrows": n, "columns": [[name, dtype_str], ...]}``), then
+    each column's raw buffer in header order.  Equal tables serialize to
+    identical bytes, which is what lets the artifact cache compare cached
+    and fresh payloads bit-for-bit.
+    """
+    names = table.columns
+    cols = []
+    dtypes = []
+    for name in names:
+        arr = np.ascontiguousarray(table[name])
+        dt = _binary_dtype(arr)
+        if arr.dtype != dt:
+            arr = arr.astype(dt)
+        cols.append(arr)
+        dtypes.append(dt.str)
+    header = json.dumps(
+        {"nrows": table.num_rows, "columns": [[n, d] for n, d in zip(names, dtypes)]},
+        separators=(",", ":"),
+        sort_keys=False,
+    ).encode("utf-8")
+    parts = [_TABLE_MAGIC, struct.pack("<I", len(header)), header]
+    parts.extend(arr.tobytes() for arr in cols)
+    return b"".join(parts)
+
+
+def table_from_bytes(data: bytes) -> Table:
+    """Reconstruct a :class:`Table` written by :func:`table_to_bytes`."""
+    if data[:4] != _TABLE_MAGIC:
+        raise ValueError("not a serialized Table (bad magic)")
+    if len(data) < 8:
+        raise ValueError("truncated Table header")
+    (header_len,) = struct.unpack_from("<I", data, 4)
+    header_end = 8 + header_len
+    header = json.loads(data[8:header_end].decode("utf-8"))
+    nrows = int(header["nrows"])
+    offset = header_end
+    cols: dict[str, np.ndarray] = {}
+    for name, dtype_str in header["columns"]:
+        dt = np.dtype(dtype_str)
+        nbytes = dt.itemsize * nrows
+        chunk = data[offset : offset + nbytes]
+        if len(chunk) != nbytes:
+            raise ValueError(f"truncated column {name!r}")
+        cols[name] = np.frombuffer(chunk, dtype=dt).copy()
+        offset += nbytes
+    if offset != len(data):
+        raise ValueError("trailing bytes after last column")
+    return Table(cols)

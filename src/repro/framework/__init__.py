@@ -2,6 +2,13 @@
 
 from .engine import ModelUpdateEngine, UpdatePolicy
 from .orchestrator import ResourceOrchestrator
+from .parallel import (
+    effective_jobs,
+    fork_available,
+    map_threaded,
+    run_forked,
+    stable_seed,
+)
 from .plugins import CESNodeService, QSSFService
 from .service import PredictionService
 
@@ -12,4 +19,9 @@ __all__ = [
     "QSSFService",
     "ResourceOrchestrator",
     "UpdatePolicy",
+    "effective_jobs",
+    "fork_available",
+    "map_threaded",
+    "run_forked",
+    "stable_seed",
 ]

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from .parallel import map_threaded
 from .service import PredictionService
 
 __all__ = ["ModelUpdateEngine", "UpdatePolicy"]
@@ -81,6 +82,18 @@ class ModelUpdateEngine:
         state.service.fit(history)
         state.last_refit_time = now
         state.refit_count += 1
+
+    def refit_all(self, now: float, jobs: int = 1) -> list[str]:
+        """Refit every service with buffered observations; returns their
+        names.
+
+        Services are independent, so with ``jobs > 1`` the refits run on
+        a thread pool (threads, not processes: refits mutate the
+        registered service objects in place).
+        """
+        due = [name for name, st in self._services.items() if st.buffered]
+        map_threaded(lambda name: self.refit(name, now), due, jobs)
+        return due
 
     def refit_count(self, name: str) -> int:
         return self._state(name).refit_count

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from .parallel import map_threaded
 from .service import PredictionService
 
 __all__ = ["ResourceOrchestrator"]
@@ -45,3 +46,15 @@ class ResourceOrchestrator:
     def decide(self, name: str, state: Any) -> Any:
         """Ask one service for its action given the cluster state."""
         return self.service(name).act(state)
+
+    def decide_many(self, name: str, states: list[Any], jobs: int = 1) -> list[Any]:
+        """Batch dispatch: one decision per state, in input order.
+
+        Decision points are independent of each other, so ``jobs > 1``
+        fans them out on a thread pool; the service object is shared, so
+        this is only safe for services whose ``act`` does not mutate
+        internal state (true of QSSF/CES — ``observe``/``fit`` mutate,
+        ``act`` does not).
+        """
+        service = self.service(name)
+        return map_threaded(service.act, states, jobs)

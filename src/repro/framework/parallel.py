@@ -1,0 +1,108 @@
+"""Process/thread fan-out primitives for the framework layer.
+
+Small, dependency-free helpers shared by the experiment orchestrator
+(:mod:`repro.experiments.orchestrator`) and the framework components:
+
+* :func:`stable_seed` — deterministic 32-bit seeds derived from string
+  task names, so a task seeds its RNG identically no matter which worker
+  (or how many workers) runs it;
+* :func:`effective_jobs` — clamp a requested worker count to something
+  sane for the host;
+* :func:`run_forked` — map a function over items with a forked process
+  pool, falling back to in-process execution when forking is unavailable
+  or pointless (1 worker, <2 items);
+* :func:`map_threaded` — thread fan-out for I/O-light shared-memory work
+  (used by the Model Update Engine's bulk refit and the Resource
+  Orchestrator's batch dispatch).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Iterable, Sequence
+
+__all__ = [
+    "stable_seed",
+    "effective_jobs",
+    "fork_available",
+    "run_forked",
+    "map_threaded",
+]
+
+
+def stable_seed(name: str, salt: int = 0) -> int:
+    """A deterministic 32-bit seed for the task called ``name``.
+
+    Hash-based (not ``hash()``, which is salted per process) so serial
+    and parallel executions of the same task draw identical RNG streams.
+    """
+    digest = hashlib.sha256(f"{salt}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "little")
+
+
+def effective_jobs(jobs: int | None) -> int:
+    """Clamp a requested worker count to ``[1, 4 * cpu_count]``.
+
+    ``None`` or ``0`` means "one per CPU".  Values above the clamp are
+    almost certainly a typo and would only add fork overhead.
+    """
+    ncpu = os.cpu_count() or 1
+    if not jobs:
+        return ncpu
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return min(jobs, 4 * ncpu)
+
+
+def fork_available() -> bool:
+    """True when a fork-based process pool can be used on this host.
+
+    Fork matters beyond speed: workers inherit the parent's warmed
+    in-process memos copy-on-write, which is how shared precursors reach
+    every worker without re-serialization.
+    """
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def run_forked(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    jobs: int,
+    *,
+    chunksize: int = 1,
+) -> list[Any]:
+    """``[fn(x) for x in items]`` across a forked worker pool.
+
+    Results keep ``items`` order.  Degrades to an in-process loop when
+    ``jobs <= 1``, there is under 2 items of work, or the platform has no
+    ``fork`` start method — callers get one code path either way.
+    Exceptions raised in workers propagate to the caller.
+    """
+    jobs = min(effective_jobs(jobs), len(items)) if items else 1
+    if jobs <= 1 or len(items) < 2 or not fork_available():
+        return [fn(item) for item in items]
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(processes=jobs) as pool:
+        return pool.map(fn, items, chunksize=chunksize)
+
+
+def map_threaded(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    jobs: int = 1,
+) -> list[Any]:
+    """``[fn(x) for x in items]`` on a thread pool (shared memory).
+
+    For mutating shared objects in place — e.g. refitting registered
+    services — where a process pool's copy-on-write would discard the
+    mutation.  Order is preserved; exceptions propagate.
+    """
+    items = list(items)
+    jobs = min(effective_jobs(jobs), len(items)) if items else 1
+    if jobs <= 1 or len(items) < 2:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(fn, items))

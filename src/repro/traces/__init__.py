@@ -36,6 +36,7 @@ from .synth import (
     ClusterWorkloadModel,
     HeliosTraceGenerator,
     SynthParams,
+    params_signature,
     sequence_within_group,
 )
 from .users import JobTemplate, UserPopulation, UserProfile
@@ -59,6 +60,7 @@ __all__ = [
     "PhillyParams",
     "PhillyTraceGenerator",
     "SynthParams",
+    "params_signature",
     "TraceValidationError",
     "UserPopulation",
     "UserProfile",

@@ -22,7 +22,9 @@ Everything is driven by one integer seed and is fully vectorized.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+import json
+from dataclasses import asdict, dataclass, is_dataclass
 
 import numpy as np
 
@@ -39,7 +41,31 @@ from .schema import (
 )
 from .users import UserPopulation
 
-__all__ = ["SynthParams", "ClusterWorkloadModel", "HeliosTraceGenerator", "sequence_within_group"]
+__all__ = [
+    "SynthParams",
+    "ClusterWorkloadModel",
+    "HeliosTraceGenerator",
+    "params_signature",
+    "sequence_within_group",
+]
+
+
+def params_signature(params) -> str:
+    """Short stable digest of a parameter dataclass (e.g. SynthParams).
+
+    The experiment layer stamps artifact metadata with this so a cached
+    exhibit records exactly which scenario generated it; two parameter
+    sets collide only if every field is equal.
+    """
+    if not is_dataclass(params):
+        raise TypeError(f"expected a params dataclass, got {type(params)!r}")
+    canon = json.dumps(
+        {"type": type(params).__name__, **asdict(params)},
+        sort_keys=True,
+        separators=(",", ":"),
+        default=str,
+    )
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
 
 # ----------------------------------------------------------------------
 # Calibration constants (paper-reported targets; see module docstring)

@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite.
+
+The simulator builders live in :mod:`helpers` (``tests/helpers.py``) so
+test modules can import them absolutely; see that module's docstring for
+why they cannot live in ``conftest.py`` itself.  They are re-exported
+here, and wrapped as fixtures, for tests that prefer injection over
+imports.
+"""
+
+import pytest
+
+from helpers import make_spec, make_trace  # noqa: F401  (re-export)
+
+
+@pytest.fixture
+def sim_spec_factory():
+    """Factory fixture for :func:`helpers.make_spec`."""
+    return make_spec
+
+
+@pytest.fixture
+def sim_trace_factory():
+    """Factory fixture for :func:`helpers.make_trace`."""
+    return make_trace

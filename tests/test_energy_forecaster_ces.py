@@ -15,6 +15,8 @@ from repro.sim import Simulator
 from repro.stats import smape
 from repro.traces import HeliosTraceGenerator, SynthParams, is_gpu_job
 
+pytestmark = pytest.mark.slow  # CES replays + forecaster fits take seconds each
+
 
 def _daily_series(n=3000, seed=0, base=60.0, amp=15.0):
     rng = np.random.default_rng(seed)

@@ -1,0 +1,217 @@
+"""Tests for the content-addressed artifact cache and payload codec."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.cache import (
+    ArtifactCache,
+    code_fingerprint,
+    dumps_payload,
+    loads_payload,
+    memo,
+)
+from repro.frame import Table, table_from_bytes, table_to_bytes
+
+
+def sample_table():
+    return Table(
+        {
+            "job_id": np.array(["a", "bb", "ccc"]),
+            "gpus": np.array([1, 8, 256], dtype=np.int64),
+            "duration": np.array([0.5, 1e9, -3.25]),
+            "ok": np.array([True, False, True]),
+        }
+    )
+
+
+def assert_tables_equal(a: Table, b: Table):
+    assert a.columns == b.columns
+    for name in a.columns:
+        assert a[name].dtype == b[name].dtype
+        np.testing.assert_array_equal(a[name], b[name])
+
+
+class TestTableBytes:
+    def test_round_trip(self):
+        t = sample_table()
+        assert_tables_equal(t, table_from_bytes(table_to_bytes(t)))
+
+    def test_empty_table(self):
+        t = Table()
+        back = table_from_bytes(table_to_bytes(t))
+        assert back.columns == []
+
+    def test_zero_row_table(self):
+        t = Table({"x": np.array([], dtype=np.int64), "s": np.array([], dtype="U4")})
+        back = table_from_bytes(table_to_bytes(t))
+        assert back.columns == ["x", "s"]
+        assert back.num_rows == 0
+
+    def test_deterministic(self):
+        assert table_to_bytes(sample_table()) == table_to_bytes(sample_table())
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="magic"):
+            table_from_bytes(b"XXXX" + table_to_bytes(sample_table())[4:])
+
+    def test_truncation_rejected(self):
+        blob = table_to_bytes(sample_table())
+        with pytest.raises(ValueError):
+            table_from_bytes(blob[:-3])
+
+
+class TestPayloadCodec:
+    def test_nested_round_trip(self):
+        payload = {
+            "text": "Table X",
+            "table": sample_table(),
+            "curves": {("Venus", "gpu"): (np.arange(4), np.linspace(0, 1, 4))},
+            "scalar": 3.25,
+        }
+        back = loads_payload(dumps_payload(payload))
+        assert back["text"] == payload["text"]
+        assert back["scalar"] == payload["scalar"]
+        assert_tables_equal(back["table"], payload["table"])
+        xs, ys = back["curves"][("Venus", "gpu")]
+        np.testing.assert_array_equal(xs, np.arange(4))
+        np.testing.assert_array_equal(ys, np.linspace(0, 1, 4))
+
+    def test_deterministic_bytes(self):
+        payload = {"table": sample_table(), "arr": np.arange(10.0)}
+        again = {"table": sample_table(), "arr": np.arange(10.0)}
+        assert dumps_payload(payload) == dumps_payload(again)
+
+
+class TestKeying:
+    def test_parameter_change_busts_key(self):
+        base = ArtifactCache.key_for("fig1", {"scale": 0.1}, "fp")
+        assert ArtifactCache.key_for("fig1", {"scale": 0.2}, "fp") != base
+        assert ArtifactCache.key_for("fig1", {"scale": 0.1}, "fp") == base
+
+    def test_param_order_irrelevant(self):
+        assert ArtifactCache.key_for(
+            "fig1", {"a": 1, "b": 2}, "fp"
+        ) == ArtifactCache.key_for("fig1", {"b": 2, "a": 1}, "fp")
+
+    def test_fingerprint_change_busts_key(self):
+        assert ArtifactCache.key_for("fig1", {}, "fp1") != ArtifactCache.key_for(
+            "fig1", {}, "fp2"
+        )
+
+    def test_experiment_id_in_key(self):
+        assert ArtifactCache.key_for("fig1", {}, "fp") != ArtifactCache.key_for(
+            "fig2", {}, "fp"
+        )
+
+
+class TestCodeFingerprint:
+    def test_stable_and_sensitive(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "a.py").write_text("x = 1\n")
+        (pkg / "b.py").write_text("y = 2\n")
+        fp1 = code_fingerprint(pkg, refresh=True)
+        assert code_fingerprint(pkg) == fp1  # memoized + stable
+        (pkg / "a.py").write_text("x = 999\n")
+        fp2 = code_fingerprint(pkg, refresh=True)
+        assert fp2 != fp1
+
+    def test_new_file_changes_fingerprint(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "a.py").write_text("x = 1\n")
+        fp1 = code_fingerprint(pkg, refresh=True)
+        (pkg / "new.py").write_text("z = 3\n")
+        assert code_fingerprint(pkg, refresh=True) != fp1
+
+    def test_repro_tree_fingerprint_is_memoized(self):
+        assert code_fingerprint() == code_fingerprint()
+
+
+class TestArtifactCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = ArtifactCache.key_for("t", {}, "fp")
+        assert cache.load(key) is None
+        payload = {"table": sample_table(), "text": "hi"}
+        cache.store(key, payload, exp_id="t", fingerprint="fp")
+        back = cache.load(key)
+        assert back["text"] == "hi"
+        assert_tables_equal(back["table"], payload["table"])
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+
+    def test_cached_bytes_identical_to_fresh_serialization(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        payload = {"table": sample_table(), "arr": np.arange(5.0), "text": "x"}
+        key = ArtifactCache.key_for("t", {}, "fp")
+        cache.store(key, payload)
+        assert cache.load_bytes(key) == dumps_payload(payload)
+
+    def test_corrupted_artifact_falls_back_to_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = ArtifactCache.key_for("t", {}, "fp")
+        path = cache.store(key, {"text": "x", "table": sample_table()})
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # flip a payload byte: checksum must catch it
+        path.write_bytes(bytes(blob))
+        assert cache.load(key) is None
+        assert cache.stats.corrupted == 1
+        # recompute-and-overwrite restores the artifact
+        cache.store(key, {"text": "x", "table": sample_table()})
+        assert cache.load(key)["text"] == "x"
+
+    def test_truncated_artifact_is_a_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = ArtifactCache.key_for("t", {}, "fp")
+        path = cache.store(key, {"text": "x"})
+        path.write_bytes(path.read_bytes()[:-10])
+        assert cache.load(key) is None
+
+    def test_garbage_artifact_is_a_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = ArtifactCache.key_for("t", {}, "fp")
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"not an artifact at all")
+        assert cache.load(key) is None
+        assert not cache.contains(key)
+
+    def test_contains_and_metadata(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = ArtifactCache.key_for("fig1", {"p": 1}, "fp")
+        assert not cache.contains(key)
+        cache.store(key, {"text": "x"}, exp_id="fig1", params={"p": 1}, fingerprint="fp")
+        assert cache.contains(key)
+        meta = cache.metadata(key)
+        assert meta["exp_id"] == "fig1"
+        assert meta["params"] == {"p": 1}
+        assert meta["fingerprint"] == "fp"
+
+
+class TestMemo:
+    def test_caches_and_counts_calls(self):
+        calls = []
+
+        @memo
+        def f(x, y=10):
+            calls.append((x, y))
+            return x + y
+
+        assert f(1) == 11
+        assert f(1) == 11
+        assert f(1, 10) == 11  # default folded into the key
+        assert f(x=1) == 11
+        assert calls == [(1, 10)]
+
+    def test_warm_installs_value(self):
+        @memo
+        def f(x):
+            raise AssertionError("must not be called")
+
+        f.warm((5,), "primed")
+        assert f(5) == "primed"
+        assert f.is_cached(5)
+        f.cache_clear()
+        assert not f.is_cached(5)

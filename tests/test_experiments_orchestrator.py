@@ -1,0 +1,168 @@
+"""Tests for the experiment orchestrator: cache integration, precursor
+warming, failure isolation, and serial-vs-parallel determinism."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ArtifactCache,
+    ExperimentOrchestrator,
+    ExperimentSpec,
+    SPECS,
+    smoke_ids,
+)
+from repro.experiments import common, registry
+from repro.experiments.cache import dumps_payload
+from repro.experiments.orchestrator import _run_seeded
+
+#: Small deterministic subset: table1 needs no precursors, fig5/fig6 share
+#: the four cluster traces — enough to exercise cache, precursor dedup,
+#: and the forked pool without replaying any scheduler.
+SUBSET = ["table1", "fig5", "fig6"]
+
+
+class TestRegistryMetadata:
+    def test_every_spec_declares_valid_inputs(self):
+        for spec in SPECS.values():
+            for token in spec.inputs:
+                # raises KeyError on an unknown precursor function
+                common._parse_precursor(token)
+
+    def test_cost_tiers_cover_all(self):
+        assert {s.cost for s in SPECS.values()} <= {"cheap", "medium", "heavy"}
+
+    def test_smoke_profile_is_cheap(self):
+        assert set(smoke_ids()) <= set(SPECS)
+        for eid in smoke_ids():
+            assert not any(
+                tok.split(":")[0].endswith("replay") or tok.startswith("ces_report")
+                for tok in SPECS[eid].inputs
+            ), f"{eid} is in the smoke profile but needs a replay"
+
+
+class TestOrchestratorCache:
+    def test_cold_then_warm(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        orch = ExperimentOrchestrator(cache=cache, jobs=1)
+        cold = orch.run(["table1"])
+        assert [r.status for r in cold.reports] == ["computed"]
+        warm = ExperimentOrchestrator(cache=ArtifactCache(tmp_path), jobs=1).run(
+            ["table1"]
+        )
+        assert [r.status for r in warm.reports] == ["cached"]
+        assert dumps_payload(cold.payloads["table1"]) == dumps_payload(
+            warm.payloads["table1"]
+        )
+
+    def test_force_recomputes(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        ExperimentOrchestrator(cache=cache, jobs=1).run(["table1"])
+        forced = ExperimentOrchestrator(
+            cache=ArtifactCache(tmp_path), jobs=1, force=True
+        ).run(["table1"])
+        assert [r.status for r in forced.reports] == ["computed"]
+
+    def test_no_cache_always_computes(self):
+        res = ExperimentOrchestrator(jobs=1).run(["table1"])
+        assert [r.status for r in res.reports] == ["computed"]
+        assert res.cache_stats == {}
+
+    def test_unknown_experiment_fails_fast(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            ExperimentOrchestrator(jobs=1).run(["fig99"])
+
+
+class TestFailureIsolation:
+    def test_failed_experiment_reported_not_raised(self, monkeypatch, tmp_path):
+        def boom():
+            raise RuntimeError("exhibit exploded")
+
+        monkeypatch.setitem(
+            registry.SPECS, "boom", ExperimentSpec("boom", boom, "cheap", ())
+        )
+        res = ExperimentOrchestrator(cache=ArtifactCache(tmp_path), jobs=1).run(
+            ["table1", "boom"]
+        )
+        by_id = {r.exp_id: r for r in res.reports}
+        assert by_id["table1"].status == "computed"
+        assert by_id["boom"].status == "failed"
+        assert "exhibit exploded" in by_id["boom"].error
+        assert "boom" not in res.payloads
+        assert res.failed == [by_id["boom"]]
+
+    def test_failing_precursor_does_not_abort_parallel_run(
+        self, monkeypatch, tmp_path
+    ):
+        """A bad shared input fails its exhibit, not the whole pool run."""
+
+        def needs_bad_precursor():
+            return {"text": str(common.compute_precursor("cluster_trace:Nope"))}
+
+        monkeypatch.setitem(
+            registry.SPECS,
+            "badpre",
+            ExperimentSpec(
+                "badpre", needs_bad_precursor, "cheap", ("cluster_trace:Nope",)
+            ),
+        )
+        res = ExperimentOrchestrator(cache=ArtifactCache(tmp_path), jobs=2).run(
+            ["badpre", "table1"]
+        )
+        by_id = {r.exp_id: r for r in res.reports}
+        assert by_id["table1"].status == "computed"
+        assert by_id["badpre"].status == "failed"
+        assert by_id["badpre"].error
+
+
+@pytest.mark.slow
+class TestParallelDeterminism:
+    def test_jobs4_payloads_identical_to_serial(self, tmp_path):
+        """`run --jobs 4` must reproduce `--jobs 1` bit-for-bit (smoke subset)."""
+        serial = ExperimentOrchestrator(jobs=1).run(SUBSET)
+        serial_bytes = {e: dumps_payload(serial.payloads[e]) for e in SUBSET}
+
+        # Drop every memoized trace so the parallel run re-derives the
+        # shared precursors through the worker pool + warming path.
+        common.clear_scenario_caches()
+        parallel = ExperimentOrchestrator(
+            cache=ArtifactCache(tmp_path), jobs=4
+        ).run(SUBSET)
+        assert [r.status for r in parallel.reports] == ["computed"] * len(SUBSET)
+        for eid in SUBSET:
+            assert dumps_payload(parallel.payloads[eid]) == serial_bytes[eid], eid
+
+        # precursors declared by the subset are now warm in the parent
+        for token in SPECS["fig5"].inputs:
+            assert common.is_warm(token)
+
+        # and the artifacts written by the parallel run read back as the
+        # same bytes a fresh serial computation produces
+        cache = ArtifactCache(tmp_path)
+        for report in parallel.reports:
+            assert cache.load_bytes(report.cache_key) == serial_bytes[report.exp_id]
+
+    def test_replay_exhibit_identical_across_precursor_pool(self):
+        """Guard the invariant behind parallel byte-identity for exhibits
+        whose precursors are simulator replays: computing ``full_replay``
+        in an unseeded pool worker (parallel) must yield the same payload
+        as computing it lazily under the experiment's seed (serial) —
+        i.e. no precursor may consume seeded global randomness.  fig6 is
+        paired in so both the precursor and experiment pools engage
+        (a single exhibit would fall back to the in-process path)."""
+        ids = ["fig4", "fig6"]
+        serial = ExperimentOrchestrator(jobs=1).run(ids)
+        serial_blobs = {e: dumps_payload(serial.payloads[e]) for e in ids}
+
+        common.clear_scenario_caches()
+        parallel = ExperimentOrchestrator(jobs=2).run(ids)
+        for eid in ids:
+            assert dumps_payload(parallel.payloads[eid]) == serial_blobs[eid], eid
+
+
+class TestSeeding:
+    def test_run_seeded_pins_global_rng(self):
+        _run_seeded("table1")
+        a = np.random.random()
+        _run_seeded("table1")
+        b = np.random.random()
+        assert a == b

@@ -40,6 +40,51 @@ class TestRunner:
         assert "table3" in out and "fig14" in out
 
     def test_run_one(self, capsys):
-        assert runner_main(["table1"]) == 0
+        assert runner_main(["table1", "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "Table 1" in out
+
+
+class TestRunnerCLI:
+    def test_cache_round_trip(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert runner_main(["table1", "--cache-dir", cache_dir]) == 0
+        assert "computed" in capsys.readouterr().out
+        assert runner_main(["table1", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "cached" in out and "Table 1" in out
+
+    def test_force_recomputes(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        runner_main(["table1", "--cache-dir", cache_dir])
+        runner_main(["table1", "--cache-dir", cache_dir, "--force", "-q"])
+        assert "computed" in capsys.readouterr().out
+
+    def test_json_report(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        assert (
+            runner_main(
+                ["table1", "--no-cache", "-q", "--json", str(report_path)]
+            )
+            == 0
+        )
+        import json
+
+        report = json.loads(report_path.read_text())
+        assert report["results"][0]["exp_id"] == "table1"
+        assert report["results"][0]["status"] == "computed"
+        assert report["jobs"] == 1
+
+    def test_profile_selection(self):
+        from repro.experiments.runner import _select_ids, build_parser
+        from repro.experiments import experiment_ids, smoke_ids
+
+        parser = build_parser()
+        assert _select_ids(parser.parse_args(["--smoke"])) == smoke_ids()
+        assert _select_ids(parser.parse_args(["all"])) == experiment_ids()
+        assert _select_ids(parser.parse_args(["--full"])) == experiment_ids()
+        assert _select_ids(parser.parse_args([])) is None
+        assert _select_ids(parser.parse_args(["fig1", "fig1", "table1"])) == [
+            "fig1",
+            "table1",
+        ]

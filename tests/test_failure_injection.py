@@ -16,7 +16,7 @@ from repro.traces import (
     validate_trace,
 )
 
-from .test_sim_engine import make_spec, make_trace
+from helpers import make_spec, make_trace
 
 
 class BrokenScheduler(Scheduler):
@@ -157,7 +157,7 @@ class TestDRSEdgeCases:
 
     def test_ces_service_rejects_short_training(self):
         from repro.sched import SJFScheduler
-        from .test_sim_engine import make_spec as ms, make_trace as mt
+        from helpers import make_spec as ms, make_trace as mt
 
         res = Simulator(ms(), SJFScheduler()).run(mt([(0, 1, 100)]))
         with pytest.raises(ValueError):

@@ -80,6 +80,25 @@ class TestModelUpdateEngine:
         with pytest.raises(ValueError):
             UpdatePolicy(max_buffered=0)
 
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_refit_all(self, jobs):
+        eng = ModelUpdateEngine(UpdatePolicy(interval_seconds=1e9))
+        services = []
+        for i in range(3):
+            svc = CountingService()
+            svc.service_name = f"svc{i}"
+            services.append(svc)
+            eng.register(svc, list)
+        eng.observe("svc0", "a", now=1.0)
+        eng.observe("svc2", "b", now=1.0)
+        refitted = eng.refit_all(now=2.0, jobs=jobs)
+        assert refitted == ["svc0", "svc2"]  # svc1 had nothing buffered
+        assert [s.fit_calls for s in services] == [1, 0, 1]
+        assert eng.refit_count("svc0") == 1
+
+    def test_refit_all_empty_engine(self):
+        assert ModelUpdateEngine().refit_all(now=0.0) == []
+
 
 class TestOrchestrator:
     def test_install_and_decide(self):
@@ -105,6 +124,20 @@ class TestOrchestrator:
     def test_unknown_service(self):
         with pytest.raises(KeyError):
             ResourceOrchestrator().decide("ghost", None)
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_decide_many_preserves_order(self, jobs):
+        orch = ResourceOrchestrator()
+        orch.install(CountingService())
+        states = [f"q{i}" for i in range(5)]
+        assert orch.decide_many("counter", states, jobs=jobs) == [
+            f"act(q{i})" for i in range(5)
+        ]
+
+    def test_decide_many_empty(self):
+        orch = ResourceOrchestrator()
+        orch.install(CountingService())
+        assert orch.decide_many("counter", []) == []
 
 
 @pytest.fixture(scope="module")

@@ -41,6 +41,8 @@ from repro.traces import (
     validate_trace,
 )
 
+pytestmark = pytest.mark.slow  # full-pipeline flows dominate the suite wall-clock
+
 MONTH = 30 * 86_400
 
 

@@ -16,7 +16,9 @@ from repro.sched import (
 from repro.sim import Simulator
 from repro.traces import HeliosTraceGenerator, SynthParams, is_gpu_job, split_train_eval
 
-from .test_sim_engine import make_spec, make_trace
+from helpers import make_spec, make_trace
+
+pytestmark = pytest.mark.slow  # trains QSSF models on synthetic months
 
 
 @pytest.fixture(scope="module")

@@ -3,40 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.frame import Table
 from repro.sched import FIFOScheduler, SJFScheduler, SRTFScheduler
 from repro.sim import Simulator
-from repro.traces import ClusterSpec, VCSpec
 
-
-def make_spec(nodes=2, gpn=8, vcs=1):
-    return ClusterSpec(
-        name="T",
-        gpus_per_node=gpn,
-        vcs=tuple(
-            VCSpec(f"vc{i}", num_nodes=nodes, gpus_per_node=gpn) for i in range(vcs)
-        ),
-    )
-
-
-def make_trace(rows):
-    """rows: list of (submit, gpus, duration[, vc])."""
-    n = len(rows)
-    return Table(
-        {
-            "job_id": np.array([f"j{i}" for i in range(n)]),
-            "cluster": np.full(n, "T"),
-            "vc": np.array([r[3] if len(r) > 3 else "vc0" for r in rows]),
-            "user": np.full(n, "u"),
-            "name": np.array([f"n{i}" for i in range(n)]),
-            "gpu_num": np.array([r[1] for r in rows], dtype=np.int64),
-            "cpu_num": np.array([max(1, r[1]) for r in rows], dtype=np.int64),
-            "node_num": np.array([max(1, -(-r[1] // 8)) for r in rows], dtype=np.int64),
-            "submit_time": np.array([r[0] for r in rows], dtype=np.int64),
-            "duration": np.array([float(r[2]) for r in rows]),
-            "status": np.full(n, "completed"),
-        }
-    )
+from helpers import make_spec, make_trace
 
 
 class TestBasics:

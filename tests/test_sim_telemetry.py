@@ -13,7 +13,7 @@ from repro.sim import (
 )
 from repro.stats import TimeGrid
 
-from .test_sim_engine import make_spec, make_trace
+from helpers import make_spec, make_trace
 
 
 class TestUtilization:
