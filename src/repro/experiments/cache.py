@@ -328,7 +328,27 @@ class memo:
         except KeyError:
             value = self.fn(*args, **kwargs)
             self.cache[key] = value
+            self._log_miss(key)
             return value
+
+    def _log_miss(self, key: tuple) -> None:
+        """Append a compute record to ``$REPRO_MEMO_LOG`` when set.
+
+        One line per actual (non-warmed) computation: ``pid\tfn\targs``.
+        Worker processes inherit the environment variable, so a single
+        log file collects every process's computes — the orchestrator
+        tests use it to assert that no precursor is ever computed twice
+        across the pool.  Never raises; a broken log path degrades to
+        no logging.
+        """
+        path = os.environ.get("REPRO_MEMO_LOG")
+        if not path:
+            return
+        try:
+            with open(path, "a", encoding="utf-8") as fh:
+                fh.write(f"{os.getpid()}\t{self.__name__}\t{key!r}\n")
+        except OSError:  # pragma: no cover - diagnostics only
+            pass
 
     def warm(self, args: tuple, value: Any) -> None:
         """Install a value computed elsewhere (e.g. a worker process)."""

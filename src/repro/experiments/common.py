@@ -45,6 +45,8 @@ __all__ = [
     "philly_generator", "philly_trace", "philly_replay",
     "SCHEDULER_NAMES",
     "PRECURSOR_FNS", "compute_precursor", "warm_precursor", "is_warm",
+    "PRECURSOR_WAVES", "PARENT_WAVE_NAMES",
+    "precursor_deps", "expand_precursors", "precursor_waves",
     "scenario_signature", "clear_scenario_caches",
 ]
 
@@ -200,6 +202,97 @@ def compute_precursor(token: str):
     """Evaluate one shared input (warming this process's memo)."""
     fn, args = _parse_precursor(token)
     return fn(*args)
+
+
+# ----------------------------------------------------------------------
+# Precursor dependency graph (wave scheduling for the orchestrator)
+# ----------------------------------------------------------------------
+
+#: Warm-wave rank per precursor family.  The orchestrator computes each
+#: wave across the pool, installs the results, and forks the next wave
+#: *after* warming — so replay workers inherit every trace copy-on-write
+#: instead of regenerating it (wave 1: traces; wave 2+: replays, per the
+#: two-wave design; schedulers and CES reports get their own ranks so
+#: the QSSF model and the replays that consume it never race).
+PRECURSOR_WAVES: dict[str, int] = {
+    "cluster_trace": 0,
+    "philly_trace": 0,
+    "cluster_gpu_trace": 1,
+    "full_replay": 2,
+    "qssf_scheduler": 2,
+    "september_replay": 3,
+    "philly_replay": 3,
+    "ces_report": 4,
+}
+
+#: Families cheap enough to derive in the parent process between waves
+#: (a GPU-job filter over an already-warm trace) — forking for them
+#: costs more than computing them.
+PARENT_WAVE_NAMES = frozenset({"cluster_gpu_trace"})
+
+
+def precursor_deps(token: str) -> tuple[str, ...]:
+    """Direct precursor dependencies of ``token`` (non-transitive)."""
+    name, _, rest = token.partition(":")
+    args = rest.split(":") if rest else []
+    if name == "cluster_gpu_trace":
+        return (f"cluster_trace:{args[0]}",)
+    if name in ("full_replay", "qssf_scheduler"):
+        return (f"cluster_gpu_trace:{args[0]}",)
+    if name == "september_replay":
+        deps = [f"cluster_gpu_trace:{args[0]}"]
+        if len(args) > 1 and args[1] == "QSSF":
+            deps.append(f"qssf_scheduler:{args[0]}")
+        return tuple(deps)
+    if name == "philly_replay":
+        return ("philly_trace",)
+    if name == "ces_report":
+        if args and args[0] == "Philly":
+            return (f"philly_replay:FIFO:{PHILLY_DAYS}",)
+        return (f"full_replay:{args[0]}",)
+    return ()
+
+
+def expand_precursors(tokens: list[str]) -> list[str]:
+    """Close a token list over :func:`precursor_deps` (order-preserving).
+
+    Experiments declare only their top-level inputs; the traces and
+    schedulers those replays consume are derived here, which is what lets
+    the orchestrator warm them in an earlier wave instead of having every
+    replay worker recompute them.
+    """
+    out: list[str] = []
+    seen: set[str] = set()
+
+    def visit(token: str) -> None:
+        if token in seen:
+            return
+        seen.add(token)
+        for dep in precursor_deps(token):
+            visit(dep)
+        out.append(token)
+
+    for token in tokens:
+        visit(token)
+    return out
+
+
+def precursor_waves(tokens: list[str]):
+    """Group tokens into ordered warm waves.
+
+    Yields ``(wave_rank, tokens, in_parent)`` tuples, in execution order.
+    ``in_parent`` marks waves of cheap derivations the orchestrator
+    should run in-process rather than fork for.  Unknown families sort
+    last (they can only depend on registered ones).
+    """
+    by_wave: dict[int, list[str]] = {}
+    for token in tokens:
+        name = token.partition(":")[0]
+        wave = PRECURSOR_WAVES.get(name, max(PRECURSOR_WAVES.values()) + 1)
+        by_wave.setdefault(wave, []).append(token)
+    for wave in sorted(by_wave):
+        names = {t.partition(":")[0] for t in by_wave[wave]}
+        yield wave, by_wave[wave], names <= PARENT_WAVE_NAMES
 
 
 def warm_precursor(token: str, value) -> None:

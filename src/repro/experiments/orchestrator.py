@@ -6,11 +6,17 @@ Runs a set of registered exhibits end-to-end:
    fingerprint) is checked against the :class:`ArtifactCache`; hits
    return in milliseconds without touching the simulator.
 2. **Precursor phase** — the union of the remaining experiments' shared
-   inputs (declared as precursor tokens in the registry) is computed
-   once across a forked worker pool, then installed into this process's
-   memos (:func:`repro.experiments.common.warm_precursor`).  This is
-   what keeps e.g. the Saturn/QSSF September replay from being computed
-   by three different workers.
+   inputs (declared as precursor tokens in the registry, closed over
+   :func:`repro.experiments.common.precursor_deps`) is computed once
+   across a forked worker pool in *dependency waves*: base traces
+   first, then (in-parent) the cheap GPU-job filters, then simulator
+   replays and schedulers, then CES reports.  Each wave's results are
+   installed into this process's memos
+   (:func:`repro.experiments.common.warm_precursor`) before the next
+   wave forks, so replay workers inherit every trace copy-on-write —
+   no worker ever regenerates a trace another worker (or an earlier
+   wave) already produced, and the Saturn/QSSF September replay is
+   computed exactly once.
 3. **Experiment phase** — a fresh pool is forked *after* warming, so
    every worker inherits the precursors copy-on-write.  Workers return
    serialized payload bytes; the parent stores them as artifacts and
@@ -259,15 +265,32 @@ class ExperimentOrchestrator:
         return payload, RunReport(exp_id, "cached", time.perf_counter() - t0, key)
 
     def _warm_precursors(self, specs) -> None:
-        """Compute each distinct shared input once across the pool."""
+        """Compute each distinct shared input once, in dependency waves.
+
+        Declared inputs are closed over their derivation chain (a replay
+        implies its trace; a QSSF replay implies its trained scheduler),
+        then computed wave by wave: every wave forks only after the
+        previous wave's values are installed in this process, so its
+        workers inherit them copy-on-write and never recompute them.
+        """
         tokens: list[str] = []
-        seen = set()
         for spec in specs:
-            for token in spec.inputs:
-                if token not in seen and not common.is_warm(token):
-                    seen.add(token)
-                    tokens.append(token)
-        tokens.sort(key=_token_rank)
-        for token, value, ok in run_forked(_precursor_task, tokens, self.jobs):
-            if ok:
-                common.warm_precursor(token, value)
+            tokens.extend(spec.inputs)
+        tokens = common.expand_precursors(list(dict.fromkeys(tokens)))
+        for _wave, wave_tokens, in_parent in common.precursor_waves(tokens):
+            cold = [t for t in wave_tokens if not common.is_warm(t)]
+            if not cold:
+                continue
+            if in_parent:
+                # Cheap derivations of already-warm values: forking would
+                # cost more than the work itself.
+                for token in cold:
+                    try:
+                        common.compute_precursor(token)
+                    except Exception:
+                        pass  # the exhibits needing it will report the failure
+                continue
+            cold.sort(key=_token_rank)
+            for token, value, ok in run_forked(_precursor_task, cold, self.jobs):
+                if ok:
+                    common.warm_precursor(token, value)

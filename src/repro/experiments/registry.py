@@ -9,10 +9,13 @@ orchestration metadata:
 * ``inputs`` — precursor tokens (see
   :func:`repro.experiments.common.compute_precursor`) naming the shared
   memoized inputs (synthetic traces, simulator replays, CES reports) the
-  experiment reads.  The parallel orchestrator computes the union of
-  these once across the worker pool and warms the parent's memos before
-  fanning out, so no two workers replay the same (cluster, scheduler)
-  pair;
+  experiment reads.  Specs declare only their *top-level* inputs: the
+  orchestrator closes the set over
+  :func:`repro.experiments.common.precursor_deps` (a replay implies its
+  trace, a QSSF replay its trained scheduler) and warms the result in
+  dependency waves across the worker pool before fanning out, so no two
+  workers replay the same (cluster, scheduler) pair and no replay worker
+  regenerates a trace;
 * ``smoke`` — membership in the fast CLI profile (``--smoke``): the
   trace-only exhibits that exercise the full pipeline in seconds.
 """
@@ -78,9 +81,9 @@ _SPEC_TABLE: tuple[ExperimentSpec, ...] = (
     ExperimentSpec("fig1", characterization.exp_fig1, "medium",
                    _traces(philly=True), smoke=True),
     ExperimentSpec("fig2", characterization.exp_fig2, "heavy",
-                   _traces() + _full_replays()),
+                   _full_replays()),
     ExperimentSpec("fig3", characterization.exp_fig3, "heavy",
-                   _traces() + _full_replays()),
+                   _full_replays()),
     ExperimentSpec("fig4", characterization.exp_fig4, "medium",
                    _full_replays("Earth")),
     ExperimentSpec("fig5", characterization.exp_fig5, "medium", _traces(),
@@ -92,7 +95,7 @@ _SPEC_TABLE: tuple[ExperimentSpec, ...] = (
     ExperimentSpec("fig8", characterization.exp_fig8, "medium", _traces(),
                    smoke=True),
     ExperimentSpec("fig9", characterization.exp_fig9, "heavy",
-                   _traces() + _full_replays()),
+                   _full_replays()),
     # -- §4.2 QSSF ----------------------------------------------------
     ExperimentSpec("fig11", scheduling.exp_fig11, "heavy", _september()),
     ExperimentSpec("fig12", scheduling.exp_fig12, "heavy",
@@ -120,8 +123,7 @@ _SPEC_TABLE: tuple[ExperimentSpec, ...] = (
     ExperimentSpec("ablation_buffer", ablations.exp_ablation_buffer, "heavy",
                    ("ces_report:Earth",)),
     ExperimentSpec("ablation_oracle", ablations.exp_ablation_oracle, "heavy",
-                   ("cluster_gpu_trace:Venus",)
-                   + _september(clusters=("Venus",), scheds=("FIFO", "QSSF"))),
+                   _september(clusters=("Venus",), scheds=("FIFO", "QSSF"))),
 )
 
 SPECS: dict[str, ExperimentSpec] = {spec.exp_id: spec for spec in _SPEC_TABLE}

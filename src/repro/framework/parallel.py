@@ -62,8 +62,14 @@ def fork_available() -> bool:
 
     Fork matters beyond speed: workers inherit the parent's warmed
     in-process memos copy-on-write, which is how shared precursors reach
-    every worker without re-serialization.
+    every worker without re-serialization.  Daemonic processes (e.g. the
+    orchestrator's own pool workers) cannot have children, so nested
+    fan-out — a worker running an exhibit whose internals also want a
+    pool, like the fold-parallel forecaster comparison — reports
+    unavailable and degrades to the in-process path.
     """
+    if multiprocessing.current_process().daemon:
+        return False
     return "fork" in multiprocessing.get_all_start_methods()
 
 

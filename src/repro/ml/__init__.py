@@ -16,6 +16,7 @@ from .model_selection import (
     evaluate_forecaster,
     grid_search,
     rolling_origin_splits,
+    supports_update,
     time_split,
     train_test_split,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "levenshtein_ratio",
     "rolling_origin_splits",
     "similar_names",
+    "supports_update",
     "time_features",
     "time_split",
     "train_test_split",

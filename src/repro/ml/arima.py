@@ -4,6 +4,15 @@ One of the classical comparators the paper tried for the CES node-count
 forecaster (§4.3.2, [32]).  Coefficients are estimated by conditional
 least squares on the lag matrix; forecasting is the standard recursive
 plug-in, with differencing inverted at the end.
+
+The estimator is incremental: ``fit`` accumulates the normal-equation
+moments ``X'X`` and ``X'y`` row by row, and :meth:`ARIMAForecaster.update`
+continues the same accumulation over appended points, so a rolling-origin
+fold update costs O(step · p²) instead of a full O(n · p²) re-fit.
+Because both paths add the identical per-row outer products in the
+identical order, ``fit(head); update(tail)`` is *bit-exact* with
+``fit(head + tail)`` — the property the incremental-evaluation engine's
+tests pin down.
 """
 
 from __future__ import annotations
@@ -32,7 +41,7 @@ def _undifference(fc: np.ndarray, tails: list[np.ndarray]) -> np.ndarray:
 
 
 class ARIMAForecaster:
-    """ARIMA(p, d, 0) point forecaster.
+    """ARIMA(p, d, 0) point forecaster with incremental refitting.
 
     Parameters
     ----------
@@ -52,6 +61,10 @@ class ARIMAForecaster:
         self.coef_: np.ndarray | None = None
         self.intercept_: float = 0.0
         self._history: np.ndarray | None = None
+        # Normal-equation accumulators over the lag rows seen so far.
+        self._XtX: np.ndarray | None = None
+        self._Xty: np.ndarray | None = None
+        self._n_rows: int = 0
 
     def fit(self, y: np.ndarray) -> "ARIMAForecaster":
         y = np.asarray(y, dtype=float)
@@ -62,16 +75,68 @@ class ARIMAForecaster:
                 f"series too short: need > {self.p + self.d + 2} points, got {y.size}"
             )
         self._history = y.copy()
+        k = self.p + 1
+        self._XtX = np.zeros((k, k))
+        self._Xty = np.zeros(k)
+        self._n_rows = 0
         z, _ = _difference(y, self.d)
-        n = z.size - self.p
-        # Lag matrix: row t = [z_{t+p-1}, ..., z_t] predicting z_{t+p}.
-        lags = np.stack([z[self.p - k - 1 : self.p - k - 1 + n] for k in range(self.p)], axis=1)
-        target = z[self.p :]
-        X = np.hstack([np.ones((n, 1)), lags])
-        beta, *_ = np.linalg.lstsq(X, target, rcond=None)
+        self._accumulate(z)
+        self._solve()
+        return self
+
+    def update(self, new_points: np.ndarray) -> "ARIMAForecaster":
+        """Extend the series and refit from the running moments.
+
+        Appends ``new_points`` to the history, accumulates only the lag
+        rows they introduce into ``X'X`` / ``X'y``, and re-solves — an
+        O(len(new_points) · p²) operation that yields coefficients
+        bit-identical to a scratch :meth:`fit` on the full series.
+        """
+        if self.coef_ is None or self._history is None:
+            raise RuntimeError("model not fitted; call fit() before update()")
+        new_points = np.asarray(new_points, dtype=float)
+        if new_points.ndim != 1:
+            raise ValueError("new_points must be 1-D")
+        if new_points.size == 0:
+            return self
+        self._history = np.concatenate([self._history, new_points])
+        # Differencing is local, so old z values are unchanged by the
+        # append; only the rows past ``_n_rows`` are new.
+        z, _ = _difference(self._history, self.d)
+        self._accumulate(z)
+        self._solve()
+        return self
+
+    # ------------------------------------------------------------------
+    def _accumulate(self, z: np.ndarray) -> None:
+        """Add lag rows ``[_n_rows, z.size - p)`` into the moments.
+
+        Rows are added one at a time in series order: strictly sequential
+        floating-point accumulation is what makes an interrupted fit
+        (fit + updates) bit-exact with a batch fit over the same data.
+        """
+        p = self.p
+        n_rows = z.size - p
+        row = np.empty(p + 1)
+        row[0] = 1.0
+        outer = np.empty((p + 1, p + 1))
+        for i in range(self._n_rows, n_rows):
+            row[1:] = z[i : i + p][::-1]  # most recent lag first
+            np.outer(row, row, out=outer)
+            self._XtX += outer
+            self._Xty += row * z[i + p]
+        self._n_rows = max(self._n_rows, n_rows)
+
+    def _solve(self) -> None:
+        """Least-squares coefficients from the accumulated moments.
+
+        ``pinv(X'X) @ X'y`` equals the minimum-norm ``lstsq`` solution
+        (Moore-Penrose identity), so degenerate lag matrices — e.g. a
+        constant differenced series — stay well-defined.
+        """
+        beta = np.linalg.pinv(self._XtX) @ self._Xty
         self.intercept_ = float(beta[0])
         self.coef_ = beta[1:]
-        return self
 
     def forecast(self, horizon: int) -> np.ndarray:
         """Recursive multi-step forecast continuing the fitted series."""
@@ -80,11 +145,11 @@ class ARIMAForecaster:
         if horizon < 1:
             raise ValueError("horizon must be >= 1")
         z, tails = _difference(self._history, self.d)
-        buf = list(z[-self.p :])
-        out = np.empty(horizon)
+        p = self.p
+        # One preallocated rolling buffer: [last p observations | forecasts].
+        buf = np.empty(p + horizon)
+        buf[:p] = z[-p:]
+        coef_oldest_first = self.coef_[::-1]
         for h in range(horizon):
-            recent = np.asarray(buf[-self.p :][::-1])  # most recent first
-            nxt = self.intercept_ + float(self.coef_ @ recent)
-            out[h] = nxt
-            buf.append(nxt)
-        return _undifference(out, tails)
+            buf[p + h] = self.intercept_ + buf[h : h + p] @ coef_oldest_first
+        return _undifference(buf[p:], tails)

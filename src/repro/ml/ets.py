@@ -3,6 +3,12 @@
 Classical seasonal smoother included in the CES forecaster comparison;
 parameters are chosen by a coarse grid search on in-sample one-step MSE
 when not given explicitly.
+
+Smoothing state is carried forward by
+:meth:`HoltWintersForecaster.update`: appending ``step`` points advances
+the level/trend/season recursion in O(step), keeping the smoothing
+parameters selected by the initial fit — the warm path of the
+incremental rolling-origin evaluation engine.
 """
 
 from __future__ import annotations
@@ -83,6 +89,33 @@ class HoltWintersForecaster:
         self.params_ = (a, b, g)
         self._level, self._trend, self._season, _ = self._run(y.copy(), a, b, g)
         self._n = y.size
+        return self
+
+    def update(self, new_points: np.ndarray) -> "HoltWintersForecaster":
+        """Advance the smoothing recursion over appended points.
+
+        Runs the same level/trend/season updates :meth:`fit` ran, starting
+        from the stored state and keeping the smoothing parameters chosen
+        by the initial grid search — O(len(new_points)) per call.  The
+        result is exactly what a scratch fit with the same parameters on
+        the concatenated series would produce.
+        """
+        if self._season is None or self.params_ is None:
+            raise RuntimeError("model not fitted; call fit() before update()")
+        y = np.asarray(new_points, dtype=float)
+        if y.ndim != 1:
+            raise ValueError("new_points must be 1-D")
+        a, b, g = self.params_
+        m = self.season_length
+        level, trend, season = self._level, self._trend, self._season
+        for j in range(y.size):
+            s_idx = (self._n + j) % m
+            new_level = a * (y[j] - season[s_idx]) + (1 - a) * (level + trend)
+            trend = b * (new_level - level) + (1 - b) * trend
+            season[s_idx] = g * (y[j] - new_level) + (1 - g) * season[s_idx]
+            level = new_level
+        self._level, self._trend = level, trend
+        self._n += y.size
         return self
 
     def forecast(self, horizon: int) -> np.ndarray:

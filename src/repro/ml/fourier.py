@@ -4,6 +4,11 @@ Prophet [67] decomposes a series into trend + periodic seasonalities fit
 with regularized regression; this implements the same decomposable model:
 linear trend plus sine/cosine pairs at harmonics of each declared period,
 solved in closed form by ridge.
+
+:meth:`FourierForecaster.update` extends the fit over appended points by
+pushing only their design rows into the ridge model's running moments
+(see :class:`~repro.ml.linear.RidgeRegressor`), so a rolling-origin fold
+update is O(step · features²) instead of a full re-fit.
 """
 
 from __future__ import annotations
@@ -67,6 +72,24 @@ class FourierForecaster:
         self._n = y.size
         t = np.arange(y.size)
         self._model = RidgeRegressor(alpha=self.alpha).fit(self._design(t), y)
+        return self
+
+    def update(self, new_points: np.ndarray) -> "FourierForecaster":
+        """Fold appended observations into the ridge moments and re-solve.
+
+        Equivalent (to floating-point accumulation order) to re-fitting
+        on the concatenated series, at O(len(new_points)) design-row cost.
+        """
+        if self._model is None:
+            raise RuntimeError("model not fitted; call fit() before update()")
+        y = np.asarray(new_points, dtype=float)
+        if y.ndim != 1:
+            raise ValueError("new_points must be 1-D")
+        if y.size == 0:
+            return self
+        t = np.arange(self._n, self._n + y.size)
+        self._model.update(self._design(t), y)
+        self._n += y.size
         return self
 
     def forecast(self, horizon: int) -> np.ndarray:

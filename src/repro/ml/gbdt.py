@@ -62,6 +62,13 @@ class GBDTRegressor:
         self.train_scores_: list[float] = []
         self.valid_scores_: list[float] = []
         self.best_iteration_: int | None = None
+        # Training state kept for fit_more (continued boosting): the
+        # binned training matrix, targets, current ensemble predictions
+        # on those rows, and the subsampling RNG.
+        self._Xb_train: np.ndarray | None = None
+        self._y_train: np.ndarray | None = None
+        self._pred_train: np.ndarray | None = None
+        self._rng: np.random.Generator | None = None
 
     # ------------------------------------------------------------------
     def fit(
@@ -99,19 +106,10 @@ class GBDTRegressor:
         self.valid_scores_ = []
         best_val = np.inf
         best_iter = 0
-        n = y.shape[0]
+        n_bins = self.binner_.n_bins
 
         for it in range(p.n_estimators):
-            residual = y - pred
-            idx = None
-            if p.subsample < 1.0:
-                k = max(1, int(round(p.subsample * n)))
-                idx = rng.choice(n, size=k, replace=False)
-            tree = RegressionTree(tree_params).fit(Xb, residual, sample_indices=idx)
-            step = p.learning_rate * tree.predict_binned(Xb)
-            pred += step
-            self.trees_.append(tree)
-            self.train_scores_.append(float(np.mean((y - pred) ** 2)))
+            tree = self._boost_round(Xb, y, pred, rng, tree_params, n_bins)
 
             if pred_val is not None:
                 pred_val += p.learning_rate * tree.predict_binned(Xb_val)
@@ -128,6 +126,105 @@ class GBDTRegressor:
         self.best_iteration_ = (
             best_iter if (eval_set is not None and self.valid_scores_) else None
         )
+        self._Xb_train = Xb
+        self._y_train = y
+        self._pred_train = pred
+        self._rng = rng
+        return self
+
+    def _boost_round(
+        self,
+        Xb: np.ndarray,
+        y: np.ndarray,
+        pred: np.ndarray,
+        rng: np.random.Generator,
+        tree_params: TreeParams,
+        n_bins: int,
+    ) -> RegressionTree:
+        """One boosting stage, shared by :meth:`fit` and :meth:`fit_more`:
+        fit a tree to the residuals (optionally row-subsampled), advance
+        ``pred`` in place, record the tree and its training MSE."""
+        p = self.params
+        n = y.shape[0]
+        residual = y - pred
+        idx = None
+        if p.subsample < 1.0:
+            k = max(1, int(round(p.subsample * n)))
+            idx = rng.choice(n, size=k, replace=False)
+        tree = RegressionTree(tree_params).fit(
+            Xb, residual, sample_indices=idx, n_bins=n_bins
+        )
+        pred += p.learning_rate * tree.predict_binned(Xb)
+        self.trees_.append(tree)
+        self.train_scores_.append(float(np.mean((y - pred) ** 2)))
+        return tree
+
+    def __getstate__(self) -> dict:
+        """Drop the fit_more continuation buffers when pickling.
+
+        The binned training matrix / targets / running predictions exist
+        only so an *in-process* model can continue boosting cheaply; they
+        are the bulk of the object's footprint and are never useful
+        across a process boundary (orchestrator precursor shipping,
+        artifact payloads).  An unpickled model predicts normally but
+        refuses ``fit_more`` until re-fitted.
+        """
+        state = self.__dict__.copy()
+        state["_Xb_train"] = None
+        state["_y_train"] = None
+        state["_pred_train"] = None
+        return state
+
+    # ------------------------------------------------------------------
+    def fit_more(
+        self,
+        X_new: np.ndarray,
+        y_new: np.ndarray,
+        n_more: int,
+    ) -> "GBDTRegressor":
+        """Continue boosting: append rows, then fit ``n_more`` new stages.
+
+        The new rows are binned with the *frozen* :class:`Binner` from the
+        initial fit, routed through the existing ensemble once to seed
+        their predictions, and the boosting recursion resumes on the full
+        grown matrix — so an incremental stage costs the same as a stage
+        of the original fit, and no feature re-binning of old rows ever
+        happens.  Used by the rolling-origin evaluation engine to advance
+        the GBDT comparator by one fold in O(n_more · n_rows) instead of
+        re-running the whole boosting schedule.
+
+        Not available after an early-stopped fit (the truncated ensemble
+        would disagree with the cached training predictions).
+        """
+        if self.binner_ is None or self._Xb_train is None:
+            raise RuntimeError("model not fitted; call fit() before fit_more()")
+        if self.best_iteration_ is not None:
+            raise RuntimeError("cannot continue an early-stopped fit")
+        if n_more < 0:
+            raise ValueError("n_more must be >= 0")
+        p = self.params
+        X_new = np.asarray(X_new, dtype=float)
+        y_new = np.asarray(y_new, dtype=float)
+        if X_new.ndim == 1:
+            X_new = X_new.reshape(1, -1)
+        if X_new.shape[0] != y_new.shape[0]:
+            raise ValueError("X/y shape mismatch")
+        if X_new.shape[0]:
+            Xb_new = self.binner_.transform(X_new)
+            pred_new = np.full(X_new.shape[0], self.base_score_)
+            for tree in self.trees_:
+                pred_new += p.learning_rate * tree.predict_binned(Xb_new)
+            self._Xb_train = np.vstack([self._Xb_train, Xb_new])
+            self._y_train = np.concatenate([self._y_train, y_new])
+            self._pred_train = np.concatenate([self._pred_train, pred_new])
+
+        Xb, y, pred = self._Xb_train, self._y_train, self._pred_train
+        tree_params = TreeParams(
+            max_depth=p.max_depth, min_samples_leaf=p.min_samples_leaf
+        )
+        n_bins = self.binner_.n_bins
+        for _ in range(n_more):
+            self._boost_round(Xb, y, pred, self._rng, tree_params, n_bins)
         return self
 
     # ------------------------------------------------------------------

@@ -14,6 +14,12 @@ class RidgeRegressor:
     Solves ``min ||y - Xw - b||^2 + alpha ||w||^2`` via the normal
     equations on centered data (scipy/numpy ``solve``; the design matrices
     we use are small and well-conditioned after standardization).
+
+    ``fit`` also stores the raw data moments (``X'X``, ``X'y``, column
+    sums), so :meth:`update` can append rows in O(rows · features²) and
+    re-solve — the standardization statistics are rebuilt algebraically
+    from the running moments, making an incremental fit equivalent to a
+    batch fit over the concatenated data up to floating-point error.
     """
 
     def __init__(self, alpha: float = 1.0, standardize: bool = True) -> None:
@@ -25,6 +31,12 @@ class RidgeRegressor:
         self.intercept_: float = 0.0
         self._mu: np.ndarray | None = None
         self._sd: np.ndarray | None = None
+        # Raw (unstandardized) moment accumulators for incremental fits.
+        self._XtX: np.ndarray | None = None
+        self._Xty: np.ndarray | None = None
+        self._xsum: np.ndarray | None = None
+        self._ysum: float = 0.0
+        self._n: int = 0
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RidgeRegressor":
         X = np.asarray(X, dtype=float)
@@ -33,6 +45,11 @@ class RidgeRegressor:
             raise ValueError("X/y shape mismatch")
         if X.shape[0] == 0:
             raise ValueError("empty training data")
+        self._XtX = X.T @ X
+        self._Xty = X.T @ y
+        self._xsum = X.sum(axis=0)
+        self._ysum = float(y.sum())
+        self._n = X.shape[0]
         if self.standardize:
             self._mu = X.mean(axis=0)
             sd = X.std(axis=0)
@@ -49,6 +66,58 @@ class RidgeRegressor:
         self.coef_ = np.linalg.solve(gram, Xs.T @ yc)
         self.intercept_ = float(y_mean)
         return self
+
+    def update(self, X_new: np.ndarray, y_new: np.ndarray) -> "RidgeRegressor":
+        """Fold new rows into the moments and re-solve.
+
+        Costs O(rows · features²) regardless of how much data the model
+        has already seen.  Standardization statistics are recomputed from
+        the running sums, so the solution matches a batch re-fit on all
+        rows seen so far (up to floating-point accumulation order).
+        """
+        if self.coef_ is None or self._XtX is None:
+            raise RuntimeError("model not fitted; call fit() before update()")
+        X_new = np.asarray(X_new, dtype=float)
+        y_new = np.asarray(y_new, dtype=float)
+        if X_new.ndim != 2 or X_new.shape[0] != y_new.shape[0]:
+            raise ValueError("X/y shape mismatch")
+        if X_new.shape[1] != self._XtX.shape[0]:
+            raise ValueError("feature count changed between fit and update")
+        if X_new.shape[0] == 0:
+            return self
+        self._XtX += X_new.T @ X_new
+        self._Xty += X_new.T @ y_new
+        self._xsum += X_new.sum(axis=0)
+        self._ysum += float(y_new.sum())
+        self._n += X_new.shape[0]
+        self._solve_from_moments()
+        return self
+
+    def _solve_from_moments(self) -> None:
+        """Centered/standardized ridge solve from the raw accumulators.
+
+        Uses the identities ``Σ(x-μ)(x-μ)' = X'X − n·μμ'`` and
+        ``Σ(x-μ)(y-ȳ) = X'y − μ·Σy``.
+        """
+        n = self._n
+        mu = self._xsum / n
+        y_mean = self._ysum / n
+        if self.standardize:
+            cov = self._XtX - n * np.outer(mu, mu)
+            sd = np.sqrt(np.maximum(np.diag(cov) / n, 0.0))
+            sd = np.where(sd > 0, sd, 1.0)
+            self._mu = mu
+            self._sd = sd
+            gram = cov / np.outer(sd, sd)
+            rhs = (self._Xty - mu * self._ysum) / sd
+        else:
+            self._mu = np.zeros(mu.shape)
+            self._sd = np.ones(mu.shape)
+            gram = self._XtX
+            rhs = self._Xty - y_mean * self._xsum
+        gram = gram + self.alpha * np.eye(gram.shape[0])
+        self.coef_ = np.linalg.solve(gram, rhs)
+        self.intercept_ = float(y_mean)
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         if self.coef_ is None:

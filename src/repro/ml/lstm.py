@@ -5,6 +5,17 @@ the (standardized) series, full BPTT over the window.  Sized for the
 node-count forecasting task (series of a few thousand points, hidden
 width ≈ 16–32) — this is a faithful stand-in for the paper's LSTM
 baseline [11], not a general deep-learning framework.
+
+The training inner loop is batched: input projections for every timestep
+of a minibatch are computed in one vectorized op, the BPTT tape lives in
+preallocated ``(T, batch, hidden)`` arrays rather than per-step dicts,
+and the weight gradients are accumulated with two ``(T·batch)``-row
+GEMMs after the backward recursion instead of per-timestep rank-1
+updates.  :meth:`LSTMForecaster.update` warm-starts from the previous
+fit — weights, Adam moments and the data RNG carry forward, the
+standardization is frozen — and fine-tunes for a short
+``update_epochs`` budget, which is what makes rolling-origin
+re-evaluation cheap.
 """
 
 from __future__ import annotations
@@ -28,12 +39,16 @@ class LSTMParams:
     batch_size: int = 32
     lr: float = 1e-2
     random_state: int = 0
+    #: fine-tune epochs per :meth:`LSTMForecaster.update` call.
+    update_epochs: int = 3
 
     def __post_init__(self) -> None:
         if self.window < 2:
             raise ValueError("window must be >= 2")
         if self.hidden < 1:
             raise ValueError("hidden must be >= 1")
+        if self.update_epochs < 1:
+            raise ValueError("update_epochs must be >= 1")
 
 
 class LSTMForecaster:
@@ -46,6 +61,10 @@ class LSTMForecaster:
         self._sd: float = 1.0
         self._history: np.ndarray | None = None
         self.loss_curve_: list[float] = []
+        self._rng: np.random.Generator | None = None
+        self._adam_m: dict[str, np.ndarray] | None = None
+        self._adam_v: dict[str, np.ndarray] | None = None
+        self._adam_step: int = 0
 
     # ------------------------------------------------------------------
     def _init_weights(self, rng: np.random.Generator) -> dict[str, np.ndarray]:
@@ -62,98 +81,100 @@ class LSTMForecaster:
 
     def _forward(
         self, xb: np.ndarray, w: dict[str, np.ndarray]
-    ) -> tuple[np.ndarray, list[dict[str, np.ndarray]]]:
+    ) -> tuple[np.ndarray, tuple]:
         """xb: (batch, window). Returns predictions (batch,) and tape."""
         batch, T = xb.shape
         h = self.params.hidden
+        # Input is scalar per step, so the whole batch's input projections
+        # (plus bias) are one broadcasted multiply: (batch, T, 4h).
+        xproj = xb[:, :, None] * w["Wx"][0] + w["b"]
         ht = np.zeros((batch, h))
         ct = np.zeros((batch, h))
-        tape: list[dict[str, np.ndarray]] = []
+        gate_i = np.empty((T, batch, h))
+        gate_f = np.empty((T, batch, h))
+        gate_g = np.empty((T, batch, h))
+        gate_o = np.empty((T, batch, h))
+        cell = np.empty((T, batch, h))
+        h_prev = np.empty((T, batch, h))
+        Wh = w["Wh"]
         for t in range(T):
-            xt = xb[:, t : t + 1]
-            z = xt @ w["Wx"] + ht @ w["Wh"] + w["b"]
+            z = xproj[:, t] + ht @ Wh
             i = _sigmoid(z[:, 0 * h : 1 * h])
             f = _sigmoid(z[:, 1 * h : 2 * h])
             g = np.tanh(z[:, 2 * h : 3 * h])
             o = _sigmoid(z[:, 3 * h : 4 * h])
-            ct_new = f * ct + i * g
-            ht_new = o * np.tanh(ct_new)
-            tape.append(
-                {"x": xt, "h_prev": ht, "c_prev": ct, "i": i, "f": f, "g": g, "o": o, "c": ct_new}
-            )
-            ht, ct = ht_new, ct_new
+            h_prev[t] = ht
+            ct = f * ct + i * g
+            ht = o * np.tanh(ct)
+            gate_i[t], gate_f[t], gate_g[t], gate_o[t] = i, f, g, o
+            cell[t] = ct
         pred = (ht @ w["Wy"] + w["by"]).ravel()
-        tape.append({"h_last": ht})
-        return pred, tape
+        return pred, (gate_i, gate_f, gate_g, gate_o, cell, h_prev, ht)
 
     def _backward(
         self,
         xb: np.ndarray,
         err: np.ndarray,
-        tape: list[dict[str, np.ndarray]],
+        tape: tuple,
         w: dict[str, np.ndarray],
     ) -> dict[str, np.ndarray]:
         batch, T = xb.shape
         h = self.params.hidden
-        grads = {k: np.zeros_like(v) for k, v in w.items()}
+        gate_i, gate_f, gate_g, gate_o, cell, h_prev, h_last = tape
         dyhat = (2.0 * err / batch).reshape(-1, 1)  # d MSE / d pred
-        h_last = tape[-1]["h_last"]
-        grads["Wy"] = h_last.T @ dyhat
-        grads["by"] = dyhat.sum(axis=0)
+        grad_Wy = h_last.T @ dyhat
+        grad_by = dyhat.sum(axis=0)
         dh = dyhat @ w["Wy"].T
         dc = np.zeros((batch, h))
+        c_zero = np.zeros((batch, h))
+        dz = np.empty((T, batch, 4 * h))
+        WhT = w["Wh"].T
         for t in range(T - 1, -1, -1):
-            s = tape[t]
-            tanh_c = np.tanh(s["c"])
+            i, f, g, o = gate_i[t], gate_f[t], gate_g[t], gate_o[t]
+            c_prev_t = cell[t - 1] if t > 0 else c_zero
+            tanh_c = np.tanh(cell[t])
             do = dh * tanh_c
-            dc = dc + dh * s["o"] * (1 - tanh_c**2)
-            di = dc * s["g"]
-            dg = dc * s["i"]
-            df = dc * s["c_prev"]
-            dc_prev = dc * s["f"]
-            dz = np.concatenate(
-                [
-                    di * s["i"] * (1 - s["i"]),
-                    df * s["f"] * (1 - s["f"]),
-                    dg * (1 - s["g"] ** 2),
-                    do * s["o"] * (1 - s["o"]),
-                ],
-                axis=1,
-            )
-            grads["Wx"] += s["x"].T @ dz
-            grads["Wh"] += s["h_prev"].T @ dz
-            grads["b"] += dz.sum(axis=0)
-            dh = dz @ w["Wh"].T
-            dc = dc_prev
-        return grads
+            dc = dc + dh * o * (1 - tanh_c * tanh_c)
+            dzt = dz[t]
+            dzt[:, 0 * h : 1 * h] = dc * g * i * (1 - i)
+            dzt[:, 1 * h : 2 * h] = dc * c_prev_t * f * (1 - f)
+            dzt[:, 2 * h : 3 * h] = dc * i * (1 - g * g)
+            dzt[:, 3 * h : 4 * h] = do * o * (1 - o)
+            dh = dzt @ WhT
+            dc = dc * f
+        # Weight gradients in two GEMMs over the stacked (T·batch) rows.
+        dz_flat = dz.reshape(T * batch, 4 * h)
+        grad_Wx = (xb.T.reshape(T * batch) @ dz_flat).reshape(1, 4 * h)
+        grad_Wh = h_prev.reshape(T * batch, h).T @ dz_flat
+        grad_b = dz_flat.sum(axis=0)
+        return {
+            "Wx": grad_Wx,
+            "Wh": grad_Wh,
+            "b": grad_b,
+            "Wy": grad_Wy,
+            "by": grad_by,
+        }
 
     # ------------------------------------------------------------------
-    def fit(self, y: np.ndarray) -> "LSTMForecaster":
+    def _window_matrix(self) -> tuple[np.ndarray, np.ndarray]:
+        """Sliding windows of the standardized history + next-value targets."""
         p = self.params
-        y = np.asarray(y, dtype=float)
-        if y.ndim != 1:
-            raise ValueError("y must be 1-D")
-        if y.size < p.window + 2:
-            raise ValueError(f"series too short: need > {p.window + 2}, got {y.size}")
-        self._history = y.copy()
-        self._mu = float(y.mean())
-        self._sd = float(y.std()) or 1.0
-        z = (y - self._mu) / self._sd
-
-        # Sliding windows -> (n_samples, window) inputs, next-value targets.
+        z = (self._history - self._mu) / self._sd
         n_samples = z.size - p.window
         idx = np.arange(p.window)[None, :] + np.arange(n_samples)[:, None]
-        X = z[idx]
-        target = z[p.window :]
+        return z[idx], z[p.window :]
 
-        rng = np.random.default_rng(p.random_state)
-        w = self._init_weights(rng)
-        m_state = {k: np.zeros_like(v) for k, v in w.items()}
-        v_state = {k: np.zeros_like(v) for k, v in w.items()}
+    def _train(self, epochs: int) -> None:
+        """Run minibatch Adam for ``epochs`` over the current history."""
+        p = self.params
+        X, target = self._window_matrix()
+        n_samples = X.shape[0]
+        w = self._weights
+        m_state, v_state = self._adam_m, self._adam_v
+        rng = self._rng
         beta1, beta2, eps = 0.9, 0.999, 1e-8
-        step = 0
-        self.loss_curve_ = []
-        for _epoch in range(p.epochs):
+        step = self._adam_step
+        for _epoch in range(epochs):
             order = rng.permutation(n_samples)
             epoch_loss = 0.0
             for lo in range(0, n_samples, p.batch_size):
@@ -172,7 +193,45 @@ class LSTMForecaster:
                     v_hat = v_state[k] / (1 - beta2**step)
                     w[k] -= p.lr * m_hat / (np.sqrt(v_hat) + eps)
             self.loss_curve_.append(epoch_loss / n_samples)
-        self._weights = w
+        self._adam_step = step
+
+    def fit(self, y: np.ndarray) -> "LSTMForecaster":
+        p = self.params
+        y = np.asarray(y, dtype=float)
+        if y.ndim != 1:
+            raise ValueError("y must be 1-D")
+        if y.size < p.window + 2:
+            raise ValueError(f"series too short: need > {p.window + 2}, got {y.size}")
+        self._history = y.copy()
+        self._mu = float(y.mean())
+        self._sd = float(y.std()) or 1.0
+        self._rng = np.random.default_rng(p.random_state)
+        self._weights = self._init_weights(self._rng)
+        self._adam_m = {k: np.zeros_like(v) for k, v in self._weights.items()}
+        self._adam_v = {k: np.zeros_like(v) for k, v in self._weights.items()}
+        self._adam_step = 0
+        self.loss_curve_ = []
+        self._train(p.epochs)
+        return self
+
+    def update(self, new_points: np.ndarray) -> "LSTMForecaster":
+        """Warm-start fine-tune on the history extended by ``new_points``.
+
+        Weights, Adam moments and the shuffling RNG continue from the
+        previous fit; the standardization constants stay frozen so the
+        network keeps seeing inputs on the scale it was trained on.  The
+        fine-tune runs ``params.update_epochs`` epochs over all windows
+        of the grown series.
+        """
+        if self._weights is None or self._history is None:
+            raise RuntimeError("model not fitted; call fit() before update()")
+        new_points = np.asarray(new_points, dtype=float)
+        if new_points.ndim != 1:
+            raise ValueError("new_points must be 1-D")
+        if new_points.size == 0:
+            return self
+        self._history = np.concatenate([self._history, new_points])
+        self._train(self.params.update_epochs)
         return self
 
     def forecast(self, horizon: int) -> np.ndarray:
@@ -182,11 +241,10 @@ class LSTMForecaster:
         if horizon < 1:
             raise ValueError("horizon must be >= 1")
         p = self.params
-        buf = list((self._history[-p.window :] - self._mu) / self._sd)
-        out = np.empty(horizon)
+        buf = np.empty(p.window + horizon)
+        buf[: p.window] = (self._history[-p.window :] - self._mu) / self._sd
         for t in range(horizon):
-            xb = np.asarray(buf[-p.window :]).reshape(1, -1)
+            xb = buf[t : t + p.window].reshape(1, -1)
             pred, _ = self._forward(xb, self._weights)
-            out[t] = pred[0]
-            buf.append(pred[0])
-        return out * self._sd + self._mu
+            buf[p.window + t] = pred[0]
+        return buf[p.window :] * self._sd + self._mu

@@ -3,6 +3,20 @@
 The QSSF model "trains on April–August and evaluates on September"
 (§4.2.3) — a time-ordered split; the CES forecaster comparison uses
 rolling-origin evaluation over the node series.
+
+Rolling-origin evaluation is implemented as an *incremental* fold-walking
+engine: expanding-window folds differ only by the ``step`` points between
+consecutive origins, so a model exposing the incremental-fit protocol —
+an ``update(new_points)`` method next to ``fit``/``forecast`` — is fitted
+once and advanced fold to fold in O(step) work instead of being re-fitted
+from scratch O(n) at every origin.  Scratch re-fitting remains both the
+fallback for models without ``update`` and the correctness oracle the
+tolerance tests compare against (``mode="scratch"``).
+
+:func:`compare_forecasters` additionally fans independent models out over
+the framework's forked worker pool (``jobs``); results are identical to
+the serial path because each evaluation is deterministic and
+self-contained.
 """
 
 from __future__ import annotations
@@ -17,6 +31,7 @@ __all__ = [
     "time_split",
     "train_test_split",
     "rolling_origin_splits",
+    "supports_update",
     "evaluate_forecaster",
     "compare_forecasters",
 ]
@@ -59,6 +74,11 @@ def rolling_origin_splits(
         origin += step
 
 
+def supports_update(model: object) -> bool:
+    """True when ``model`` implements the incremental-fit protocol."""
+    return callable(getattr(model, "update", None))
+
+
 def evaluate_forecaster(
     make_model: Callable[[], object],
     series: np.ndarray,
@@ -66,18 +86,66 @@ def evaluate_forecaster(
     horizon: int,
     step: int | None = None,
     metric: Callable[[np.ndarray, np.ndarray], float] = smape,
+    mode: str = "auto",
 ) -> float:
-    """Mean rolling-origin forecast error of a fit/forecast model."""
+    """Mean rolling-origin forecast error of a fit/forecast model.
+
+    ``mode`` selects how the expanding window advances between folds:
+
+    * ``"auto"`` (default) — use the model's ``update(new_points)`` when
+      it implements the incremental protocol, else re-fit from scratch;
+    * ``"incremental"`` — require ``update`` (raises otherwise);
+    * ``"scratch"`` — always re-fit from scratch (the correctness
+      oracle; this is the pre-incremental behavior, bit for bit).
+    """
+    if mode not in ("auto", "incremental", "scratch"):
+        raise ValueError(f"unknown mode {mode!r}")
     series = np.asarray(series, dtype=float)
+    folds = list(rolling_origin_splits(series.size, initial, horizon, step))
+    if not folds:
+        raise ValueError("no evaluation folds; series too short for initial+horizon")
+
+    model = make_model()
+    incremental = mode != "scratch" and supports_update(model)
+    if mode == "incremental" and not incremental:
+        raise TypeError(
+            f"{type(model).__name__} does not implement update(); "
+            "use mode='auto' or 'scratch'"
+        )
+
     errors = []
-    for train_sl, test_sl in rolling_origin_splits(series.size, initial, horizon, step):
-        model = make_model()
-        model.fit(series[train_sl])  # type: ignore[attr-defined]
+    fitted_upto = 0
+    for train_sl, test_sl in folds:
+        if fitted_upto == 0:
+            model.fit(series[train_sl])  # type: ignore[attr-defined]
+        elif incremental:
+            model.update(series[fitted_upto : train_sl.stop])  # type: ignore[attr-defined]
+        else:
+            model = make_model()
+            model.fit(series[train_sl])  # type: ignore[attr-defined]
+        fitted_upto = train_sl.stop
         fc = model.forecast(horizon)  # type: ignore[attr-defined]
         errors.append(metric(series[test_sl], fc))
-    if not errors:
-        raise ValueError("no evaluation folds; series too short for initial+horizon")
     return float(np.mean(errors))
+
+
+#: Comparison context inherited by forked workers (fork shares the parent
+#: address space copy-on-write, which is how unpicklable model factories
+#: reach the pool).
+_ACTIVE_COMPARISON: dict | None = None
+
+
+def _compare_task(name: str) -> tuple[str, float]:
+    ctx = _ACTIVE_COMPARISON
+    assert ctx is not None, "comparison context not installed"
+    return name, evaluate_forecaster(
+        ctx["models"][name],
+        ctx["series"],
+        ctx["initial"],
+        ctx["horizon"],
+        ctx["step"],
+        mode=ctx["mode"],
+    )
 
 
 def compare_forecasters(
@@ -86,12 +154,35 @@ def compare_forecasters(
     initial: int,
     horizon: int,
     step: int | None = None,
+    mode: str = "auto",
+    jobs: int = 1,
 ) -> dict[str, float]:
-    """Rolling-origin SMAPE for each named model factory (§4.3.2 table)."""
-    return {
-        name: evaluate_forecaster(factory, series, initial, horizon, step)
-        for name, factory in models.items()
+    """Rolling-origin SMAPE for each named model factory (§4.3.2 table).
+
+    Independent models fan out across a forked worker pool when
+    ``jobs > 1`` (``0`` = one per CPU); each worker inherits the factories
+    copy-on-write and runs the same deterministic evaluation the serial
+    path runs, so the returned scores are identical for any worker count.
+    """
+    # Imported here: repro.framework pulls in the service plugins, which
+    # import the energy forecaster, which imports repro.ml — a cycle if
+    # resolved at module-import time.
+    from ..framework.parallel import run_forked
+
+    global _ACTIVE_COMPARISON
+    _ACTIVE_COMPARISON = {
+        "models": dict(models),
+        "series": np.asarray(series, dtype=float),
+        "initial": initial,
+        "horizon": horizon,
+        "step": step,
+        "mode": mode,
     }
+    try:
+        scored = dict(run_forked(_compare_task, list(models), jobs))
+    finally:
+        _ACTIVE_COMPARISON = None
+    return {name: scored[name] for name in models}
 
 
 def grid_search(

@@ -124,7 +124,11 @@ class RegressionTree:
         X_binned: np.ndarray,
         y: np.ndarray,
         sample_indices: np.ndarray | None = None,
+        n_bins: int | None = None,
     ) -> "RegressionTree":
+        """Grow the tree.  ``n_bins`` (any upper bound on bin index + 1,
+        e.g. ``Binner.n_bins``) skips the per-tree matrix max-scan the
+        boosting loop would otherwise repeat for every stage."""
         X_binned = np.asarray(X_binned)
         y = np.asarray(y, dtype=float)
         if X_binned.ndim != 2 or X_binned.shape[0] != y.shape[0]:
@@ -134,7 +138,8 @@ class RegressionTree:
             y = y[sample_indices]
         n, m = X_binned.shape
         self.n_features_ = m
-        n_bins = int(X_binned.max()) + 1 if n else 1
+        if n_bins is None:
+            n_bins = int(X_binned.max()) + 1 if n else 1
         p = self.params
 
         # Growing arrays (python lists; appended per created node).

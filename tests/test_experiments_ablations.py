@@ -1,0 +1,60 @@
+"""Unit tests for the ablation helpers (no simulator replays).
+
+The exhibit-level ablation behavior is exercised by the benchmark suite
+(``benchmarks/test_bench_ablations.py``); here we pin down the pure
+logic those exhibits parameterize — most importantly the DRS forecast
+re-alignment that ``DRS_H`` drives.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ablations
+from repro.experiments.ablations import DRS_H, shift_forecast
+
+
+class TestDrsConstant:
+    def test_value_and_placement(self):
+        """DRS_H is the 3-hour lookahead in 10-minute bins, defined at
+        module scope *above* its uses (the original definition sat below
+        ``exp_ablation_buffer`` and resolved only via late binding)."""
+        assert DRS_H == 18
+        src = open(ablations.__file__).read()
+        assert src.index("DRS_H = ") < src.index("def exp_ablation_buffer")
+
+
+class TestShiftForecast:
+    def test_alignment(self):
+        fc = np.arange(10.0)
+        out = shift_forecast(fc, 3)
+        np.testing.assert_array_equal(out[:7], fc[3:])
+        np.testing.assert_array_equal(out[7:], np.full(3, fc[-1]))
+
+    def test_length_preserved(self):
+        for h in (0, 1, 5, 9, 10, 25):
+            assert shift_forecast(np.arange(10.0), h).size == 10
+
+    def test_zero_shift_is_identity_copy(self):
+        fc = np.arange(5.0)
+        out = shift_forecast(fc, 0)
+        np.testing.assert_array_equal(out, fc)
+        out[0] = 99.0
+        assert fc[0] == 0.0  # caller's array untouched
+
+    def test_shift_beyond_window_degenerates_to_constant(self):
+        out = shift_forecast(np.arange(4.0), 18)
+        np.testing.assert_array_equal(out, np.full(4, 3.0))
+
+    def test_empty_forecast(self):
+        assert shift_forecast(np.empty(0), DRS_H).size == 0
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ValueError):
+            shift_forecast(np.arange(4.0), -1)
+
+    def test_drs_h_parameterization_matches_inline_form(self):
+        """The helper must reproduce the exhibit's original inline
+        expression for the in-range case it was extracted from."""
+        fc = np.linspace(5.0, 8.0, 50)
+        inline = np.concatenate([fc[DRS_H:], np.full(DRS_H, fc[-1])])
+        np.testing.assert_array_equal(shift_forecast(fc, DRS_H), inline)

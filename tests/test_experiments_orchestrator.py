@@ -166,3 +166,112 @@ class TestSeeding:
         _run_seeded("table1")
         b = np.random.random()
         assert a == b
+
+
+class TestPrecursorWaves:
+    def test_deps_expand_transitively(self):
+        tokens = common.expand_precursors(["september_replay:Venus:QSSF"])
+        assert "cluster_trace:Venus" in tokens
+        assert "cluster_gpu_trace:Venus" in tokens
+        assert "qssf_scheduler:Venus" in tokens
+        # dependencies come before their dependents
+        assert tokens.index("cluster_trace:Venus") < tokens.index(
+            "cluster_gpu_trace:Venus"
+        )
+        assert tokens.index("qssf_scheduler:Venus") < tokens.index(
+            "september_replay:Venus:QSSF"
+        )
+
+    def test_non_qssf_replay_skips_scheduler(self):
+        tokens = common.expand_precursors(["september_replay:Earth:FIFO"])
+        assert "qssf_scheduler:Earth" not in tokens
+
+    def test_ces_philly_depends_on_its_replay(self):
+        tokens = common.expand_precursors(["ces_report:Philly"])
+        assert f"philly_replay:FIFO:{common.PHILLY_DAYS}" in tokens
+        assert "philly_trace" in tokens
+
+    def test_waves_order_traces_before_replays(self):
+        tokens = common.expand_precursors(
+            ["ces_report:Earth", "september_replay:Venus:QSSF", "philly_replay:SJF"]
+        )
+        waves = list(common.precursor_waves(tokens))
+        ranks = [w for w, _, _ in waves]
+        assert ranks == sorted(ranks)
+        position = {
+            tok: i for i, (_, toks, _) in enumerate(waves) for tok in toks
+        }
+        for trace in ("cluster_trace:Venus", "philly_trace"):
+            for replay in ("september_replay:Venus:QSSF", "philly_replay:SJF"):
+                assert position[trace] < position[replay]
+        # the trained scheduler is warmed strictly before the replay using it
+        assert (
+            position["qssf_scheduler:Venus"]
+            < position["september_replay:Venus:QSSF"]
+        )
+        # the GPU-job filter wave is the cheap in-parent one
+        gpu_waves = [
+            in_parent
+            for _, toks, in_parent in waves
+            if any(t.startswith("cluster_gpu_trace") for t in toks)
+        ]
+        assert gpu_waves == [True]
+
+    def test_deps_table_is_wave_monotone(self):
+        """Structural invariant of the warm scheduler: every declared
+        dependency names a registered precursor family and sits in a
+        strictly earlier wave than its dependent.  (The dependency table
+        mirrors the builder bodies in ``common.py`` by hand; this pins
+        down at least its internal consistency.)"""
+        samples = [
+            "cluster_trace:Venus",
+            "philly_trace",
+            "cluster_gpu_trace:Venus",
+            "full_replay:Venus",
+            "qssf_scheduler:Venus",
+            "september_replay:Venus:QSSF",
+            "september_replay:Venus:FIFO",
+            "philly_replay:SJF",
+            f"philly_replay:FIFO:{common.PHILLY_DAYS}",
+            "ces_report:Venus",
+            "ces_report:Philly",
+        ]
+        for token in samples:
+            wave = common.PRECURSOR_WAVES[token.partition(":")[0]]
+            for dep in common.precursor_deps(token):
+                dep_name = dep.partition(":")[0]
+                assert dep_name in common.PRECURSOR_FNS, dep
+                assert common.PRECURSOR_WAVES[dep_name] < wave, (token, dep)
+
+    def test_every_registered_input_expands_cleanly(self):
+        """Dep closure of the full registry only yields known precursors."""
+        tokens = []
+        for spec in SPECS.values():
+            tokens.extend(spec.inputs)
+        for token in common.expand_precursors(tokens):
+            common._parse_precursor(token)  # raises on unknown functions
+
+    def test_no_trace_recomputed_across_pool(self, monkeypatch, tmp_path):
+        """Regression for the two-wave warm: with --jobs N, each trace
+        token is computed exactly once across all worker processes —
+        never once per replaying/consuming worker."""
+        log = tmp_path / "memo.log"
+        monkeypatch.setenv("REPRO_MEMO_LOG", str(log))
+        common.clear_scenario_caches()
+        try:
+            res = ExperimentOrchestrator(jobs=2).run(["fig5", "fig6"])
+        finally:
+            monkeypatch.delenv("REPRO_MEMO_LOG")
+        assert [r.status for r in res.reports] == ["computed", "computed"]
+        computes: dict[str, int] = {}
+        for line in log.read_text().splitlines():
+            _pid, fn, key = line.split("\t", 2)
+            computes[f"{fn}{key}"] = computes.get(f"{fn}{key}", 0) + 1
+        trace_counts = {
+            k: v for k, v in computes.items() if k.startswith("cluster_trace")
+        }
+        assert trace_counts, "expected the pool to compute cluster traces"
+        assert all(v == 1 for v in trace_counts.values()), trace_counts
+        # and the parent ended up warm for every declared input
+        for token in SPECS["fig5"].inputs:
+            assert common.is_warm(token)
