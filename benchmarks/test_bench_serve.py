@@ -1,0 +1,142 @@
+"""Serving-runtime benchmarks: single-shard throughput and latency.
+
+``BENCH {json}`` lines (grep the suite output for ``BENCH``):
+
+* ``serve_shard`` — a job-only stream (submits + finishes) through the
+  serving loop: end-to-end events/s plus p50/p99 QSSF decision latency.
+  The acceptance floor is 10k events/s on the 1-core CI container; the
+  assert enforces it.
+* ``serve_mixed`` — jobs plus node-sample events: adds the per-bin CES
+  forecast + DRS control step, reporting its p50/p99 alongside.
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.energy.forecaster import ForecastFeatures
+from repro.frame import Table
+from repro.ml.gbdt import GBDTParams
+from repro.serve import EventStream, PredictionServer, ServeConfig
+
+_USERS = 24
+_NAMES = 40
+
+
+def _make_trace(n_jobs: int, t0: float, span_s: float, seed: int) -> Table:
+    """Synthetic recurring-job trace shaped like a busy cluster shard."""
+    rng = np.random.default_rng(seed)
+    submit = np.sort(t0 + rng.uniform(0.0, span_s, n_jobs))
+    users = rng.integers(0, _USERS, n_jobs)
+    names = rng.integers(0, _NAMES, n_jobs)
+    gpus = rng.choice([1, 1, 2, 4, 8], n_jobs)
+    duration = np.round(rng.lognormal(5.0, 1.2, n_jobs), 1)
+    return Table(
+        {
+            "job_id": np.array([f"j{i}" for i in range(n_jobs)]),
+            "cluster": np.full(n_jobs, "B"),
+            "vc": np.array([f"vc{v}" for v in rng.integers(0, 4, n_jobs)]),
+            "user": np.array([f"u{u}" for u in users]),
+            "name": np.array([f"train_{nm}_v{r}" for nm, r in
+                              zip(names, rng.integers(0, 9, n_jobs))]),
+            "gpu_num": gpus.astype(np.int64),
+            "cpu_num": (gpus * 6).astype(np.int64),
+            "node_num": np.maximum(1, gpus // 8).astype(np.int64),
+            "submit_time": submit,
+            "duration": duration,
+            "status": np.full(n_jobs, "completed"),
+        }
+    )
+
+
+@pytest.fixture(scope="module")
+def qssf_history():
+    return _make_trace(3_000, 0.0, 5 * 86_400.0, seed=1)
+
+
+def _bench_line(payload: dict, capsys) -> None:
+    with capsys.disabled():
+        print()
+        print("BENCH " + json.dumps(payload, sort_keys=True))
+
+
+def test_single_shard_throughput(qssf_history, capsys):
+    """Job-only stream: the acceptance floor is >= 10k events/s."""
+    day = 86_400.0
+    window = _make_trace(10_000, 5 * day, day, seed=2)
+    server = PredictionServer(ServeConfig(lam=1.0, batch_window_s=600.0))
+    server.install_qssf(qssf_history)
+    stream = EventStream.from_trace(window, "B", t0=5 * day, t1=6 * day)
+
+    t0 = time.perf_counter()
+    report = server.run(stream)
+    wall = time.perf_counter() - t0
+
+    _bench_line(
+        {
+            "bench": "serve_shard",
+            "events": report.events,
+            "wall_s": round(wall, 4),
+            "events_per_s": round(report.events_per_s, 1),
+            "qssf_batches": report.qssf_batches,
+            "qssf_p50_ms": round(report.qssf_latency.p50_ms, 4),
+            "qssf_p99_ms": round(report.qssf_latency.p99_ms, 4),
+        },
+        capsys,
+    )
+    assert report.events >= 15_000
+    assert report.events_per_s >= 10_000, (
+        f"single-shard throughput {report.events_per_s:.0f} ev/s "
+        "below the 10k acceptance floor"
+    )
+
+
+def test_mixed_stream_with_ces(qssf_history, capsys):
+    """Jobs + node samples: adds the CES forecast/control hot path."""
+    day = 86_400.0
+    window = _make_trace(4_000, 5 * day, day, seed=3)
+    rng = np.random.default_rng(7)
+    t = np.arange(6 * 144)
+    series = np.round(40 + 12 * np.sin(2 * np.pi * t / 144.0)
+                      + rng.normal(0, 1.5, t.size))
+    config = ServeConfig(
+        lam=1.0,
+        bin_seconds=600,
+        horizon_bins=6,
+        ces_features=ForecastFeatures(
+            bin_seconds=600, lags=(1, 2, 3, 6, 144), windows=(6, 36)
+        ),
+        ces_gbdt=GBDTParams(n_estimators=50, max_depth=5, min_samples_leaf=10),
+        ces_update_every=36,
+        batch_window_s=600.0,
+    )
+    server = PredictionServer(config)
+    server.install_qssf(qssf_history)
+    server.install_ces(series[: 5 * 144], total_nodes=64)
+    stream = EventStream.from_trace(
+        window, "B", t0=5 * day, t1=6 * day, bin_seconds=600,
+        demand=series[5 * 144 :],
+    )
+
+    t0 = time.perf_counter()
+    report = server.run(stream)
+    wall = time.perf_counter() - t0
+
+    _bench_line(
+        {
+            "bench": "serve_mixed",
+            "events": report.events,
+            "wall_s": round(wall, 4),
+            "events_per_s": round(report.events_per_s, 1),
+            "node_samples": report.node_samples,
+            "ces_p50_ms": round(report.ces_latency.p50_ms, 4),
+            "ces_p99_ms": round(report.ces_latency.p99_ms, 4),
+            "forecaster_updates": report.ces_summary.get("forecaster_updates", 0),
+        },
+        capsys,
+    )
+    assert report.node_samples == 144
+    assert report.events_per_s >= 2_000
+    assert report.ces_latency.p99_ms < 100.0

@@ -13,6 +13,8 @@ Subpackages
 ``repro.frame``      mini columnar dataframe substrate
 ``repro.stats``      distributions, time series, metrics
 ``repro.experiments`` one module per paper table/figure
+``repro.serve``      streaming prediction-service runtime (§4.1 live;
+                     lazy — not imported eagerly, like ``experiments``)
 
 Quickstart
 ----------

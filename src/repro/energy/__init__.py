@@ -1,7 +1,14 @@
 """Cluster Energy Saving service (the paper's second case study)."""
 
 from .ces import CESConfig, CESReport, CESService
-from .drs import DRSOutcome, DRSParams, run_always_on, run_drs, run_vanilla_drs
+from .drs import (
+    DRSController,
+    DRSOutcome,
+    DRSParams,
+    run_always_on,
+    run_drs,
+    run_vanilla_drs,
+)
 from .forecaster import ForecastFeatures, GBDTSeriesForecaster, NodeDemandForecaster
 from .power import PowerModel
 
@@ -9,6 +16,7 @@ __all__ = [
     "CESConfig",
     "CESReport",
     "CESService",
+    "DRSController",
     "DRSOutcome",
     "DRSParams",
     "ForecastFeatures",

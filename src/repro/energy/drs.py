@@ -27,7 +27,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["DRSParams", "DRSOutcome", "run_drs", "run_vanilla_drs", "run_always_on"]
+__all__ = [
+    "DRSController",
+    "DRSParams",
+    "DRSOutcome",
+    "run_drs",
+    "run_vanilla_drs",
+    "run_always_on",
+]
 
 
 @dataclass(frozen=True)
@@ -108,6 +115,82 @@ def _wake(active: float, demand: float, sigma: int, total: int) -> float:
     return min(total, demand + sigma)
 
 
+class DRSController:
+    """Stepwise Algorithm-2 controller: one :meth:`step` per bin.
+
+    This is the *online* form of :func:`run_drs`: the batch function
+    drives a controller bin by bin, so a serving loop stepping the same
+    controller over a replayed stream produces byte-identical decisions
+    to the batch replay — the parity the framework tests assert.
+
+    State between steps is the current active pool, the trailing
+    ``recent_window_bins`` of active levels (RecentNodesTrend), and the
+    wake/affected counters.
+    """
+
+    def __init__(self, total_nodes: int, params: DRSParams | None = None) -> None:
+        if total_nodes < 1:
+            raise ValueError("total_nodes must be >= 1")
+        self.total_nodes = total_nodes
+        self.params = params or DRSParams()
+        self.cur = float(total_nodes)
+        self.wake_events = 0
+        self.nodes_woken = 0
+        self.affected_jobs = 0
+        self._active: list[float] = []
+        self._demand: list[float] = []
+
+    @property
+    def steps(self) -> int:
+        return len(self._active)
+
+    def step(self, demand: float, predicted_future: float, arrivals: float = 0.0) -> float:
+        """Advance one bin; returns the active pool after the decision.
+
+        ``predicted_future`` estimates demand ``horizon`` ahead of this
+        bin (FutureNodesTrend); ``arrivals`` counts jobs submitted in the
+        bin, charged as affected when the bin forces a wake-up.
+        """
+        p = self.params
+        t = len(self._active)
+        cur = self.cur
+        # JobArrivalCheck: demand beyond the active pool forces a wake.
+        if demand > cur:
+            new = _wake(cur, demand, p.buffer_nodes, self.total_nodes)
+            self.wake_events += 1
+            self.nodes_woken += int(round(new - cur))
+            self.affected_jobs += int(arrivals)
+            cur = new
+        # PeriodicCheck: park only when past AND future trends agree.
+        else:
+            past_active = (
+                self._active[t - p.recent_window_bins]
+                if t >= p.recent_window_bins
+                else cur
+            )
+            recent_trend = past_active - demand
+            floor = max(demand, predicted_future) + p.buffer_nodes
+            future_trend = cur - floor
+            if recent_trend >= p.recent_threshold and future_trend >= p.future_threshold:
+                cur = min(cur, min(self.total_nodes, floor))
+        self.cur = cur
+        self._active.append(cur)
+        self._demand.append(float(demand))
+        return cur
+
+    def outcome(self) -> DRSOutcome:
+        """The window walked so far, packaged like :func:`run_drs`."""
+        return DRSOutcome(
+            active=np.asarray(self._active, dtype=float),
+            demand=np.asarray(self._demand, dtype=float),
+            total_nodes=self.total_nodes,
+            wake_events=self.wake_events,
+            nodes_woken=self.nodes_woken,
+            affected_jobs=self.affected_jobs,
+            bins_per_day=86_400.0 / self.params.bin_seconds,
+        )
+
+
 def run_drs(
     demand: np.ndarray,
     predicted_future: np.ndarray,
@@ -116,6 +199,9 @@ def run_drs(
     arrivals_per_bin: np.ndarray | None = None,
 ) -> DRSOutcome:
     """Run predictive CES-DRS (Algorithm 2) over an evaluation window.
+
+    Drives a :class:`DRSController` bin by bin — the batch and the
+    streamed (serving-loop) evaluations share one decision code path.
 
     Parameters
     ----------
@@ -134,45 +220,15 @@ def run_drs(
     fc = np.asarray(predicted_future, dtype=float)
     if d.shape != fc.shape:
         raise ValueError("demand and predicted_future must align")
-    if total_nodes < 1:
-        raise ValueError("total_nodes must be >= 1")
     arr = (
         np.zeros_like(d)
         if arrivals_per_bin is None
         else np.asarray(arrivals_per_bin, dtype=float)
     )
-    n = d.size
-    active = np.empty(n)
-    cur = float(total_nodes)
-    wake_events = 0
-    nodes_woken = 0
-    affected = 0
-    for t in range(n):
-        # JobArrivalCheck: demand beyond the active pool forces a wake.
-        if d[t] > cur:
-            new = _wake(cur, d[t], p.buffer_nodes, total_nodes)
-            wake_events += 1
-            nodes_woken += int(round(new - cur))
-            affected += int(arr[t])
-            cur = new
-        # PeriodicCheck: park only when past AND future trends agree.
-        else:
-            past_active = active[t - p.recent_window_bins] if t >= p.recent_window_bins else cur
-            recent_trend = past_active - d[t]
-            floor = max(d[t], fc[t]) + p.buffer_nodes
-            future_trend = cur - floor
-            if recent_trend >= p.recent_threshold and future_trend >= p.future_threshold:
-                cur = min(cur, min(total_nodes, floor))
-        active[t] = cur
-    return DRSOutcome(
-        active=active,
-        demand=d,
-        total_nodes=total_nodes,
-        wake_events=wake_events,
-        nodes_woken=nodes_woken,
-        affected_jobs=affected,
-        bins_per_day=86_400.0 / p.bin_seconds,
-    )
+    controller = DRSController(total_nodes, p)
+    for t in range(d.size):
+        controller.step(d[t], fc[t], arr[t])
+    return controller.outcome()
 
 
 def run_vanilla_drs(

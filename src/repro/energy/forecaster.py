@@ -86,7 +86,11 @@ class ForecastFeatures:
         return np.column_stack(cols)
 
     def build_at(
-        self, series: np.ndarray, indices: np.ndarray, t0: float = 0.0
+        self,
+        series: np.ndarray,
+        indices: np.ndarray,
+        t0: float = 0.0,
+        cumsums: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> np.ndarray:
         """Feature rows for ``indices`` only — O(n + len(indices)) work.
 
@@ -95,14 +99,27 @@ class ForecastFeatures:
         without materializing the full matrix.  This is the hot path of
         recursive forecasting and of incremental refits, where only the
         freshly appended rows are ever needed.
+
+        ``cumsums`` optionally supplies the prefix sums ``(c1, c2)`` of
+        ``series`` and ``series**2`` (each of length ``len(series)+1``,
+        leading 0).  A streaming caller that maintains them by sequential
+        addition gets identical floats to the internal ``np.cumsum`` —
+        and drops the per-call cost from O(history) to O(rows), which is
+        what makes per-bin forecasting in the serving loop flat in
+        stream length.
         """
         s = np.asarray(series, dtype=float)
         idx = np.asarray(indices, dtype=np.int64)
         cols = self._calendar_and_lags(s, idx, t0)
         # Trailing-window mean/std at the requested indices, computed with
         # the exact cumulative-sum formulation rolling_mean/rolling_std use.
-        c1 = np.cumsum(np.insert(s, 0, 0.0))
-        c2 = np.cumsum(np.insert(s * s, 0, 0.0))
+        if cumsums is None:
+            c1 = np.cumsum(np.insert(s, 0, 0.0))
+            c2 = np.cumsum(np.insert(s * s, 0, 0.0))
+        else:
+            c1, c2 = cumsums
+            if len(c1) != s.size + 1 or len(c2) != s.size + 1:
+                raise ValueError("cumsums must have length len(series) + 1")
         hi = idx + 1
         for w in self.windows:
             lo = np.maximum(hi - w, 0)
@@ -183,18 +200,23 @@ class NodeDemandForecaster:
         return self
 
     def predict_at(
-        self, series: np.ndarray, indices: np.ndarray, t0: float = 0.0
+        self,
+        series: np.ndarray,
+        indices: np.ndarray,
+        t0: float = 0.0,
+        cumsums: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> np.ndarray:
         """Forecast ``series[i + horizon]`` for each index i.
 
         Features use only values up to i (lags/rolling windows are
         trailing), so this is a valid walk-forward prediction when the
-        model was fitted on earlier data.
+        model was fitted on earlier data.  ``cumsums`` is forwarded to
+        :meth:`ForecastFeatures.build_at` for streaming callers.
         """
         if not self._fitted:
             raise RuntimeError("forecaster not fitted")
         s = np.asarray(series, dtype=float)
-        X = self.features.build_at(s, np.asarray(indices), t0)
+        X = self.features.build_at(s, np.asarray(indices), t0, cumsums=cumsums)
         return np.maximum(self.model.predict(X), 0.0)
 
 

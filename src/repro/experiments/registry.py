@@ -25,7 +25,7 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass
 
-from . import ablations, characterization, energy_exp, scheduling
+from . import ablations, characterization, energy_exp, scheduling, serving
 from .common import CLUSTERS, SCHEDULER_NAMES
 
 __all__ = [
@@ -115,6 +115,11 @@ _SPEC_TABLE: tuple[ExperimentSpec, ...] = (
                    ("ces_report:Philly",)),
     ExperimentSpec("table5", energy_exp.exp_table5, "heavy",
                    tuple(f"ces_report:{c}" for c in CLUSTERS + ("Philly",))),
+    # -- §4.1 serving runtime -----------------------------------------
+    ExperimentSpec("serve_smoke", serving.exp_serve_smoke, "medium",
+                   tuple(f"cluster_gpu_trace:{c}"
+                         for c in serving.SERVE_SMOKE_CLUSTERS),
+                   smoke=True),
     # -- ablations ----------------------------------------------------
     ExperimentSpec("ablation_lambda", ablations.exp_ablation_lambda, "heavy",
                    ("cluster_gpu_trace:Venus",)),

@@ -49,6 +49,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="experiment ids to run, or 'all'; empty lists the registry",
     )
     parser.add_argument(
+        "--list", action="store_true",
+        help="list the registry and exit; with --json, emit it "
+             "machine-readably (id, tier, profile, precursors)",
+    )
+    parser.add_argument(
         "-j", "--jobs", type=int, default=1, metavar="N",
         help="worker processes (default 1; 0 = one per CPU)",
     )
@@ -75,8 +80,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="every registered exhibit (same as 'all')",
     )
     parser.add_argument(
-        "--json", type=Path, default=None, metavar="PATH",
-        help="write a structured run report (timings, cache keys) to PATH",
+        "--json", type=Path, default=None, metavar="PATH", nargs="?",
+        const=Path("-"),
+        help="write a structured run report (timings, cache keys) to PATH "
+             "(or the registry listing, with --list); bare --json writes "
+             "to stdout",
     )
     parser.add_argument(
         "-q", "--quiet", action="store_true",
@@ -96,6 +104,39 @@ def _list_registry() -> None:
     )
 
 
+def registry_as_dict() -> dict:
+    """Machine-readable registry: id, cost tier, profiles, precursors.
+
+    ``inputs`` are the declared top-level precursor tokens; ``precursors``
+    is their dependency closure in warm order — what the orchestrator
+    actually computes before running the exhibit.
+    """
+    from .common import expand_precursors
+
+    return {
+        "experiments": [
+            {
+                "id": spec.exp_id,
+                "cost": spec.cost,
+                "smoke": spec.smoke,
+                "inputs": list(spec.inputs),
+                "precursors": expand_precursors(list(spec.inputs)),
+            }
+            for spec in SPECS.values()
+        ]
+    }
+
+
+def _emit_json(payload: dict, path: Path) -> None:
+    text = json.dumps(payload, indent=2) + "\n"
+    if str(path) == "-":
+        print(text, end="")
+    else:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        print(f"report written to {path}")
+
+
 def _select_ids(args: argparse.Namespace) -> list[str] | None:
     if args.smoke:
         return smoke_ids()
@@ -113,9 +154,21 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("experiment IDs cannot be combined with --smoke/--full")
     if "all" in args.ids and len(args.ids) > 1:
         parser.error("'all' cannot be combined with other experiment IDs")
-    ids = _select_ids(args)
+    if args.list and (args.ids or args.smoke or args.full):
+        parser.error("--list cannot be combined with experiment IDs or profiles")
+    if args.json is not None and str(args.json) in SPECS:
+        # bare --json is valid, so argparse would otherwise swallow a
+        # following experiment id as the report path and silently list
+        parser.error(
+            f"--json consumed experiment id {args.json!r} as its PATH; "
+            "put IDs before --json or pass an explicit path"
+        )
+    ids = None if args.list else _select_ids(args)
     if ids is None:
-        _list_registry()
+        if args.json is not None:
+            _emit_json(registry_as_dict(), args.json)
+        else:
+            _list_registry()
         return 0
 
     # usage errors (typo'd id, bad --jobs) fail here with a one-line
@@ -154,9 +207,7 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     if args.json is not None:
-        args.json.parent.mkdir(parents=True, exist_ok=True)
-        args.json.write_text(json.dumps(result.as_dict(), indent=2) + "\n")
-        print(f"report written to {args.json}")
+        _emit_json(result.as_dict(), args.json)
 
     return 1 if counts["failed"] else 0
 

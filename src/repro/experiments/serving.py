@@ -1,0 +1,86 @@
+"""Serving-runtime exhibit: the framework loop as a live system.
+
+``serve_smoke`` streams the first days of the evaluation month for two
+clusters through :mod:`repro.serve` — QSSF queue orderings, CES control
+steps and online model updates — and reports per-shard throughput and
+decision-latency telemetry.  It is registered in the smoke profile: the
+stream derives node demand from the traces alone (no simulator replay),
+so it exercises the full serving stack in seconds.
+
+The serve imports are deferred into the builder: the registry must stay
+importable without touching :mod:`repro.serve` (which itself imports
+the shared experiment scenario — a cycle if resolved at import time).
+"""
+
+from __future__ import annotations
+
+from . import common
+
+__all__ = ["exp_serve_smoke", "SERVE_SMOKE_CLUSTERS", "smoke_serve_config"]
+
+#: shards streamed by the smoke exhibit
+SERVE_SMOKE_CLUSTERS = ("Venus", "Saturn")
+SERVE_SMOKE_HISTORY_DAYS = 14
+SERVE_SMOKE_STREAM_DAYS = 3.0
+SERVE_SMOKE_MAX_JOBS = 1_200
+
+
+def smoke_serve_config():
+    """Replay-free serving knobs sized for the smoke budget.
+
+    Rolling-only QSSF (``lam=1``) skips the GBDT duration model; hourly
+    node bins with short-lag features keep the CES forecaster's warmup
+    inside a two-week history window.
+    """
+    from ..energy.forecaster import ForecastFeatures
+    from ..ml.gbdt import GBDTParams
+    from ..serve import ServeConfig
+
+    return ServeConfig(
+        lam=1.0,
+        bin_seconds=3_600,
+        horizon_bins=6,
+        ces_features=ForecastFeatures(
+            bin_seconds=3_600, lags=(1, 2, 3, 6, 24, 168), windows=(6, 24)
+        ),
+        ces_gbdt=GBDTParams(n_estimators=60, max_depth=5, min_samples_leaf=10),
+        ces_update_every=24,
+    )
+
+
+def exp_serve_smoke() -> dict:
+    """Serve two cluster shards end-to-end; returns telemetry + text."""
+    from ..serve import aggregate_reports, serve_clusters
+
+    reports = serve_clusters(
+        SERVE_SMOKE_CLUSTERS,
+        config=smoke_serve_config(),
+        jobs=1,
+        history_days=SERVE_SMOKE_HISTORY_DAYS,
+        stream_days=SERVE_SMOKE_STREAM_DAYS,
+        max_jobs=SERVE_SMOKE_MAX_JOBS,
+    )
+    agg = aggregate_reports(reports)
+    lines = [
+        "serve_smoke — streaming serving runtime "
+        f"({SERVE_SMOKE_STREAM_DAYS:g} days, {len(reports)} shards)"
+    ]
+    for r in reports:
+        lines.append(
+            f"{r.cluster:7s} {r.events:6d} events  {r.events_per_s:9.0f} ev/s  "
+            f"qssf p50/p99 {r.qssf_latency.p50_ms:.2f}/{r.qssf_latency.p99_ms:.2f} ms  "
+            f"ces p50/p99 {r.ces_latency.p50_ms:.2f}/{r.ces_latency.p99_ms:.2f} ms  "
+            f"wakes {r.ces_summary.get('wake_events', 0)}  "
+            f"parked {r.ces_summary.get('avg_parked', 0.0):.1f}  "
+            f"updates {r.refits}"
+        )
+    lines.append(
+        f"aggregate: {agg['events']} events, {agg['events_per_s']:.0f} ev/s, "
+        f"{agg['qssf_decisions']} queue orderings, {agg['ces_steps']} CES steps"
+    )
+    return {
+        "shards": [r.as_dict() for r in reports],
+        "aggregate": agg,
+        "clusters": list(SERVE_SMOKE_CLUSTERS),
+        "text": "\n".join(lines),
+    }

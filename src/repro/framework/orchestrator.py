@@ -28,6 +28,20 @@ class ResourceOrchestrator:
             raise ValueError(f"service {service.service_name!r} already installed")
         self._services[service.service_name] = service
 
+    def replace(self, service: PredictionService) -> PredictionService | None:
+        """Install or hot-swap a service; returns the one it displaced.
+
+        Idempotent reinstall: unlike ``uninstall()`` + ``install()``,
+        there is no window in which the name is unregistered, so a
+        freshly refit service can be swapped in while other threads are
+        inside :meth:`decide_many` — the swap is a single dict
+        assignment, and an in-flight batch keeps the service object it
+        resolved at entry, finishing consistently on the old model.
+        """
+        old = self._services.get(service.service_name)
+        self._services[service.service_name] = service
+        return old
+
     def uninstall(self, name: str) -> None:
         if name not in self._services:
             raise KeyError(f"unknown service {name!r}")

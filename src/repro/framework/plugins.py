@@ -11,8 +11,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..energy.drs import DRSParams, run_drs
-from ..energy.forecaster import NodeDemandForecaster
+from ..energy.forecaster import ForecastFeatures, NodeDemandForecaster
 from ..frame import Table
+from ..ml.gbdt import GBDTParams
 from ..sched.qssf import QSSFScheduler
 from .service import PredictionService
 
@@ -30,12 +31,15 @@ class QSSFService(PredictionService):
 
     service_name = "qssf"
 
-    def __init__(self, lam: float = 0.5) -> None:
+    def __init__(self, lam: float = 0.5, gbdt_params: GBDTParams | None = None) -> None:
         self.lam = lam
+        self.gbdt_params = gbdt_params
         self.scheduler: QSSFScheduler | None = None
 
     def fit(self, history: Table) -> "QSSFService":
-        self.scheduler = QSSFScheduler(history, lam=self.lam)
+        self.scheduler = QSSFScheduler(
+            history, lam=self.lam, gbdt_params=self.gbdt_params
+        )
         return self
 
     def predict(self, request: Table) -> np.ndarray:
@@ -64,22 +68,94 @@ class CESNodeService(PredictionService):
     ``fit`` trains the node-demand forecaster on a demand series;
     ``predict`` forecasts demand H steps ahead; ``act`` runs Algorithm 2
     over a ``(demand, total_nodes)`` window and returns the DRS outcome.
+
+    The service is *incremental*: ``observe(sample)`` ingests one
+    node-demand sample and, every ``update_every`` samples, drives the
+    forecaster's :meth:`~repro.energy.forecaster.NodeDemandForecaster.extend`
+    path so the model advances between full refits instead of merely
+    buffering data for the next scratch fit.  ``apply_update`` (the
+    Model Update Engine's incremental refit hook) forces any still
+    buffered samples into the model immediately.
     """
 
     service_name = "ces"
+    supports_incremental = True
 
-    def __init__(self, horizon_bins: int = 18, drs_params: DRSParams | None = None) -> None:
+    def __init__(
+        self,
+        horizon_bins: int = 18,
+        drs_params: DRSParams | None = None,
+        update_every: int = 36,
+        features: ForecastFeatures | None = None,
+        gbdt_params: GBDTParams | None = None,
+    ) -> None:
+        if update_every < 1:
+            raise ValueError("update_every must be >= 1")
         self.horizon_bins = horizon_bins
         self.drs_params = drs_params
+        self.update_every = update_every
+        self.features = features
+        self.gbdt_params = gbdt_params
         self.forecaster: NodeDemandForecaster | None = None
         self._history: np.ndarray | None = None
+        self._pending: list[float] = []
+        self.updates_applied = 0
 
     def fit(self, history: np.ndarray) -> "CESNodeService":
         self._history = np.asarray(history, dtype=float)
-        self.forecaster = NodeDemandForecaster(horizon_bins=self.horizon_bins).fit(
-            self._history
-        )
+        self._pending.clear()
+        self.forecaster = NodeDemandForecaster(
+            horizon_bins=self.horizon_bins,
+            features=self.features,
+            gbdt_params=self.gbdt_params,
+        ).fit(self._history)
         return self
+
+    @property
+    def history(self) -> np.ndarray | None:
+        """The demand series ingested so far (fit history + observations)."""
+        if self._history is None:
+            return None
+        if self._pending:
+            return np.concatenate([self._history, np.asarray(self._pending)])
+        return self._history
+
+    def observe(self, event) -> None:
+        """``event`` is one node-demand sample (running nodes in a bin).
+
+        Samples accumulate and, once ``update_every`` are pending on a
+        fitted model, advance the forecaster incrementally — the serving
+        loop's path for keeping predictions fresh between refits.
+        """
+        self._pending.append(float(event))
+        if self.forecaster is not None and len(self._pending) >= self.update_every:
+            self._advance()
+
+    def apply_update(self, new_history=None) -> "CESNodeService":
+        """Force any buffered samples into the model immediately.
+
+        The service retains its observations, so per the
+        :meth:`~repro.framework.service.PredictionService.apply_update`
+        contract the argument is *never* ingested: every sample reaches
+        the service through :meth:`observe` before a refit fires, and
+        re-ingesting the engine-built delta would double-count it (in
+        the worst case silently corrupting the demand series whenever a
+        refit lands just after an ``update_every`` flush).  Ingest via
+        :meth:`observe`; this call only flushes.
+        """
+        if self.forecaster is None:
+            raise RuntimeError("CESNodeService not fitted")
+        self._advance()
+        return self
+
+    def _advance(self) -> None:
+        if not self._pending:
+            return
+        assert self._history is not None and self.forecaster is not None
+        self._history = np.concatenate([self._history, np.asarray(self._pending)])
+        self._pending.clear()
+        self.forecaster.extend(self._history)
+        self.updates_applied += 1
 
     def predict(self, request: np.ndarray) -> np.ndarray:
         """Forecast demand ``horizon_bins`` ahead of each series index."""

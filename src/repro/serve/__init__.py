@@ -1,0 +1,42 @@
+"""repro.serve — streaming prediction-service runtime (§4.1 as a system).
+
+The batch reproduction replays traces offline; this subsystem turns the
+same framework components into a *long-running service*:
+
+* :mod:`repro.serve.stream` — converts any trace (Helios VCs, Philly,
+  multi-cluster mixes) into a time-ordered stream of submit / finish /
+  node-sample events, replayable at a wall-clock speedup or
+  as-fast-as-possible, shardable by cluster;
+* :mod:`repro.serve.server` — the serving loop: routes prediction and
+  decision requests (QSSF queue ordering, job-duration prediction, CES
+  node on/off control) through the Resource Orchestrator with
+  micro-batching, while the Model Update Engine advances models online
+  via the incremental ``update()``/``observe`` protocol;
+* :mod:`repro.serve.runtime` — multi-cluster scale-out: shards fan out
+  over :mod:`repro.framework.parallel`'s fork pool with per-shard
+  throughput/latency telemetry;
+* :mod:`repro.serve.telemetry` — events/s and p50/p99 decision-latency
+  accounting.
+
+CLI: ``python -m repro.serve --clusters Venus,Earth --days 3 --jobs 2``.
+"""
+
+from .server import PredictionServer, ServeConfig, ShardReport
+from .stream import Event, EventStream, approx_node_demand
+from .runtime import ShardTask, build_shard, run_shard, serve_clusters
+from .telemetry import LatencyStats, aggregate_reports
+
+__all__ = [
+    "Event",
+    "EventStream",
+    "LatencyStats",
+    "PredictionServer",
+    "ServeConfig",
+    "ShardReport",
+    "ShardTask",
+    "aggregate_reports",
+    "approx_node_demand",
+    "build_shard",
+    "run_shard",
+    "serve_clusters",
+]

@@ -1,0 +1,143 @@
+"""CLI for the streaming prediction-service runtime.
+
+Usage::
+
+    python -m repro.serve                             # serve all 4 clusters
+    python -m repro.serve --clusters Venus,Earth      # shard subset
+    python -m repro.serve --jobs 4                    # one worker per shard
+    python -m repro.serve --speedup 3600              # 1 stream-hour / wall-second
+    python -m repro.serve --days 7 --history-days 60  # bigger windows
+    python -m repro.serve --json report.json          # machine-readable report
+
+Each cluster becomes one shard: a :class:`PredictionServer` fitted on
+the cluster's history serving that cluster's replayed event stream,
+with per-shard throughput and decision-latency telemetry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from ..experiments.common import CLUSTERS
+from .runtime import serve_clusters
+from .server import ServeConfig
+from .telemetry import aggregate_reports
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve replayed trace streams through the prediction framework.",
+    )
+    parser.add_argument(
+        "--clusters", default=",".join(CLUSTERS), metavar="A,B,...",
+        help=f"comma-separated cluster shards (default {','.join(CLUSTERS)})",
+    )
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for shard fan-out (default 1; 0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--speedup", type=float, default=None, metavar="X",
+        help="stream-seconds per wall-second (default: as fast as possible)",
+    )
+    parser.add_argument(
+        "--days", type=float, default=3.0, metavar="D",
+        help="stream window: first D days of the evaluation month (default 3)",
+    )
+    parser.add_argument(
+        "--history-days", type=int, default=30, metavar="D",
+        help="training window before the evaluation month (default 30)",
+    )
+    parser.add_argument(
+        "--max-jobs", type=int, default=None, metavar="N",
+        help="cap streamed jobs per shard (default: no cap)",
+    )
+    parser.add_argument(
+        "--bin-seconds", type=int, default=600, metavar="S",
+        help="node-sample bin width (default 600)",
+    )
+    parser.add_argument(
+        "--lam", type=float, default=0.5, metavar="L",
+        help="QSSF rolling/ML blend (default 0.5; 1.0 skips the GBDT)",
+    )
+    parser.add_argument(
+        "--no-online-updates", action="store_true",
+        help="freeze models: serve decisions without observing the stream",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="write per-shard + aggregate telemetry to PATH",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="print only the aggregate line",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+    clusters = tuple(c.strip() for c in args.clusters.split(",") if c.strip())
+    unknown = [c for c in clusters if c not in CLUSTERS]
+    if not clusters or unknown:
+        print(
+            f"error: unknown clusters {unknown or '(none given)'}; "
+            f"available: {list(CLUSTERS)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    from ..experiments.common import QSSF_GBDT
+
+    config = ServeConfig(
+        lam=args.lam,
+        qssf_gbdt=QSSF_GBDT,
+        bin_seconds=args.bin_seconds,
+        online_updates=not args.no_online_updates,
+    )
+    reports = serve_clusters(
+        clusters,
+        config=config,
+        jobs=args.jobs,
+        history_days=args.history_days,
+        stream_days=args.days,
+        max_jobs=args.max_jobs,
+        speedup=args.speedup,
+    )
+
+    for report in reports:
+        if args.quiet:
+            continue
+        lat = report.qssf_latency
+        print(
+            f"[{report.cluster:7s}] {report.events:7d} events in "
+            f"{report.wall_seconds:7.2f}s ({report.events_per_s:9.0f} ev/s)  "
+            f"qssf p50/p99 {lat.p50_ms:.2f}/{lat.p99_ms:.2f} ms  "
+            f"ces p50/p99 {report.ces_latency.p50_ms:.2f}/"
+            f"{report.ces_latency.p99_ms:.2f} ms  "
+            f"wakes {report.ces_summary.get('wake_events', 0)}"
+        )
+    agg = aggregate_reports(reports)
+    print(
+        f"{agg['shards']} shards, {agg['events']} events, "
+        f"{agg['events_per_s']:.0f} ev/s aggregate, "
+        f"{agg['qssf_decisions']} queue orderings, {agg['ces_steps']} CES steps"
+    )
+
+    if args.json is not None:
+        payload = {"shards": [r.as_dict() for r in reports], "aggregate": agg}
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"report written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,391 @@
+"""The serving loop: framework components behind an event stream.
+
+:class:`PredictionServer` is the paper's §4.1 runtime closed into a
+long-running loop.  Requests are routed through the
+:class:`~repro.framework.orchestrator.ResourceOrchestrator`:
+
+* **QSSF queue ordering** — each micro-batch of concurrent submits is
+  split into per-VC queues and dispatched in one
+  ``decide_many("qssf", queues)`` call;
+* **job-duration prediction** — optional per-batch predictions from the
+  same service (``predict_durations``);
+* **CES node control** — every node sample extends the demand series,
+  requests an H-bins-ahead forecast (O(1) per bin via maintained prefix
+  sums), and steps the shared :class:`~repro.energy.drs.DRSController`
+  — the same object the batch :func:`~repro.energy.drs.run_drs` drives,
+  so streamed decisions are byte-identical to a batch replay.
+
+Between requests the :class:`~repro.framework.engine.ModelUpdateEngine`
+ingests finished jobs and node samples; with ``online_updates`` on, the
+incremental refit path advances models in place (the forecasters'
+``update()``/``extend()`` protocol) while scratch refits remain the
+fallback and correctness oracle.  ``online_updates=False`` freezes the
+models — the mode the online/batch parity tests run in.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..energy.drs import DRSController, DRSParams
+from ..energy.forecaster import ForecastFeatures
+from ..frame import Table
+from ..framework import (
+    CESNodeService,
+    ModelUpdateEngine,
+    QSSFService,
+    ResourceOrchestrator,
+    UpdatePolicy,
+)
+from ..ml.gbdt import GBDTParams
+from .stream import FINISH, NODE_SAMPLE, SUBMIT, EventStream
+from .telemetry import LatencyRecorder, LatencyStats
+
+__all__ = ["PredictionServer", "ServeConfig", "ShardReport"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Serving-loop knobs (model sizes, batching, update policy)."""
+
+    lam: float = 0.5
+    qssf_gbdt: GBDTParams | None = None
+    horizon_bins: int = 18
+    bin_seconds: int = 600
+    ces_features: ForecastFeatures | None = None
+    ces_gbdt: GBDTParams | None = None
+    ces_update_every: int = 36
+    drs_params: DRSParams | None = None
+    batch_window_s: float = 60.0
+    predict_durations: bool = False
+    online_updates: bool = True
+    refit_mode: str = "auto"
+    update_interval_s: float = 7 * 86_400.0
+    update_max_buffered: int = 50_000
+    decide_jobs: int = 1
+    record_decisions: bool = False
+
+
+@dataclass
+class ShardReport:
+    """Telemetry + decision digests for one served shard."""
+
+    cluster: str
+    events: int
+    submits: int
+    finishes: int
+    node_samples: int
+    qssf_batches: int
+    qssf_decisions: int
+    duration_requests: int
+    wall_seconds: float
+    events_per_s: float
+    qssf_latency: LatencyStats
+    ces_latency: LatencyStats
+    refits: dict[str, dict[str, int]]
+    qssf_digest: str
+    ces_digest: str
+    ces_summary: dict[str, float] = field(default_factory=dict)
+    #: populated only under ``record_decisions`` (parity tests)
+    decisions: list[tuple[str, tuple[str, ...]]] | None = None
+    ces_active: np.ndarray | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "cluster": self.cluster,
+            "events": self.events,
+            "submits": self.submits,
+            "finishes": self.finishes,
+            "node_samples": self.node_samples,
+            "qssf_batches": self.qssf_batches,
+            "qssf_decisions": self.qssf_decisions,
+            "duration_requests": self.duration_requests,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "events_per_s": round(self.events_per_s, 1),
+            "qssf_latency": self.qssf_latency.as_dict(),
+            "ces_latency": self.ces_latency.as_dict(),
+            "refits": self.refits,
+            "qssf_digest": self.qssf_digest,
+            "ces_digest": self.ces_digest,
+            "ces_summary": self.ces_summary,
+        }
+
+
+class _GrowingSeries:
+    """Append-only float series with maintained prefix sums.
+
+    ``c1``/``c2`` mirror ``np.cumsum(np.insert(s, 0, 0.0))`` (and the
+    squared variant) by sequential addition, so feature rows built from
+    them are bit-identical to the batch path's — while appends stay
+    amortized O(1) and a per-bin forecast O(row) instead of O(history).
+    """
+
+    def __init__(self, initial: np.ndarray | None = None, capacity: int = 1024) -> None:
+        n0 = 0 if initial is None else len(initial)
+        cap = max(capacity, 2 * n0 + 1)
+        self._values = np.empty(cap)
+        self._c1 = np.zeros(cap + 1)
+        self._c2 = np.zeros(cap + 1)
+        self.n = 0
+        if initial is not None:
+            for x in np.asarray(initial, dtype=float):
+                self.append(float(x))
+
+    def _grow(self) -> None:
+        cap = 2 * len(self._values)
+        new_values = np.empty(cap)
+        new_values[: self.n] = self._values[: self.n]
+        new_c1 = np.zeros(cap + 1)
+        new_c1[: self.n + 1] = self._c1[: self.n + 1]
+        new_c2 = np.zeros(cap + 1)
+        new_c2[: self.n + 1] = self._c2[: self.n + 1]
+        self._values, self._c1, self._c2 = new_values, new_c1, new_c2
+
+    def append(self, x: float) -> int:
+        """Append one value; returns its index."""
+        if self.n == len(self._values):
+            self._grow()
+        i = self.n
+        self._values[i] = x
+        self._c1[i + 1] = self._c1[i] + x
+        self._c2[i + 1] = self._c2[i] + x * x
+        self.n = i + 1
+        return i
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._values[: self.n]
+
+    @property
+    def cumsums(self) -> tuple[np.ndarray, np.ndarray]:
+        return self._c1[: self.n + 1], self._c2[: self.n + 1]
+
+
+class PredictionServer:
+    """One shard's serving runtime: orchestrator + update engine + loop."""
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config or ServeConfig()
+        self.orchestrator = ResourceOrchestrator()
+        self.engine = ModelUpdateEngine(
+            UpdatePolicy(
+                interval_seconds=self.config.update_interval_s,
+                max_buffered=self.config.update_max_buffered,
+            ),
+            mode=self.config.refit_mode,
+        )
+        self._qssf_history: Table | None = None
+        self._ces_series: _GrowingSeries | None = None
+        self._ces_controller: DRSController | None = None
+        self._vc_decisions = 0
+
+    # -- installation --------------------------------------------------
+
+    def install_qssf(self, history: Table) -> QSSFService:
+        """Fit QSSF on ``history`` and register it for serving.
+
+        The engine's scratch refits rebuild the model on ``history`` +
+        every finished job observed since, so a long-running server
+        never forgets its training window.
+        """
+        cfg = self.config
+        service = QSSFService(lam=cfg.lam, gbdt_params=cfg.qssf_gbdt).fit(history)
+        self._qssf_history = history
+
+        def build_history(rows: list[dict]) -> Table:
+            return Table.concat([history, Table.from_rows(rows)])
+
+        self.engine.register(
+            service,
+            build_history,
+            update_builder=Table.from_rows,
+            prefitted=True,
+        )
+        self.orchestrator.replace(service)
+        return service
+
+    def install_ces(self, demand_history: np.ndarray, total_nodes: int) -> CESNodeService:
+        """Fit the node-demand forecaster and arm the DRS controller.
+
+        ``demand_history`` is the training window of the demand series;
+        streamed node samples continue it (index ``len(history) + k``,
+        calendar t0 pinned at the history start).
+        """
+        cfg = self.config
+        history = np.asarray(demand_history, dtype=float)
+        service = CESNodeService(
+            horizon_bins=cfg.horizon_bins,
+            drs_params=cfg.drs_params,
+            update_every=cfg.ces_update_every,
+            features=cfg.ces_features,
+            gbdt_params=cfg.ces_gbdt,
+        ).fit(history)
+
+        def build_series(samples: list[float]) -> np.ndarray:
+            return np.concatenate([history, np.asarray(samples, dtype=float)])
+
+        self.engine.register(
+            service,
+            build_series,
+            update_builder=lambda samples: np.asarray(samples, dtype=float),
+            prefitted=True,
+        )
+        self.orchestrator.replace(service)
+        self._ces_series = _GrowingSeries(history)
+        self._ces_controller = DRSController(
+            total_nodes,
+            cfg.drs_params or DRSParams.scaled(total_nodes, cfg.bin_seconds),
+        )
+        return service
+
+    # -- the loop ------------------------------------------------------
+
+    def run(
+        self,
+        stream: EventStream,
+        speedup: float | None = None,
+        window_s: float | None = None,
+    ) -> ShardReport:
+        """Serve one stream to exhaustion; returns the shard report.
+
+        ``speedup`` paces the stream against the wall clock (``None`` =
+        as fast as possible); ``window_s`` overrides the configured
+        micro-batch window.
+        """
+        cfg = self.config
+        window = cfg.batch_window_s if window_s is None else window_s
+        if len(stream):
+            self.engine.reset_clock(float(stream.times[0]))
+        qssf_lat = LatencyRecorder()
+        ces_lat = LatencyRecorder()
+        decisions: list[tuple[str, tuple[str, ...]]] = []
+        qssf_digest = hashlib.sha256()
+        counts = {SUBMIT: 0, FINISH: 0, NODE_SAMPLE: 0}
+        qssf_batches = 0
+        duration_requests = 0
+        jobs_table = stream.jobs
+
+        t_start = time.perf_counter()
+        for batch in stream.play(window, speedup):
+            counts[batch.kind] += len(batch)
+            if batch.kind == SUBMIT:
+                qssf_batches += 1
+                queue = jobs_table.take(batch.refs)
+                t0 = time.perf_counter()
+                ordered = self._order_queues(queue)
+                qssf_lat.record(time.perf_counter() - t0)
+                if cfg.predict_durations:
+                    self._predict_durations(queue)
+                    duration_requests += len(batch)
+                for vc, ids in ordered:
+                    qssf_digest.update(vc.encode())
+                    qssf_digest.update(b"\x1f".join(i.encode() for i in ids))
+                    qssf_digest.update(b"\x00")
+                if cfg.record_decisions:
+                    decisions.extend(ordered)
+            elif batch.kind == FINISH:
+                if cfg.online_updates:
+                    for ref in batch.refs:
+                        self.engine.observe(
+                            "qssf", jobs_table.row(int(ref)), now=batch.time
+                        )
+            else:  # NODE_SAMPLE
+                self._serve_node_samples(stream, batch, ces_lat)
+        wall = time.perf_counter() - t_start
+
+        events = len(stream)
+        refits = {
+            name: {
+                "refits": self.engine.refit_count(name),
+                "incremental": self.engine.incremental_refit_count(name),
+            }
+            for name in self.engine.services
+        }
+        ces_digest = hashlib.sha256()
+        ces_summary: dict[str, float] = {}
+        ces_active = None
+        if self._ces_controller is not None and self._ces_controller.steps:
+            outcome = self._ces_controller.outcome()
+            ces_digest.update(outcome.active.tobytes())
+            ces_digest.update(
+                f"{outcome.wake_events}:{outcome.nodes_woken}:{outcome.affected_jobs}".encode()
+            )
+            ces_svc = self.orchestrator.service("ces")
+            ces_summary = {
+                "wake_events": outcome.wake_events,
+                "avg_active": round(float(outcome.active.mean()), 3),
+                "avg_parked": round(outcome.avg_parked_nodes, 3),
+                "affected_jobs": outcome.affected_jobs,
+                # incremental extends driven by observe() between refits
+                "forecaster_updates": getattr(ces_svc, "updates_applied", 0),
+            }
+            ces_active = outcome.active
+        return ShardReport(
+            cluster=stream.cluster,
+            events=events,
+            submits=counts[SUBMIT],
+            finishes=counts[FINISH],
+            node_samples=counts[NODE_SAMPLE],
+            qssf_batches=qssf_batches,
+            qssf_decisions=self._vc_decisions,
+            duration_requests=duration_requests,
+            wall_seconds=wall,
+            events_per_s=events / wall if wall > 0 else 0.0,
+            qssf_latency=qssf_lat.stats(),
+            ces_latency=ces_lat.stats(),
+            refits=refits,
+            qssf_digest=qssf_digest.hexdigest(),
+            ces_digest=ces_digest.hexdigest(),
+            ces_summary=ces_summary,
+            decisions=decisions if cfg.record_decisions else None,
+            ces_active=ces_active,
+        )
+
+    # -- request routes ------------------------------------------------
+
+    def _order_queues(self, queue: Table) -> list[tuple[str, tuple[str, ...]]]:
+        """Split a submit micro-batch into per-VC queues and dispatch one
+        ``decide_many`` round; returns (vc, ordered job ids) per queue."""
+        vcs = queue["vc"]
+        groups: dict[str, list[int]] = {}
+        for i, vc in enumerate(vcs):
+            groups.setdefault(str(vc), []).append(i)
+        states = [queue.take(np.asarray(idx)) for idx in groups.values()]
+        ordered = self.orchestrator.decide_many(
+            "qssf", states, jobs=self.config.decide_jobs
+        )
+        self._vc_decisions += len(states)
+        return [
+            (vc, tuple(str(j) for j in table["job_id"]))
+            for vc, table in zip(groups, ordered)
+        ]
+
+    def _predict_durations(self, queue: Table) -> np.ndarray:
+        """The duration-prediction route (expected GPU time per job)."""
+        return self.orchestrator.service("qssf").predict(queue)
+
+    def _serve_node_samples(self, stream, batch, ces_lat: LatencyRecorder) -> None:
+        series = self._ces_series
+        controller = self._ces_controller
+        if series is None or controller is None:
+            raise RuntimeError("node samples in stream but CES not installed")
+        assert stream.demand is not None
+        service = self.orchestrator.service("ces")
+        arrivals = stream.arrivals
+        for ref in batch.refs:
+            b = int(ref)
+            value = float(stream.demand[b])
+            t0 = time.perf_counter()
+            i = series.append(value)
+            fc = service.forecaster.predict_at(
+                series.values, np.array([i]), cumsums=series.cumsums
+            )[0]
+            controller.step(value, fc, float(arrivals[b]) if arrivals is not None else 0.0)
+            ces_lat.record(time.perf_counter() - t0)
+            if self.config.online_updates:
+                self.engine.observe("ces", value, now=float(batch.time))

@@ -1,0 +1,302 @@
+"""Event-stream layer: traces → time-ordered serving events.
+
+An :class:`EventStream` is the serving runtime's input: a merged,
+time-sorted sequence of three event kinds over one cluster shard:
+
+* ``submit`` — a job arrives (carries its trace row); the server routes
+  the micro-batch of concurrent submits to QSSF for queue ordering;
+* ``finish`` — a job completes (same row); the server feeds it to the
+  Model Update Engine so the duration estimators stay fresh;
+* ``node_sample`` — one node-demand observation on a regular time grid;
+  the server forecasts demand H bins ahead and steps the DRS controller.
+
+Streams are built either from a raw trace (finish events fall at
+``submit + duration`` — the as-if-unqueued approximation, and node
+demand comes from :func:`approx_node_demand`) or from a simulator
+:class:`~repro.sim.engine.ReplayResult` (finish events at the replayed
+``end_time``, node demand from the replay telemetry).
+
+Internally a stream is four parallel numpy arrays (time, kind, ref,
+batch id) — no per-event Python objects are materialized until a
+consumer iterates, which is what keeps replay throughput in the
+hundreds of thousands of events per second.  Events at one instant are
+ordered finish < node_sample < submit, matching the simulator's
+"finishes before arrivals" invariant.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..frame import Table
+from ..sim.engine import ReplayResult
+from ..sim.telemetry import running_nodes_series
+from ..stats.timeseries import TimeGrid, interval_concurrency
+
+__all__ = [
+    "FINISH",
+    "NODE_SAMPLE",
+    "SUBMIT",
+    "Event",
+    "EventBatch",
+    "EventStream",
+    "approx_node_demand",
+]
+
+#: kind codes double as the tie-break rank at equal timestamps.
+FINISH = 0
+NODE_SAMPLE = 1
+SUBMIT = 2
+
+_KIND_NAMES = {FINISH: "finish", NODE_SAMPLE: "node_sample", SUBMIT: "submit"}
+
+
+@dataclass(frozen=True)
+class Event:
+    """One serving event (materialized on demand; see ``EventStream``)."""
+
+    time: float
+    kind: int
+    cluster: str
+    ref: int  # trace row index (submit/finish) or grid bin index (node_sample)
+
+    @property
+    def kind_name(self) -> str:
+        return _KIND_NAMES[self.kind]
+
+
+@dataclass(frozen=True)
+class EventBatch:
+    """A micro-batch: consecutive same-kind events in one batching window.
+
+    ``refs`` indexes the stream's ``jobs`` table for submit/finish
+    batches and the stream's demand grid for node samples.  ``time`` is
+    the *latest* event time in the batch — the decision timestamp.
+    """
+
+    kind: int
+    time: float
+    refs: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.refs)
+
+
+def approx_node_demand(
+    trace: Table, grid: TimeGrid, cap: float | None = None
+) -> np.ndarray:
+    """Node-demand series derived from the trace alone (no simulator).
+
+    Counts the nodes each job occupies over ``[submit, submit +
+    duration)`` — the as-if-unqueued approximation of the replay's
+    running-nodes telemetry.  Good enough to train and exercise the CES
+    forecaster in replay-free (smoke) scenarios.  ``cap`` clips the
+    series at the cluster's physical node count: without queueing, the
+    overlap concurrency can exceed what the hardware could actually
+    host, which would make every DRS bin a forced wake-up.
+    """
+    submit = trace["submit_time"].astype(float)
+    demand = interval_concurrency(
+        grid,
+        submit,
+        submit + trace["duration"].astype(float),
+        trace["node_num"].astype(float),
+    )
+    return demand if cap is None else np.minimum(demand, float(cap))
+
+
+class EventStream:
+    """Time-ordered submit/finish/node-sample events for one shard."""
+
+    def __init__(
+        self,
+        cluster: str,
+        jobs: Table,
+        times: np.ndarray,
+        kinds: np.ndarray,
+        refs: np.ndarray,
+        grid: TimeGrid | None = None,
+        demand: np.ndarray | None = None,
+        arrivals: np.ndarray | None = None,
+    ) -> None:
+        if not (len(times) == len(kinds) == len(refs)):
+            raise ValueError("times/kinds/refs must align")
+        self.cluster = cluster
+        self.jobs = jobs
+        self.times = np.asarray(times, dtype=float)
+        self.kinds = np.asarray(kinds, dtype=np.int8)
+        self.refs = np.asarray(refs, dtype=np.int64)
+        self.grid = grid
+        self.demand = demand
+        self.arrivals = arrivals
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_trace(
+        cls,
+        trace: Table,
+        cluster: str = "",
+        t0: float | None = None,
+        t1: float | None = None,
+        bin_seconds: int | None = None,
+        demand: np.ndarray | None = None,
+    ) -> "EventStream":
+        """Stream a raw (un-replayed) trace.
+
+        Submit events fall at ``submit_time``; finish events at ``submit
+        + duration`` (dropped when past ``t1``).  With ``bin_seconds``
+        set, node-sample events cover ``[t0, t1)``; their values come
+        from ``demand`` when given (one per bin — e.g. a capacity-scaled
+        series from :func:`approx_node_demand` over the full cluster
+        trace), else default to :func:`approx_node_demand` of ``trace``
+        itself.
+        """
+        submit = trace["submit_time"].astype(float)
+        finish = submit + trace["duration"].astype(float)
+        lo = float(submit.min()) if t0 is None and len(trace) else (t0 or 0.0)
+        hi = float(finish.max()) + 1.0 if t1 is None and len(trace) else (t1 or 1.0)
+        grid = arrivals = None
+        if bin_seconds is not None:
+            grid = TimeGrid.covering(lo, hi, bin_seconds)
+            if demand is None:
+                demand = approx_node_demand(trace, grid)
+            elif len(demand) != grid.bins:
+                raise ValueError(
+                    f"demand must have one value per bin ({grid.bins}), "
+                    f"got {len(demand)}"
+                )
+            arrivals = _arrivals_per_bin(submit, grid)
+        else:
+            demand = None
+        return cls._assemble(cluster, trace, submit, finish, hi, grid, demand, arrivals)
+
+    @classmethod
+    def from_replay(
+        cls,
+        replay: ReplayResult,
+        cluster: str = "",
+        bin_seconds: int | None = None,
+        t0: float = 0.0,
+    ) -> "EventStream":
+        """Stream a replayed trace: finishes at the *simulated* end time,
+        node demand from the replay's running-nodes telemetry."""
+        trace = replay.trace
+        submit = trace["submit_time"].astype(float)
+        finish = replay.end_times.astype(float)
+        hi = float(finish.max()) + 1.0 if len(trace) else t0 + 1.0
+        grid = demand = arrivals = None
+        if bin_seconds is not None:
+            grid = TimeGrid.covering(t0, hi, bin_seconds)
+            demand = running_nodes_series(replay, grid)
+            arrivals = _arrivals_per_bin(submit, grid)
+        return cls._assemble(cluster, trace, submit, finish, hi, grid, demand, arrivals)
+
+    @classmethod
+    def _assemble(cls, cluster, trace, submit, finish, horizon, grid, demand, arrivals):
+        n = len(trace)
+        keep_fin = finish < horizon if n else np.zeros(0, dtype=bool)
+        parts_t = [submit, finish[keep_fin]]
+        parts_k = [
+            np.full(n, SUBMIT, dtype=np.int8),
+            np.full(int(keep_fin.sum()), FINISH, dtype=np.int8),
+        ]
+        parts_r = [np.arange(n, dtype=np.int64), np.flatnonzero(keep_fin)]
+        if grid is not None:
+            sample_times = grid.edges[:-1] + grid.dt  # sampled at bin close
+            parts_t.append(sample_times)
+            parts_k.append(np.full(grid.bins, NODE_SAMPLE, dtype=np.int8))
+            parts_r.append(np.arange(grid.bins, dtype=np.int64))
+        times = np.concatenate(parts_t)
+        kinds = np.concatenate(parts_k)
+        refs = np.concatenate(parts_r)
+        order = np.lexsort((refs, kinds, times))
+        return cls(
+            cluster, trace, times[order], kinds[order], refs[order],
+            grid=grid, demand=demand, arrivals=arrivals,
+        )
+
+    # -- inspection ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def counts(self) -> dict[str, int]:
+        """Event tally by kind name."""
+        return {
+            name: int(np.count_nonzero(self.kinds == code))
+            for code, name in _KIND_NAMES.items()
+        }
+
+    def events(self) -> Iterator[Event]:
+        """Materialize events one by one (diagnostics; batches are the
+        fast path)."""
+        for t, k, r in zip(self.times, self.kinds, self.refs):
+            yield Event(float(t), int(k), self.cluster, int(r))
+
+    # -- batching ------------------------------------------------------
+
+    def batches(self, window_s: float = 0.0) -> Iterator[EventBatch]:
+        """Micro-batches: maximal runs of one kind inside one window.
+
+        ``window_s > 0`` coalesces events whose timestamps fall in the
+        same ``window_s``-wide bucket (concurrent requests batched per
+        the serving loop's protocol); ``0`` batches only identical
+        timestamps.  Batch boundaries are computed vectorized — the
+        generator yields index arrays, never per-event objects.
+        """
+        n = len(self.times)
+        if n == 0:
+            return
+        if window_s > 0:
+            bucket = np.floor_divide(self.times, window_s).astype(np.int64)
+        else:
+            bucket = self.times
+        breaks = np.flatnonzero(
+            (self.kinds[1:] != self.kinds[:-1]) | (bucket[1:] != bucket[:-1])
+        )
+        starts = np.concatenate(([0], breaks + 1))
+        stops = np.concatenate((breaks + 1, [n]))
+        for lo, hi in zip(starts, stops):
+            yield EventBatch(
+                kind=int(self.kinds[lo]),
+                time=float(self.times[hi - 1]),
+                refs=self.refs[lo:hi],
+            )
+
+    def play(
+        self, window_s: float = 0.0, speedup: float | None = None
+    ) -> Iterator[EventBatch]:
+        """Batches paced against the wall clock.
+
+        ``speedup`` maps stream seconds to wall seconds (e.g. ``3600``
+        plays an hour per second); ``None`` (or 0) replays
+        as-fast-as-possible — identical to :meth:`batches`.
+        """
+        if not speedup:
+            yield from self.batches(window_s)
+            return
+        if speedup < 0:
+            raise ValueError("speedup must be positive")
+        wall_start = _time.monotonic()
+        stream_start: float | None = None
+        for batch in self.batches(window_s):
+            if stream_start is None:
+                stream_start = batch.time
+            lag = (batch.time - stream_start) / speedup - (
+                _time.monotonic() - wall_start
+            )
+            if lag > 0:
+                _time.sleep(lag)
+            yield batch
+
+
+def _arrivals_per_bin(submit: np.ndarray, grid: TimeGrid) -> np.ndarray:
+    counts = np.zeros(grid.bins)
+    if submit.size:
+        np.add.at(counts, grid.index_of(submit), 1.0)
+    return counts

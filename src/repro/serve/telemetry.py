@@ -1,0 +1,85 @@
+"""Per-shard serving telemetry: throughput and decision-latency stats.
+
+The serving loop records one latency sample per decision (a QSSF
+micro-batch ordering or a CES control step).  :class:`LatencyRecorder`
+keeps raw samples; :class:`LatencyStats` is the JSON-ready summary
+(p50/p99/mean in milliseconds) the shard reports and the benchmark
+suite's BENCH lines carry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LatencyRecorder", "LatencyStats", "aggregate_reports"]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of one decision path's latencies (milliseconds)."""
+
+    count: int
+    p50_ms: float
+    p99_ms: float
+    mean_ms: float
+
+    @classmethod
+    def from_seconds(cls, samples: "list[float] | np.ndarray") -> "LatencyStats":
+        arr = np.asarray(samples, dtype=float)
+        if arr.size == 0:
+            return cls(count=0, p50_ms=0.0, p99_ms=0.0, mean_ms=0.0)
+        ms = arr * 1e3
+        return cls(
+            count=int(arr.size),
+            p50_ms=float(np.percentile(ms, 50)),
+            p99_ms=float(np.percentile(ms, 99)),
+            mean_ms=float(ms.mean()),
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "p50_ms": round(self.p50_ms, 4),
+            "p99_ms": round(self.p99_ms, 4),
+            "mean_ms": round(self.mean_ms, 4),
+        }
+
+
+class LatencyRecorder:
+    """Collects per-decision wall latencies for one request route."""
+
+    def __init__(self) -> None:
+        self.samples: list[float] = []
+
+    def record(self, seconds: float) -> None:
+        self.samples.append(seconds)
+
+    def stats(self) -> LatencyStats:
+        return LatencyStats.from_seconds(self.samples)
+
+
+def aggregate_reports(reports, wall_seconds: float | None = None) -> dict:
+    """Fleet-level rollup of :class:`~repro.serve.server.ShardReport`s.
+
+    ``wall_seconds`` should be the caller-measured wall clock of the
+    whole fan-out; without it the rollup assumes shards ran
+    sequentially (sums the per-shard walls), which is exact for
+    ``jobs=1`` and a conservative floor for a parallel pool.
+    """
+    reports = list(reports)
+    events = sum(r.events for r in reports)
+    if wall_seconds is None:
+        wall_seconds = sum(r.wall_seconds for r in reports)
+    return {
+        "shards": len(reports),
+        "events": events,
+        "wall_seconds": round(wall_seconds, 4),
+        "events_per_s": round(events / wall_seconds, 1) if wall_seconds > 0 else 0.0,
+        "qssf_decisions": sum(r.qssf_decisions for r in reports),
+        "ces_steps": sum(r.node_samples for r in reports),
+        "refits": {
+            r.cluster: r.refits for r in reports
+        },
+    }

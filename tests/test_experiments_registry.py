@@ -13,6 +13,7 @@ EXPECTED_IDS = {
     "fig14", "fig15", "table5",
     "ablation_lambda", "ablation_forecaster", "ablation_buffer",
     "ablation_oracle",
+    "serve_smoke",
 }
 
 
@@ -38,6 +39,48 @@ class TestRunner:
         assert runner_main([]) == 0
         out = capsys.readouterr().out
         assert "table3" in out and "fig14" in out
+
+    def test_list_flag(self, capsys):
+        assert runner_main(["--list"]) == 0
+        assert "serve_smoke" in capsys.readouterr().out
+
+    def test_list_json_machine_readable(self, capsys):
+        import json
+
+        assert runner_main(["--list", "--json"]) == 0
+        registry = json.loads(capsys.readouterr().out)
+        by_id = {e["id"]: e for e in registry["experiments"]}
+        assert set(by_id) == EXPECTED_IDS
+        entry = by_id["serve_smoke"]
+        assert entry["cost"] == "medium" and entry["smoke"] is True
+        assert "cluster_gpu_trace:Venus" in entry["inputs"]
+        # precursors are the dependency closure, in warm order
+        fig2 = by_id["fig2"]
+        assert "cluster_trace:Earth" in fig2["precursors"]
+        assert fig2["precursors"].index("cluster_trace:Earth") < fig2[
+            "precursors"
+        ].index("full_replay:Earth")
+
+    def test_list_json_to_file(self, tmp_path):
+        import json
+
+        out = tmp_path / "registry.json"
+        assert runner_main(["--list", "--json", str(out)]) == 0
+        assert "experiments" in json.loads(out.read_text())
+
+    def test_list_rejects_ids(self):
+        with pytest.raises(SystemExit):
+            runner_main(["--list", "table1"])
+
+    def test_serve_smoke_spec_registered(self):
+        from repro.experiments.common import compute_precursor, PRECURSOR_FNS
+        from repro.experiments.registry import get_spec
+
+        spec = get_spec("serve_smoke")
+        assert spec.smoke and spec.cost == "medium"
+        for token in spec.inputs:  # tokens must parse against known families
+            assert token.partition(":")[0] in PRECURSOR_FNS
+        assert callable(compute_precursor)
 
     def test_run_one(self, capsys):
         assert runner_main(["table1", "--no-cache"]) == 0

@@ -1,5 +1,8 @@
 """Tests for the prediction-based framework (§4.1)."""
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
@@ -36,6 +39,21 @@ class CountingService(PredictionService):
 
     def observe(self, event):
         self.observed.append(event)
+
+
+class IncrementalService(CountingService):
+    """Counting service that also supports the incremental refit path."""
+
+    service_name = "incr"
+    supports_incremental = True
+
+    def __init__(self):
+        super().__init__()
+        self.update_calls = []
+
+    def apply_update(self, new_history):
+        self.update_calls.append(new_history)
+        return self
 
 
 class TestModelUpdateEngine:
@@ -100,6 +118,113 @@ class TestModelUpdateEngine:
         assert ModelUpdateEngine().refit_all(now=0.0) == []
 
 
+class TestIncrementalRefit:
+    def test_auto_mode_prefers_incremental_once_fitted(self):
+        eng = ModelUpdateEngine(UpdatePolicy(interval_seconds=1e9))
+        svc = IncrementalService()
+        eng.register(svc, list)
+        eng.observe("incr", "a", now=1.0)
+        # first refit: no model yet -> scratch, on the full history
+        assert eng.refit("incr", now=2.0) == "scratch"
+        assert svc.fit_calls == 1 and svc.update_calls == []
+        eng.observe("incr", "b", now=3.0)
+        eng.observe("incr", "c", now=3.5)
+        # second refit: incremental, sees only the new events
+        assert eng.refit("incr", now=4.0) == "incremental"
+        assert svc.fit_calls == 1
+        assert svc.update_calls == [["b", "c"]]
+        assert eng.refit_count("incr") == 2
+        assert eng.incremental_refit_count("incr") == 1
+
+    def test_update_builder_shapes_the_delta(self):
+        """The incremental path uses update_builder (new events only),
+        never the scratch builder (which may fold in base history)."""
+        eng = ModelUpdateEngine()
+        svc = IncrementalService()
+        base = ["h1", "h2"]
+        eng.register(
+            svc,
+            history_builder=lambda rows: base + rows,
+            update_builder=lambda rows: rows,
+            prefitted=True,
+        )
+        eng.observe("incr", "a", now=1.0)
+        assert eng.refit("incr", now=2.0) == "incremental"
+        assert svc.update_calls == [["a"]]  # delta only, no base history
+        eng.observe("incr", "b", now=3.0)
+        assert eng.refit("incr", now=4.0, mode="scratch") == "scratch"
+        assert svc.last_history == ["h1", "h2", "a", "b"]  # scratch: full
+
+    def test_prefitted_service_goes_incremental_immediately(self):
+        eng = ModelUpdateEngine()
+        svc = IncrementalService()
+        eng.register(svc, list, prefitted=True)
+        eng.observe("incr", "a", now=1.0)
+        assert eng.refit("incr", now=2.0) == "incremental"
+        assert svc.fit_calls == 0 and svc.update_calls == [["a"]]
+
+    def test_scratch_mode_forces_full_refit(self):
+        eng = ModelUpdateEngine(mode="scratch")
+        svc = IncrementalService()
+        eng.register(svc, list, prefitted=True)
+        eng.observe("incr", "a", now=1.0)
+        assert eng.refit("incr", now=2.0) == "scratch"
+        eng.observe("incr", "b", now=3.0)
+        # scratch refits always see the *entire* history (the oracle)
+        assert eng.refit("incr", now=4.0) == "scratch"
+        assert svc.last_history == ["a", "b"]
+        assert svc.update_calls == []
+
+    def test_per_call_mode_override(self):
+        eng = ModelUpdateEngine(mode="auto")
+        svc = IncrementalService()
+        eng.register(svc, list, prefitted=True)
+        eng.observe("incr", "a", now=1.0)
+        assert eng.refit("incr", now=2.0, mode="scratch") == "scratch"
+
+    def test_unsupported_service_falls_back_to_scratch(self):
+        eng = ModelUpdateEngine(mode="incremental")
+        svc = CountingService()
+        eng.register(svc, list, prefitted=True)
+        eng.observe("counter", "a", now=1.0)
+        assert eng.refit("counter", now=2.0) == "scratch"
+        assert svc.fit_calls == 1
+
+    def test_default_apply_update_raises(self):
+        with pytest.raises(NotImplementedError):
+            CountingService().apply_update(["x"])
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError, match="mode"):
+            ModelUpdateEngine(mode="bogus")
+        eng = ModelUpdateEngine()
+        eng.register(CountingService(), list)
+        with pytest.raises(ValueError, match="mode"):
+            eng.refit("counter", 0.0, mode="bogus")
+
+    def test_refit_clears_pending_only(self):
+        eng = ModelUpdateEngine(UpdatePolicy(interval_seconds=1e9, max_buffered=2))
+        svc = CountingService()
+        eng.register(svc, list)
+        eng.observe("counter", 1, now=0.0)
+        eng.observe("counter", 2, now=0.0)  # buffer trigger
+        assert svc.fit_calls == 1 and eng.pending_count("counter") == 0
+        eng.observe("counter", 3, now=0.0)
+        assert svc.fit_calls == 1  # pending=1 < max_buffered: no re-trigger
+        eng.refit("counter", now=0.0)
+        assert svc.last_history == [1, 2, 3]  # history accumulates
+
+    def test_reset_clock(self):
+        eng = ModelUpdateEngine(UpdatePolicy(interval_seconds=100))
+        svc = CountingService()
+        eng.register(svc, list)
+        eng.reset_clock(1_000_000.0)
+        eng.observe("counter", "a", now=1_000_050.0)
+        assert svc.fit_calls == 0  # not overdue relative to the anchor
+        eng.observe("counter", "b", now=1_000_150.0)
+        assert svc.fit_calls == 1
+
+
 class TestOrchestrator:
     def test_install_and_decide(self):
         orch = ResourceOrchestrator()
@@ -138,6 +263,59 @@ class TestOrchestrator:
         orch = ResourceOrchestrator()
         orch.install(CountingService())
         assert orch.decide_many("counter", []) == []
+
+
+class TestReplace:
+    def test_replace_installs_when_absent(self):
+        orch = ResourceOrchestrator()
+        svc = CountingService()
+        assert orch.replace(svc) is None
+        assert orch.installed == ["counter"]
+
+    def test_replace_swaps_and_returns_old(self):
+        orch = ResourceOrchestrator()
+        old, new = CountingService(), CountingService()
+        orch.install(old)
+        assert orch.replace(new) is old
+        assert orch.service("counter") is new
+        assert orch.installed == ["counter"]  # idempotent: still one entry
+
+    def test_replace_is_idempotent(self):
+        orch = ResourceOrchestrator()
+        svc = CountingService()
+        orch.replace(svc)
+        assert orch.replace(svc) is svc
+        assert orch.installed == ["counter"]
+
+    def test_hot_swap_does_not_race_inflight_decide_many(self):
+        """A batch resolved before the swap finishes on the old service;
+        batches resolved after use the new one — never a KeyError, never
+        a mixed batch."""
+
+        class SlowService(CountingService):
+            def __init__(self, tag):
+                super().__init__()
+                self.tag = tag
+
+            def act(self, state):
+                time.sleep(0.002)
+                return self.tag
+
+        orch = ResourceOrchestrator()
+        orch.install(SlowService("old"))
+        results = []
+
+        def dispatch():
+            results.append(orch.decide_many("counter", list(range(8)), jobs=2))
+
+        t = threading.Thread(target=dispatch)
+        t.start()
+        time.sleep(0.004)  # land mid-batch
+        orch.replace(SlowService("new"))
+        t.join()
+        dispatch()
+        assert len(set(results[0])) == 1  # in-flight batch: one service only
+        assert results[1] == ["new"] * 8  # post-swap batch: the new model
 
 
 @pytest.fixture(scope="module")
@@ -184,3 +362,46 @@ class TestCESNodeService:
     def test_unfitted(self):
         with pytest.raises(RuntimeError):
             CESNodeService().predict(np.zeros(10))
+
+    def test_observe_advances_forecaster_between_refits(self):
+        svc = CESNodeService(update_every=8).fit(self._series())
+        before = svc.forecaster._train_end
+        for v in self._series(300)[:7]:
+            svc.observe(v)
+        assert svc.updates_applied == 0  # still buffering
+        svc.observe(41.0)  # 8th sample triggers the incremental extend
+        assert svc.updates_applied == 1
+        assert svc.forecaster._train_end > before
+        assert len(svc.history) == 2500 + 8
+
+    def test_apply_update_flushes_pending_without_double_count(self):
+        svc = CESNodeService(update_every=1_000).fit(self._series())
+        samples = [40.0, 41.0, 42.0]
+        for v in samples:
+            svc.observe(v)
+        # the engine hands back the same samples it routed through
+        # observe(); they must not be ingested twice
+        svc.apply_update(np.asarray(samples))
+        assert len(svc.history) == 2500 + 3
+        assert svc.updates_applied == 1
+
+    def test_apply_update_never_ingests_argument(self):
+        """Regression: a refit landing right after an update_every flush
+        (empty pending) must not re-ingest the engine-built delta —
+        that silently corrupted the demand series."""
+        svc = CESNodeService(update_every=4).fit(self._series())
+        samples = [40.0, 41.0, 42.0, 43.0]
+        for v in samples:
+            svc.observe(v)  # 4th sample auto-flushes: pending now empty
+        assert svc.updates_applied == 1
+        svc.apply_update(np.asarray(samples))  # engine refit, same delta
+        assert len(svc.history) == 2500 + 4  # no duplication
+        assert svc.updates_applied == 1  # nothing pending: no-op
+
+    def test_apply_update_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            CESNodeService().apply_update(np.zeros(3))
+
+    def test_update_every_validation(self):
+        with pytest.raises(ValueError):
+            CESNodeService(update_every=0)

@@ -1,0 +1,65 @@
+"""Shard fan-out tests: build_shard scenario wiring + fork determinism."""
+
+import numpy as np
+import pytest
+
+from repro.serve import ServeConfig, ShardTask, build_shard, serve_clusters
+
+#: small windows keep the shared-scenario slices cheap; 14 days of
+#: 10-minute bins still clears the default forecaster's 1008-bin warmup.
+_TASK = dict(history_days=14, stream_days=1.0, max_jobs=250)
+
+
+@pytest.fixture(scope="module")
+def frozen_config():
+    return ServeConfig(lam=1.0, online_updates=False)
+
+
+class TestBuildShard:
+    def test_scenario_wiring(self, frozen_config):
+        from repro.experiments.common import EVAL_MONTH, MONTH_SECONDS, cluster_spec
+
+        server, stream = build_shard(
+            ShardTask("Venus", config=frozen_config, **_TASK)
+        )
+        assert stream.cluster == "Venus"
+        eval_start = EVAL_MONTH * MONTH_SECONDS
+        assert stream.times[0] >= eval_start - 600
+        assert len(stream.jobs) <= 250
+        # demand series capacity-normalized to the physical node count
+        total = cluster_spec("Venus").num_nodes
+        assert stream.demand is not None
+        assert stream.demand.max() <= total
+        assert {"qssf", "ces"} <= set(server.orchestrator.installed)
+
+    def test_task_validation(self, frozen_config):
+        with pytest.raises(ValueError):
+            ShardTask("Venus", config=frozen_config, history_days=0)
+        with pytest.raises(ValueError):
+            ShardTask("Venus", config=frozen_config, stream_days=0.0)
+
+
+class TestServeClusters:
+    def test_fork_pool_matches_serial(self, frozen_config):
+        """Shard decisions are byte-identical whether shards run
+        in-process or fanned out across forked workers."""
+        clusters = ("Venus", "Saturn")
+        serial = serve_clusters(clusters, config=frozen_config, jobs=1, **_TASK)
+        forked = serve_clusters(clusters, config=frozen_config, jobs=2, **_TASK)
+        assert [r.cluster for r in serial] == list(clusters)
+        for a, b in zip(serial, forked):
+            assert a.cluster == b.cluster
+            assert a.qssf_digest == b.qssf_digest
+            assert a.ces_digest == b.ces_digest
+            assert a.events == b.events
+        assert all(r.events > 0 for r in serial)
+
+    def test_reports_carry_telemetry(self, frozen_config):
+        (report,) = serve_clusters(
+            ("Venus",), config=frozen_config, jobs=1, **_TASK
+        )
+        d = report.as_dict()
+        assert d["events"] == d["submits"] + d["finishes"] + d["node_samples"]
+        assert d["events_per_s"] > 0
+        assert d["qssf_latency"]["count"] == report.qssf_batches
+        assert np.isfinite(d["ces_latency"]["p99_ms"])

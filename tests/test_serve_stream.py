@@ -1,0 +1,142 @@
+"""Tests for the event-stream layer (repro.serve.stream)."""
+
+import numpy as np
+import pytest
+
+from helpers import make_spec, make_trace
+from repro.serve.stream import (
+    FINISH,
+    NODE_SAMPLE,
+    SUBMIT,
+    EventStream,
+    approx_node_demand,
+)
+from repro.stats.timeseries import TimeGrid
+
+
+def _stream(rows, **kwargs):
+    return EventStream.from_trace(make_trace(rows), cluster="T", **kwargs)
+
+
+class TestFromTrace:
+    def test_counts_and_order(self):
+        s = _stream([(0, 1, 100.0), (50, 2, 10.0), (200, 1, 5.0)])
+        assert s.counts() == {"submit": 3, "finish": 3, "node_sample": 0}
+        assert np.all(np.diff(s.times) >= 0)
+
+    def test_finish_before_submit_at_same_instant(self):
+        # job 0 finishes at t=100 exactly when job 2 submits
+        s = _stream([(0, 1, 100.0), (50, 1, 10.0), (100, 1, 5.0)])
+        at_100 = s.kinds[s.times == 100.0]
+        assert list(at_100) == [FINISH, SUBMIT]
+
+    def test_finishes_beyond_horizon_dropped(self):
+        s = _stream([(0, 1, 50.0), (10, 1, 1e6)], t0=0.0, t1=100.0)
+        assert s.counts()["finish"] == 1
+
+    def test_node_samples_cover_grid(self):
+        s = _stream([(0, 1, 100.0)], t0=0.0, t1=600.0, bin_seconds=100)
+        assert s.counts()["node_sample"] == 6
+        assert s.grid is not None and s.grid.bins == 6
+        assert len(s.demand) == 6 and len(s.arrivals) == 6
+
+    def test_demand_override_validated(self):
+        with pytest.raises(ValueError, match="one value per bin"):
+            _stream(
+                [(0, 1, 100.0)], t0=0.0, t1=600.0, bin_seconds=100,
+                demand=np.zeros(3),
+            )
+
+    def test_empty_trace(self):
+        s = _stream([], t0=0.0, t1=300.0, bin_seconds=100)
+        assert s.counts() == {"submit": 0, "finish": 0, "node_sample": 3}
+
+
+class TestFromReplay:
+    def test_finishes_at_replayed_end_times(self):
+        from repro.sched import FIFOScheduler
+        from repro.sim import Simulator
+        from repro.sim.telemetry import running_nodes_series
+
+        # 2 nodes x 8 GPUs: the second 16-GPU job queues behind the first
+        trace = make_trace([(0, 16, 100.0), (10, 16, 50.0)])
+        replay = Simulator(make_spec(nodes=2), FIFOScheduler()).run(trace)
+        s = EventStream.from_replay(replay, "T", bin_seconds=50)
+        fin_times = s.times[s.kinds == FINISH]
+        assert fin_times.tolist() == sorted(replay.end_times.tolist())
+        assert fin_times.max() == 150.0  # queued job ran after the first
+        assert np.array_equal(s.demand, running_nodes_series(replay, s.grid))
+
+
+class TestApproxNodeDemand:
+    def test_concurrency_counts_nodes(self):
+        # two 1-node jobs overlap in [100, 200); node_num = 1 each
+        trace = make_trace([(0, 8, 200.0), (100, 8, 200.0)])
+        grid = TimeGrid.covering(0.0, 300.0, 100)
+        demand = approx_node_demand(trace, grid)
+        assert demand.tolist() == [1.0, 2.0, 1.0]
+
+    def test_cap(self):
+        trace = make_trace([(0, 8, 100.0), (0, 8, 100.0), (0, 8, 100.0)])
+        grid = TimeGrid.covering(0.0, 100.0, 100)
+        assert approx_node_demand(trace, grid, cap=2).tolist() == [2.0]
+
+
+class TestBatches:
+    def test_batches_partition_stream(self):
+        s = _stream(
+            [(i * 10, 1, 35.0) for i in range(20)],
+            t0=0.0, t1=300.0, bin_seconds=50,
+        )
+        batches = list(s.batches(window_s=60.0))
+        # every event covered exactly once, in stream order
+        assert sum(len(b) for b in batches) == len(s)
+        flat_kinds = np.concatenate([np.full(len(b), b.kind) for b in batches])
+        assert np.array_equal(flat_kinds, s.kinds)
+        flat_refs = np.concatenate([b.refs for b in batches])
+        assert np.array_equal(flat_refs, s.refs)
+
+    def test_window_coalesces_submits(self):
+        s = _stream([(0, 1, 1e6), (10, 1, 1e6), (70, 1, 1e6)], t0=0.0, t1=100.0)
+        batches = list(s.batches(window_s=60.0))
+        assert [(b.kind, len(b)) for b in batches] == [(SUBMIT, 2), (SUBMIT, 1)]
+        assert batches[0].time == 10.0  # decision stamped at batch close
+
+    def test_zero_window_batches_identical_timestamps(self):
+        s = _stream([(0, 1, 1e6), (0, 1, 1e6), (5, 1, 1e6)], t0=0.0, t1=100.0)
+        sizes = [len(b) for b in s.batches(window_s=0.0)]
+        assert sizes == [2, 1]
+
+    def test_kind_change_breaks_batch(self):
+        # finish of job0 (t=30) lands inside the submit window
+        s = _stream([(0, 1, 30.0), (10, 1, 1e6), (40, 1, 1e6)], t0=0.0, t1=100.0)
+        kinds = [b.kind for b in s.batches(window_s=1e9)]
+        assert kinds == [SUBMIT, FINISH, SUBMIT]
+
+    def test_play_without_speedup_equals_batches(self):
+        s = _stream([(i, 1, 50.0) for i in range(10)])
+        a = [(b.kind, b.refs.tolist()) for b in s.batches(5.0)]
+        b = [(b.kind, b.refs.tolist()) for b in s.play(5.0, speedup=None)]
+        assert a == b
+
+    def test_play_paces_wall_clock(self):
+        import time
+
+        s = _stream([(0, 1, 1e6), (1000, 1, 1e6)], t0=0.0, t1=2000.0)
+        t0 = time.monotonic()
+        list(s.play(window_s=0.0, speedup=20_000.0))  # 1000 s span -> 50 ms
+        assert time.monotonic() - t0 >= 0.04
+
+    def test_negative_speedup_rejected(self):
+        s = _stream([(0, 1, 1.0)])
+        with pytest.raises(ValueError):
+            list(s.play(speedup=-1.0))
+
+
+class TestEvents:
+    def test_events_materialize(self):
+        s = _stream([(0, 2, 10.0)])
+        events = list(s.events())
+        assert [e.kind_name for e in events] == ["submit", "finish"]
+        assert events[0].cluster == "T"
+        assert len(events) == len(s)
