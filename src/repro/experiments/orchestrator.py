@@ -90,10 +90,48 @@ class OrchestratorResult:
     fingerprint: str
     cache_dir: str = ""
     cache_stats: dict = field(default_factory=dict)
+    #: per-token precursor warm timings (parallel runs only)
+    precursors: list[dict] = field(default_factory=list)
 
     @property
     def failed(self) -> list[RunReport]:
         return [r for r in self.reports if r.status == "failed"]
+
+    def profile(self) -> dict:
+        """Critical-path breakdown: exhibits sorted by wall time (cache
+        hits and misses split out) plus the precursor warm phase.
+
+        This is what future perf work reads instead of ad-hoc timing:
+        the slowest computed exhibit is the serial floor, the precursor
+        list shows what the pool warmed and for how long.
+        """
+        by_time = sorted(self.reports, key=lambda r: -r.seconds)
+        computed = [r for r in self.reports if r.status == "computed"]
+        cached = [r for r in self.reports if r.status == "cached"]
+        return {
+            "wall_seconds": round(self.wall_seconds, 4),
+            "computed": len(computed),
+            "cached": len(cached),
+            "failed": len(self.failed),
+            "cache_hit_rate": round(len(cached) / len(self.reports), 4)
+            if self.reports
+            else 0.0,
+            "compute_seconds": round(sum(r.seconds for r in computed), 4),
+            "precursor_seconds": round(
+                sum(p["seconds"] for p in self.precursors), 4
+            ),
+            "exhibits": [
+                {
+                    "exp_id": r.exp_id,
+                    "status": r.status,
+                    "seconds": round(r.seconds, 4),
+                }
+                for r in by_time
+            ],
+            "precursors": sorted(
+                self.precursors, key=lambda p: -p["seconds"]
+            ),
+        }
 
     def as_dict(self) -> dict:
         return {
@@ -103,6 +141,7 @@ class OrchestratorResult:
             "cache_dir": self.cache_dir,
             "cache": self.cache_stats,
             "results": [r.as_dict() for r in self.reports],
+            "profile": self.profile(),
         }
 
 
@@ -118,14 +157,15 @@ def _run_seeded(exp_id: str) -> dict:
     return get_spec(exp_id).fn()
 
 
-def _precursor_task(token: str) -> tuple[str, Any, bool]:
+def _precursor_task(token: str) -> tuple[str, Any, bool, float]:
     """Worker-side precursor: never raises, so one bad shared input
     cannot abort the whole parallel run (the exhibits that need it fail
     individually in the experiment phase, with a full traceback)."""
+    t0 = time.perf_counter()
     try:
-        return token, common.compute_precursor(token), True
+        return token, common.compute_precursor(token), True, time.perf_counter() - t0
     except Exception:
-        return token, None, False
+        return token, None, False, time.perf_counter() - t0
 
 
 def _experiment_task(exp_id: str) -> tuple[str, float, bytes | None, str]:
@@ -187,9 +227,10 @@ class ExperimentOrchestrator:
         # heavy exhibits first: the pool tail is the wall-clock floor.
         to_run.sort(key=lambda s: (_COST_RANK[s.cost], s.exp_id))
 
+        precursor_profile: list[dict] = []
         parallel = self.jobs > 1 and len(to_run) > 1 and fork_available()
         if parallel:
-            self._warm_precursors(to_run)
+            precursor_profile = self._warm_precursors(to_run)
             for exp_id, seconds, blob, error in run_forked(
                 _experiment_task, [s.exp_id for s in to_run], self.jobs
             ):
@@ -231,6 +272,7 @@ class ExperimentOrchestrator:
             fingerprint=fingerprint,
             cache_dir=str(self.cache.root) if self.cache else "",
             cache_stats=self.cache.stats.as_dict() if self.cache else {},
+            precursors=precursor_profile,
         )
 
     # -- internals -----------------------------------------------------
@@ -264,7 +306,7 @@ class ExperimentOrchestrator:
             return None
         return payload, RunReport(exp_id, "cached", time.perf_counter() - t0, key)
 
-    def _warm_precursors(self, specs) -> None:
+    def _warm_precursors(self, specs) -> list[dict]:
         """Compute each distinct shared input once, in dependency waves.
 
         Declared inputs are closed over their derivation chain (a replay
@@ -272,12 +314,14 @@ class ExperimentOrchestrator:
         then computed wave by wave: every wave forks only after the
         previous wave's values are installed in this process, so its
         workers inherit them copy-on-write and never recompute them.
+        Returns the per-token timing profile.
         """
+        profile: list[dict] = []
         tokens: list[str] = []
         for spec in specs:
             tokens.extend(spec.inputs)
         tokens = common.expand_precursors(list(dict.fromkeys(tokens)))
-        for _wave, wave_tokens, in_parent in common.precursor_waves(tokens):
+        for wave, wave_tokens, in_parent in common.precursor_waves(tokens):
             cold = [t for t in wave_tokens if not common.is_warm(t)]
             if not cold:
                 continue
@@ -285,12 +329,24 @@ class ExperimentOrchestrator:
                 # Cheap derivations of already-warm values: forking would
                 # cost more than the work itself.
                 for token in cold:
+                    t0 = time.perf_counter()
                     try:
                         common.compute_precursor(token)
                     except Exception:
                         pass  # the exhibits needing it will report the failure
+                    profile.append({
+                        "token": token, "wave": wave, "where": "parent",
+                        "seconds": round(time.perf_counter() - t0, 4),
+                    })
                 continue
             cold.sort(key=_token_rank)
-            for token, value, ok in run_forked(_precursor_task, cold, self.jobs):
+            for token, value, ok, seconds in run_forked(
+                _precursor_task, cold, self.jobs
+            ):
                 if ok:
                     common.warm_precursor(token, value)
+                profile.append({
+                    "token": token, "wave": wave, "where": "pool",
+                    "seconds": round(seconds, 4),
+                })
+        return profile

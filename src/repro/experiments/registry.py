@@ -120,6 +120,10 @@ _SPEC_TABLE: tuple[ExperimentSpec, ...] = (
                    tuple(f"cluster_gpu_trace:{c}"
                          for c in serving.SERVE_SMOKE_CLUSTERS),
                    smoke=True),
+    ExperimentSpec("serve_replay", serving.exp_serve_replay, "medium",
+                   tuple(f"cluster_gpu_trace:{c}"
+                         for c in serving.SERVE_REPLAY_CLUSTERS),
+                   smoke=True),
     # -- ablations ----------------------------------------------------
     ExperimentSpec("ablation_lambda", ablations.exp_ablation_lambda, "heavy",
                    ("cluster_gpu_trace:Venus",)),
@@ -144,7 +148,9 @@ def experiment_ids() -> list[str]:
 
 
 def smoke_ids() -> list[str]:
-    """The fast CLI profile: exhibits needing no simulator replays."""
+    """The fast CLI profile: trace-level exhibits plus the serving
+    smokes (``serve_replay`` rides on the fast engine's cheap replays —
+    no full-horizon simulation)."""
     return [eid for eid, spec in SPECS.items() if spec.smoke]
 
 

@@ -90,6 +90,12 @@ def build_parser() -> argparse.ArgumentParser:
         "-q", "--quiet", action="store_true",
         help="suppress exhibit text; print only the run summary",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print a per-exhibit wall-time + cache-hit table (sorted "
+             "slowest first; the same breakdown is always embedded in "
+             "the --json report under 'profile')",
+    )
     return parser
 
 
@@ -125,6 +131,33 @@ def registry_as_dict() -> dict:
             for spec in SPECS.values()
         ]
     }
+
+
+def _print_profile(result) -> None:
+    """The critical-path table: exhibits slowest-first, then precursors."""
+    prof = result.profile()
+    print()
+    print(
+        f"profile — {prof['wall_seconds']:.2f}s wall, "
+        f"{prof['compute_seconds']:.2f}s computing {prof['computed']} "
+        f"exhibits, {prof['cached']} cached "
+        f"(hit rate {prof['cache_hit_rate']:.0%})"
+    )
+    print(f"  {'exhibit':<22s} {'status':<9s} {'seconds':>9s}")
+    for row in prof["exhibits"]:
+        print(
+            f"  {row['exp_id']:<22s} {row['status']:<9s} {row['seconds']:>9.2f}"
+        )
+    if prof["precursors"]:
+        print(
+            f"  precursor warm phase ({prof['precursor_seconds']:.2f}s "
+            "worker-seconds):"
+        )
+        for p in prof["precursors"]:
+            print(
+                f"    {p['token']:<34s} wave {p['wave']} "
+                f"[{p['where']}] {p['seconds']:>8.2f}"
+            )
 
 
 def _emit_json(payload: dict, path: Path) -> None:
@@ -205,6 +238,9 @@ def main(argv: list[str] | None = None) -> int:
         f"(jobs={result.jobs}): {counts['computed']} computed, "
         f"{counts['cached']} cached, {counts['failed']} failed"
     )
+
+    if args.profile:
+        _print_profile(result)
 
     if args.json is not None:
         _emit_json(result.as_dict(), args.json)

@@ -1,28 +1,44 @@
-"""Serving-runtime exhibit: the framework loop as a live system.
+"""Serving-runtime exhibits: the framework loop as a live system.
 
 ``serve_smoke`` streams the first days of the evaluation month for two
 clusters through :mod:`repro.serve` — QSSF queue orderings, CES control
 steps and online model updates — and reports per-shard throughput and
-decision-latency telemetry.  It is registered in the smoke profile: the
-stream derives node demand from the traces alone (no simulator replay),
-so it exercises the full serving stack in seconds.
+decision-latency telemetry.  Its stream derives node demand from the
+traces alone (the as-if-unqueued approximation), so it exercises the
+full serving stack in seconds with no simulator in the loop.
 
-The serve imports are deferred into the builder: the registry must stay
-importable without touching :mod:`repro.serve` (which itself imports
-the shared experiment scenario — a cycle if resolved at import time).
+``serve_replay`` closes the loop: the shard window is replayed through
+the fast simulator and the server consumes the *live* replay
+(``EventStream.from_replay``) — finish events at simulated end times,
+CES trained on and fed by the replay's running-nodes telemetry.  The
+array-backed engine makes this cheap enough for the smoke profile.
+
+The serve imports are deferred into the builders: the registry must
+stay importable without touching :mod:`repro.serve` (which itself
+imports the shared experiment scenario — a cycle if resolved at import
+time).
 """
 
 from __future__ import annotations
 
 from . import common
 
-__all__ = ["exp_serve_smoke", "SERVE_SMOKE_CLUSTERS", "smoke_serve_config"]
+__all__ = [
+    "exp_serve_replay",
+    "exp_serve_smoke",
+    "SERVE_REPLAY_CLUSTERS",
+    "SERVE_SMOKE_CLUSTERS",
+    "smoke_serve_config",
+]
 
 #: shards streamed by the smoke exhibit
 SERVE_SMOKE_CLUSTERS = ("Venus", "Saturn")
 SERVE_SMOKE_HISTORY_DAYS = 14
 SERVE_SMOKE_STREAM_DAYS = 3.0
 SERVE_SMOKE_MAX_JOBS = 1_200
+
+#: shards streamed from a live simulator replay
+SERVE_REPLAY_CLUSTERS = ("Venus",)
 
 
 def smoke_serve_config():
@@ -48,22 +64,24 @@ def smoke_serve_config():
     )
 
 
-def exp_serve_smoke() -> dict:
-    """Serve two cluster shards end-to-end; returns telemetry + text."""
+def _serve_exhibit(exp_id: str, clusters: tuple[str, ...], source: str) -> dict:
+    """Shared builder: serve ``clusters`` shards and package telemetry."""
     from ..serve import aggregate_reports, serve_clusters
 
     reports = serve_clusters(
-        SERVE_SMOKE_CLUSTERS,
+        clusters,
         config=smoke_serve_config(),
         jobs=1,
         history_days=SERVE_SMOKE_HISTORY_DAYS,
         stream_days=SERVE_SMOKE_STREAM_DAYS,
         max_jobs=SERVE_SMOKE_MAX_JOBS,
+        source=source,
     )
     agg = aggregate_reports(reports)
     lines = [
-        "serve_smoke — streaming serving runtime "
-        f"({SERVE_SMOKE_STREAM_DAYS:g} days, {len(reports)} shards)"
+        f"{exp_id} — streaming serving runtime "
+        f"({SERVE_SMOKE_STREAM_DAYS:g} days, {len(reports)} shards, "
+        f"{source} source)"
     ]
     for r in reports:
         lines.append(
@@ -81,6 +99,17 @@ def exp_serve_smoke() -> dict:
     return {
         "shards": [r.as_dict() for r in reports],
         "aggregate": agg,
-        "clusters": list(SERVE_SMOKE_CLUSTERS),
+        "clusters": list(clusters),
+        "source": source,
         "text": "\n".join(lines),
     }
+
+
+def exp_serve_smoke() -> dict:
+    """Serve two cluster shards end-to-end; returns telemetry + text."""
+    return _serve_exhibit("serve_smoke", SERVE_SMOKE_CLUSTERS, "trace")
+
+
+def exp_serve_replay() -> dict:
+    """Serve a shard from a *live* simulator replay (§4.1 closed loop)."""
+    return _serve_exhibit("serve_replay", SERVE_REPLAY_CLUSTERS, "replay")

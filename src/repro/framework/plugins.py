@@ -27,19 +27,57 @@ class QSSFService(PredictionService):
     returns expected GPU time for a batch of queued jobs; ``act`` sorts
     a queue table into scheduling order; ``observe`` feeds finished jobs
     to the rolling estimator.
+
+    ``refit_mode`` selects how the Model Update Engine refreshes the
+    service: ``"incremental"`` (default) advances the fitted model in
+    place — the rolling estimator is already fresh from ``observe`` and
+    the GBDT continues boosting on the new jobs only
+    (:meth:`~repro.sched.qssf.QSSFScheduler.update_model`,
+    ``GBDTParams`` preserved); ``"scratch"`` keeps the original
+    full-history refit, the correctness oracle the incremental path is
+    band-tested against.
     """
 
     service_name = "qssf"
 
-    def __init__(self, lam: float = 0.5, gbdt_params: GBDTParams | None = None) -> None:
+    _REFIT_MODES = ("incremental", "scratch")
+
+    def __init__(
+        self,
+        lam: float = 0.5,
+        gbdt_params: GBDTParams | None = None,
+        refit_mode: str = "incremental",
+    ) -> None:
+        if refit_mode not in self._REFIT_MODES:
+            raise ValueError(
+                f"refit_mode must be one of {self._REFIT_MODES}, got {refit_mode!r}"
+            )
         self.lam = lam
         self.gbdt_params = gbdt_params
+        self.refit_mode = refit_mode
         self.scheduler: QSSFScheduler | None = None
+
+    @property
+    def supports_incremental(self) -> bool:
+        return self.refit_mode == "incremental"
 
     def fit(self, history: Table) -> "QSSFService":
         self.scheduler = QSSFScheduler(
             history, lam=self.lam, gbdt_params=self.gbdt_params
         )
+        return self
+
+    def apply_update(self, new_history: Table) -> "QSSFService":
+        """Advance the fitted model with the jobs finished since the
+        last refresh (the engine's ``update_builder`` delta table).
+
+        Unlike the retain-observations services, the GBDT half has *not*
+        seen these jobs yet — ``observe`` only feeds the rolling
+        estimator — so the delta is ingested here, as continued boosting.
+        """
+        if self.scheduler is None:
+            raise RuntimeError("QSSFService not fitted")
+        self.scheduler.update_model(new_history)
         return self
 
     def predict(self, request: Table) -> np.ndarray:

@@ -151,6 +151,7 @@ class MLEstimator:
         self._user_mean: dict[str, float] = {}
         self._global_mean_logdur: float = 0.0
         self._fitted = False
+        self._n_seen = 0
 
     # ------------------------------------------------------------------
     def _features(self, trace: Table, fit: bool) -> np.ndarray:
@@ -199,6 +200,35 @@ class MLEstimator:
         X = self._features(history, fit=True)
         self.model.fit(X, logdur)
         self._fitted = True
+        self._n_seen = len(history)
+        return self
+
+    def update(self, new_jobs: Table, n_more: int | None = None) -> "MLEstimator":
+        """Advance the GBDT with newly finished jobs (continued boosting).
+
+        The encoders, target encoding, and histogram binner stay frozen
+        from the initial fit (unseen users/names fall back to the same
+        codes prediction uses), the new rows join the training matrix,
+        and ``n_more`` boosting stages are appended via
+        :meth:`~repro.ml.gbdt.GBDTRegressor.fit_more` — all
+        :class:`~repro.ml.gbdt.GBDTParams` are preserved.  The default
+        ``n_more`` scales the configured ensemble size by the share of
+        new rows, so update cost tracks the amount of new data.  A
+        scratch :meth:`fit` on the full history remains the oracle;
+        estimates are expected to agree within a band, not bit-exactly.
+        """
+        if not self._fitted:
+            raise RuntimeError("MLEstimator not fitted; call fit() first")
+        if len(new_jobs) == 0:
+            return self
+        logdur = np.log1p(new_jobs["duration"].astype(float))
+        X = self._features(new_jobs, fit=False)
+        self._n_seen += len(new_jobs)
+        if n_more is None:
+            n_more = max(
+                1, round(self.params.n_estimators * len(new_jobs) / self._n_seen)
+            )
+        self.model.fit_more(X, logdur, n_more)
         return self
 
     def estimate_many(self, trace: Table) -> np.ndarray:

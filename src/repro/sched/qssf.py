@@ -72,6 +72,18 @@ class QSSFScheduler(Scheduler):
         Engine fetches finished jobs and feeds them back, §4.1)."""
         self.rolling.update(user, name, gpu_num, duration)
 
+    def update_model(self, new_jobs: Table) -> "QSSFScheduler":
+        """Advance the GBDT on newly finished jobs (continued boosting).
+
+        The rolling estimator is *not* touched: it already ingested the
+        same jobs one by one through :meth:`observe`.  Only the ML half
+        of the blend needs a batch update (no-op at ``lam=1``).  See
+        :meth:`repro.sched.estimators.MLEstimator.update`.
+        """
+        if self.ml is not None and len(new_jobs):
+            self.ml.update(new_jobs)
+        return self
+
 
 class OracleGpuTimeScheduler(Scheduler):
     """Perfect-information QSSF: priority = true GPU time.

@@ -11,6 +11,18 @@ The shard scenario mirrors the batch experiments: QSSF trains on the
 ``history_days`` before the evaluation month, the CES forecaster on the
 same window's node-demand series, and the stream replays the first
 ``stream_days`` of the evaluation month.
+
+Two stream sources exist:
+
+* ``source="trace"`` — the as-if-unqueued approximation: finishes at
+  ``submit + duration``, node demand from capacity-scaled overlap
+  concurrency.  No simulator in the loop; the original smoke path.
+* ``source="replay"`` — a *live* simulated replay: the shard window is
+  replayed through the fast :class:`~repro.sim.engine.Simulator` under
+  the production FIFO policy, finish events fall at the *simulated* end
+  times, and node demand (both the CES training history and the
+  streamed samples) comes from the replay's running-nodes telemetry —
+  queueing, placement, and capacity effects included.
 """
 
 from __future__ import annotations
@@ -21,12 +33,16 @@ import numpy as np
 
 from ..experiments import common
 from ..framework.parallel import run_forked
+from ..sched import FIFOScheduler
+from ..sim import Simulator, running_nodes_series
 from ..stats.timeseries import TimeGrid
 from ..traces import SECONDS_PER_DAY, slice_period
 from .server import PredictionServer, ServeConfig, ShardReport
 from .stream import EventStream, approx_node_demand
 
 __all__ = ["ShardTask", "build_shard", "run_shard", "serve_clusters"]
+
+_SOURCES = ("trace", "replay")
 
 
 @dataclass(frozen=True)
@@ -39,19 +55,24 @@ class ShardTask:
     stream_days: float = 3.0
     max_jobs: int | None = None
     speedup: float | None = None
+    source: str = "trace"
 
     def __post_init__(self) -> None:
         if self.history_days < 1:
             raise ValueError("history_days must be >= 1")
         if self.stream_days <= 0:
             raise ValueError("stream_days must be positive")
+        if self.source not in _SOURCES:
+            raise ValueError(
+                f"source must be one of {_SOURCES}, got {self.source!r}"
+            )
 
 
 def build_shard(task: ShardTask) -> tuple[PredictionServer, EventStream]:
     """Fit one shard's server and build its event stream.
 
     Uses the shared experiment scenario's memoized traces, so repeated
-    builds (and the smoke exhibit) never regenerate a cluster.
+    builds (and the smoke exhibits) never regenerate a cluster.
     """
     cfg = task.config
     gpu = common.cluster_gpu_trace(task.cluster)
@@ -60,24 +81,38 @@ def build_shard(task: ShardTask) -> tuple[PredictionServer, EventStream]:
     stream_end = eval_start + task.stream_days * SECONDS_PER_DAY
 
     history = slice_period(gpu, hist_start, eval_start)
+    server = PredictionServer(cfg)
+    server.install_qssf(history)
+    total_nodes = common.cluster_spec(task.cluster).num_nodes
+
+    if task.source == "replay":
+        stream = _replay_stream(task, server, gpu, hist_start, eval_start,
+                                stream_end, total_nodes)
+    else:
+        stream = _trace_stream(task, server, gpu, hist_start, eval_start,
+                               stream_end, total_nodes)
+    return server, stream
+
+
+def _trace_stream(
+    task, server, gpu, hist_start, eval_start, stream_end, total_nodes
+) -> EventStream:
+    """Replay-free stream: as-if-unqueued finishes and scaled demand."""
+    cfg = task.config
     window = slice_period(gpu, eval_start, stream_end).sort_by("submit_time")
     if task.max_jobs is not None:
         window = window.head(task.max_jobs)
-
-    server = PredictionServer(cfg)
-    server.install_qssf(history)
     # Node-demand series: as-if-unqueued concurrency over the *full*
     # trace (jobs running into a window count toward it), rescaled so
     # the history peak matches the physical node count — the capacity
     # normalization a queueing simulator would impose, at stream cost.
-    total_nodes = common.cluster_spec(task.cluster).num_nodes
     hist_grid = TimeGrid.covering(hist_start, eval_start, cfg.bin_seconds)
     raw_hist = approx_node_demand(gpu, hist_grid)
     scale = total_nodes / max(float(raw_hist.max()), 1.0)
     server.install_ces(_scale_demand(raw_hist, scale, total_nodes), total_nodes)
 
     stream_grid = TimeGrid.covering(eval_start, stream_end, cfg.bin_seconds)
-    stream = EventStream.from_trace(
+    return EventStream.from_trace(
         window,
         cluster=task.cluster,
         t0=eval_start,
@@ -87,7 +122,41 @@ def build_shard(task: ShardTask) -> tuple[PredictionServer, EventStream]:
             approx_node_demand(gpu, stream_grid), scale, total_nodes
         ),
     )
-    return server, stream
+
+
+def _replay_stream(
+    task, server, gpu, hist_start, eval_start, stream_end, total_nodes
+) -> EventStream:
+    """Live-replay stream: one fast simulator pass over the shard window.
+
+    The replay covers history + stream window in a single run, so the
+    stream's opening cluster state carries the history's queued and
+    running jobs.  CES trains on the replay's running-nodes telemetry
+    over the history bins; the stream's demand samples come from the
+    same telemetry (``EventStream.from_replay``), and finish events fall
+    at the simulated end times.
+    """
+    cfg = task.config
+    spec = common.cluster_spec(task.cluster)
+    window = slice_period(gpu, hist_start, stream_end)
+    replay = Simulator(spec, FIFOScheduler()).run(window)
+
+    hist_grid = TimeGrid.covering(hist_start, eval_start, cfg.bin_seconds)
+    server.install_ces(running_nodes_series(replay, hist_grid), total_nodes)
+
+    submit = replay.trace["submit_time"].astype(float)
+    idx = np.flatnonzero((submit >= eval_start) & (submit < stream_end))
+    idx = idx[np.argsort(submit[idx], kind="stable")]
+    if task.max_jobs is not None:
+        idx = idx[: task.max_jobs]
+    # Window jobs only, but against the full replay's node telemetry
+    # (jobs carried over from the history window still occupy nodes).
+    return EventStream.from_replay(
+        replay.restrict(idx),
+        cluster=task.cluster,
+        bin_seconds=cfg.bin_seconds,
+        t0=eval_start,
+    )
 
 
 def _scale_demand(raw: np.ndarray, scale: float, total_nodes: int) -> np.ndarray:
@@ -109,12 +178,15 @@ def serve_clusters(
     stream_days: float = 3.0,
     max_jobs: int | None = None,
     speedup: float | None = None,
+    source: str = "trace",
 ) -> list[ShardReport]:
     """Serve one shard per cluster, fanned out over the fork pool.
 
     Reports come back in ``clusters`` order.  With ``jobs > 1`` the
     parent warms each cluster's GPU trace before forking, so every
-    worker inherits the traces copy-on-write.
+    worker inherits the traces copy-on-write.  ``source="replay"``
+    streams each shard from a live simulator replay instead of the
+    raw-trace approximation.
     """
     cfg = config or ServeConfig()
     tasks = [
@@ -125,6 +197,7 @@ def serve_clusters(
             stream_days=stream_days,
             max_jobs=max_jobs,
             speedup=speedup,
+            source=source,
         )
         for c in clusters
     ]

@@ -55,6 +55,9 @@ class ServeConfig:
 
     lam: float = 0.5
     qssf_gbdt: GBDTParams | None = None
+    #: "incremental" (default): QSSF serving refits continue boosting on
+    #: the new jobs only; "scratch": full-history refit (the oracle).
+    qssf_refit_mode: str = "incremental"
     horizon_bins: int = 18
     bin_seconds: int = 600
     ces_features: ForecastFeatures | None = None
@@ -189,12 +192,19 @@ class PredictionServer:
     def install_qssf(self, history: Table) -> QSSFService:
         """Fit QSSF on ``history`` and register it for serving.
 
-        The engine's scratch refits rebuild the model on ``history`` +
-        every finished job observed since, so a long-running server
-        never forgets its training window.
+        With ``qssf_refit_mode="incremental"`` (default) engine
+        refreshes continue boosting the fitted GBDT on the newly
+        finished jobs; in ``"scratch"`` mode (the oracle) each refresh
+        rebuilds the model on ``history`` + every finished job observed
+        since, so a long-running server never forgets its training
+        window either way.
         """
         cfg = self.config
-        service = QSSFService(lam=cfg.lam, gbdt_params=cfg.qssf_gbdt).fit(history)
+        service = QSSFService(
+            lam=cfg.lam,
+            gbdt_params=cfg.qssf_gbdt,
+            refit_mode=cfg.qssf_refit_mode,
+        ).fit(history)
         self._qssf_history = history
 
         def build_history(rows: list[dict]) -> Table:

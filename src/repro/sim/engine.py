@@ -14,18 +14,30 @@ Event loop invariants:
   the VC waits (no backfill — the paper evaluates prediction alone);
 * finishes are processed before arrivals at the same instant so freed
   resources are visible immediately.
+
+Two engines implement those semantics:
+
+* ``mode="fast"`` (default) — the array-backed core in
+  :mod:`repro.sim.fast`: struct-of-arrays job state, integer-interned
+  VCs, counter-gated O(1) admission, a finish-only event heap, and
+  preallocated telemetry buffers.
+* ``mode="reference"`` — the original per-job object loop below, kept
+  as the correctness oracle.  The fast path must produce byte-identical
+  :class:`ReplayResult` payloads (the parity suite asserts this on all
+  Helios clusters plus Philly, preemptive SRTF included).
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from ..frame import Table
 from ..traces.cluster import ClusterSpec
 from .cluster import Allocation, ClusterState
+from .fast import replay_fast
 from .placement import consolidate_place
 
 __all__ = ["SimJob", "ReplayResult", "Simulator"]
@@ -33,10 +45,12 @@ __all__ = ["SimJob", "ReplayResult", "Simulator"]
 _FINISH = 0  # processed before arrivals at the same time
 _ARRIVAL = 1
 
+_MODES = ("fast", "reference")
+
 
 @dataclass
 class SimJob:
-    """Mutable per-job simulation record."""
+    """Mutable per-job simulation record (reference engine only)."""
 
     __slots__ = (
         "idx", "vc", "gpu_num", "submit", "duration", "remaining",
@@ -86,6 +100,26 @@ class ReplayResult:
         """Job completion time = queueing + execution (§4.2)."""
         return self.end_times - self.trace["submit_time"]
 
+    def restrict(self, mask: np.ndarray) -> "ReplayResult":
+        """Per-job view restricted to ``mask`` rows of the trace.
+
+        Cluster-level telemetry (``node_intervals``, node/GPU totals) is
+        kept whole: it describes everything that ran, including jobs
+        outside the window — exactly what a serving stream wants when it
+        replays a sub-window of jobs against the *full* cluster state
+        (see :meth:`repro.serve.stream.EventStream.from_replay`).
+        """
+        mask = np.asarray(mask)
+        return replace(
+            self,
+            trace=self.trace.filter(mask) if mask.dtype == bool
+            else self.trace.take(mask),
+            start_times=self.start_times[mask],
+            end_times=self.end_times[mask],
+            queue_delays=self.queue_delays[mask],
+            preemptions=self.preemptions[mask],
+        )
+
 
 class Simulator:
     """Discrete-event replay of one cluster's GPU jobs.
@@ -99,14 +133,24 @@ class Simulator:
         (one value per job, lower runs first) and a ``preemptive`` flag.
     collect_node_intervals:
         Record per-node busy segments (needed by telemetry/CES).
+    mode:
+        ``"fast"`` (default) runs the array-backed core;
+        ``"reference"`` runs the original per-job loop (the oracle).
     """
 
     def __init__(
-        self, spec: ClusterSpec, scheduler, collect_node_intervals: bool = True
+        self,
+        spec: ClusterSpec,
+        scheduler,
+        collect_node_intervals: bool = True,
+        mode: str = "fast",
     ) -> None:
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
         self.spec = spec
         self.scheduler = scheduler
         self.collect_node_intervals = collect_node_intervals
+        self.mode = mode
 
     # ------------------------------------------------------------------
     def run(self, trace: Table) -> ReplayResult:
@@ -114,8 +158,32 @@ class Simulator:
         if len(trace) and int(trace["gpu_num"].min()) < 1:
             raise ValueError("simulator replays GPU jobs; filter CPU jobs out first")
         self._check_capacity(trace)
+        priorities = np.asarray(self.scheduler.priorities(trace), dtype=float)
+        if priorities.shape != (len(trace),):
+            raise ValueError("scheduler.priorities must return one value per job")
+        preemptive = getattr(self.scheduler, "preemptive", False)
+        if self.mode == "reference":
+            return self._run_reference(trace, priorities, preemptive)
+        start, end, preempt, itable, num_nodes, total_gpus = replay_fast(
+            self.spec, trace, priorities, preemptive,
+            self.collect_node_intervals,
+        )
+        return self._result(
+            trace,
+            np.array(start),
+            np.array(end),
+            np.array(preempt, dtype=np.int64),
+            itable,
+            num_nodes,
+            total_gpus,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_reference(
+        self, trace: Table, priorities: np.ndarray, preemptive: bool
+    ) -> ReplayResult:
         state = ClusterState(self.spec)
-        jobs = self._build_jobs(trace)
+        jobs = self._build_jobs(trace, priorities)
         n = len(jobs)
 
         heap: list[tuple[float, int, int, int, int]] = [
@@ -129,7 +197,6 @@ class Simulator:
         }
         running: dict[str, dict[int, SimJob]] = {vc.name: {} for vc in self.spec.vcs}
         intervals: list[tuple[np.ndarray, float, float, np.ndarray]] = []
-        preemptive = getattr(self.scheduler, "preemptive", False)
         collect = self.collect_node_intervals
 
         def start_job(job: SimJob, now: float) -> None:
@@ -215,24 +282,43 @@ class Simulator:
                 qseq += 1
                 drain_vc(job.vc, now)
 
-        return self._result(trace, jobs, intervals, state)
+        if intervals:
+            node_ids = np.concatenate([iv[0] for iv in intervals])
+            starts = np.concatenate([np.full(len(iv[0]), iv[1]) for iv in intervals])
+            ends = np.concatenate([np.full(len(iv[0]), iv[2]) for iv in intervals])
+            gpus = np.concatenate([iv[3] for iv in intervals])
+        else:
+            node_ids = np.empty(0, dtype=np.int64)
+            starts = ends = np.empty(0)
+            gpus = np.empty(0, dtype=np.int64)
+        return self._result(
+            trace,
+            np.array([j.start for j in jobs]),
+            np.array([j.end for j in jobs]),
+            np.array([j.preemptions for j in jobs], dtype=np.int64),
+            Table({"node": node_ids, "start": starts, "end": ends, "gpus": gpus}),
+            state.num_nodes,
+            state.total_gpus,
+        )
 
     # ------------------------------------------------------------------
     def _check_capacity(self, trace: Table) -> None:
+        if not len(trace):
+            return
         caps = {vc.name: vc.num_gpus for vc in self.spec.vcs}
-        for name in np.unique(trace["vc"]) if len(trace) else []:
+        # One grouped-max pass instead of a boolean-mask scan per VC.
+        uniq, inverse = np.unique(trace["vc"], return_inverse=True)
+        biggest = np.zeros(len(uniq), dtype=np.int64)
+        np.maximum.at(biggest, inverse, trace["gpu_num"].astype(np.int64))
+        for name, demand in zip(uniq.tolist(), biggest.tolist()):
             if name not in caps:
                 raise ValueError(f"trace references unknown VC {name!r}")
-            biggest = int(trace["gpu_num"][trace["vc"] == name].max())
-            if biggest > caps[name]:
+            if demand > caps[name]:
                 raise ValueError(
-                    f"job demands {biggest} GPUs but VC {name} has {caps[name]}"
+                    f"job demands {demand} GPUs but VC {name} has {caps[name]}"
                 )
 
-    def _build_jobs(self, trace: Table) -> list[SimJob]:
-        priorities = np.asarray(self.scheduler.priorities(trace), dtype=float)
-        if priorities.shape != (len(trace),):
-            raise ValueError("scheduler.priorities must return one value per job")
+    def _build_jobs(self, trace: Table, priorities: np.ndarray) -> list[SimJob]:
         submit = trace["submit_time"].astype(float)
         duration = trace["duration"].astype(float)
         gpus = trace["gpu_num"].astype(int)
@@ -247,31 +333,20 @@ class Simulator:
             for i in range(len(trace))
         ]
 
-    def _result(self, trace, jobs, intervals, state) -> ReplayResult:
-        n = len(jobs)
-        start = np.array([j.start for j in jobs])
-        end = np.array([j.end for j in jobs])
+    def _result(
+        self, trace, start, end, preemptions, node_intervals, num_nodes, total_gpus
+    ) -> ReplayResult:
+        n = len(trace)
         submit = trace["submit_time"].astype(float) if n else np.empty(0)
         if n and (np.any(start < 0) or np.any(~np.isfinite(end))):
             raise RuntimeError("some jobs never ran: trace exceeds cluster capacity")
-        if intervals:
-            node_ids = np.concatenate([iv[0] for iv in intervals])
-            starts = np.concatenate([np.full(len(iv[0]), iv[1]) for iv in intervals])
-            ends = np.concatenate([np.full(len(iv[0]), iv[2]) for iv in intervals])
-            gpus = np.concatenate([iv[3] for iv in intervals])
-        else:
-            node_ids = np.empty(0, dtype=np.int64)
-            starts = ends = np.empty(0)
-            gpus = np.empty(0, dtype=np.int64)
         return ReplayResult(
             trace=trace,
             start_times=start,
             end_times=end,
             queue_delays=start - submit,
-            preemptions=np.array([j.preemptions for j in jobs], dtype=np.int64),
-            node_intervals=Table(
-                {"node": node_ids, "start": starts, "end": ends, "gpus": gpus}
-            ),
-            num_nodes=state.num_nodes,
-            total_gpus=state.total_gpus,
+            preemptions=preemptions,
+            node_intervals=node_intervals,
+            num_nodes=num_nodes,
+            total_gpus=total_gpus,
         )

@@ -72,6 +72,36 @@ class TestOrchestratorCache:
             ExperimentOrchestrator(jobs=1).run(["fig99"])
 
 
+class TestProfile:
+    def test_profile_breaks_down_cache_hits_and_wall_time(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        ExperimentOrchestrator(cache=cache, jobs=1).run(["table1"])
+        res = ExperimentOrchestrator(cache=ArtifactCache(tmp_path), jobs=1).run(
+            ["table1", "fig5"]
+        )
+        prof = res.profile()
+        assert prof["cached"] == 1 and prof["computed"] == 1
+        assert prof["cache_hit_rate"] == pytest.approx(0.5)
+        # sorted slowest-first; the cache hit is (much) cheaper
+        assert [e["exp_id"] for e in prof["exhibits"]] == ["fig5", "table1"]
+        assert prof["compute_seconds"] >= prof["exhibits"][0]["seconds"]
+        # the same breakdown is embedded in the JSON report
+        assert res.as_dict()["profile"]["exhibits"] == prof["exhibits"]
+
+    def test_profile_records_precursor_warm_phase(self, tmp_path):
+        from repro.framework.parallel import fork_available
+
+        if not fork_available():
+            pytest.skip("fork pool unavailable")
+        common.clear_scenario_caches()  # cold memos: the warm phase must run
+        res = ExperimentOrchestrator(jobs=2).run(["fig5", "fig6"])
+        prof = res.profile()
+        tokens = {p["token"] for p in prof["precursors"]}
+        assert any(t.startswith("cluster_trace:") for t in tokens)
+        assert all(p["seconds"] >= 0 for p in prof["precursors"])
+        assert prof["precursor_seconds"] >= 0
+
+
 class TestFailureIsolation:
     def test_failed_experiment_reported_not_raised(self, monkeypatch, tmp_path):
         def boom():

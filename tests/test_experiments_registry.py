@@ -13,7 +13,7 @@ EXPECTED_IDS = {
     "fig14", "fig15", "table5",
     "ablation_lambda", "ablation_forecaster", "ablation_buffer",
     "ablation_oracle",
-    "serve_smoke",
+    "serve_smoke", "serve_replay",
 }
 
 

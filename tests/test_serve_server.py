@@ -251,8 +251,30 @@ class TestOnlineUpdates:
         )
         report = server.run(stream, window_s=300.0)
         # stream spans 10 h -> at least one engine-driven refresh each;
-        # CES takes the incremental path, QSSF falls back to scratch
+        # both services take the incremental path by default
         assert report.refits["ces"]["incremental"] >= 1
+        assert report.refits["qssf"]["refits"] >= 1
+        assert report.refits["qssf"]["incremental"] == report.refits["qssf"]["refits"]
+
+    def test_qssf_scratch_refit_mode_forces_full_refits(self):
+        cfg = _frozen_config(
+            online_updates=True,
+            update_interval_s=4 * 3_600.0,
+            ces_update_every=1_000_000,
+            qssf_refit_mode="scratch",
+        )
+        series = _demand_series(360)
+        window = make_trace(
+            [(i * 800, 1 + (i % 4), 120.0, f"vc{i % 2}") for i in range(40)]
+        )
+        server = PredictionServer(cfg)
+        server.install_qssf(_qssf_history())
+        server.install_ces(series[:300], 64)
+        stream = EventStream.from_trace(
+            window, "T", t0=0.0, t1=60 * 600.0, bin_seconds=600,
+            demand=series[300:360],
+        )
+        report = server.run(stream, window_s=300.0)
         assert report.refits["qssf"]["refits"] >= 1
         assert report.refits["qssf"]["incremental"] == 0
 

@@ -1,0 +1,151 @@
+"""Fast-engine parity suite: ``mode="fast"`` vs ``mode="reference"``.
+
+The array-backed engine must produce **byte-identical**
+:class:`~repro.sim.engine.ReplayResult` payloads — per-job timings,
+queue delays, preemption counts, and node-interval telemetry — on any
+trace and policy.  Two layers:
+
+* seeded fuzz over randomized small traces (mixed VCs, bursty
+  same-timestamp arrival bursts, preemption on and off);
+* the real scenario: the evaluation-month replay of all four Helios
+  clusters plus a Philly window, FIFO and the preemptive SRTF baseline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sched import FIFOScheduler, SJFScheduler, SRTFScheduler
+from repro.sim import Simulator
+
+from helpers import make_spec, make_trace
+
+
+def assert_replays_identical(fast, ref):
+    """Byte-level equality of every ReplayResult payload field."""
+    assert fast.start_times.dtype == ref.start_times.dtype
+    assert fast.start_times.tobytes() == ref.start_times.tobytes()
+    assert fast.end_times.tobytes() == ref.end_times.tobytes()
+    assert fast.queue_delays.tobytes() == ref.queue_delays.tobytes()
+    assert fast.preemptions.dtype == ref.preemptions.dtype
+    assert fast.preemptions.tobytes() == ref.preemptions.tobytes()
+    for col in ("node", "start", "end", "gpus"):
+        a, b = fast.node_intervals[col], ref.node_intervals[col]
+        assert a.dtype == b.dtype
+        assert a.tobytes() == b.tobytes()
+    assert fast.num_nodes == ref.num_nodes
+    assert fast.total_gpus == ref.total_gpus
+
+
+def _random_trace(rng, n_vcs):
+    """Small random workload with heavy same-timestamp collisions."""
+    n = int(rng.integers(1, 90))
+    step = int(rng.integers(1, 50))
+    rows = [
+        (
+            int(rng.integers(0, 25)) * step,  # few distinct instants: bursts
+            int(rng.choice([1, 2, 3, 4, 7, 8, 9, 16])),
+            float(rng.integers(1, 250)),
+            f"vc{int(rng.integers(0, n_vcs))}",
+        )
+        for _ in range(n)
+    ]
+    return make_trace(rows)
+
+
+class TestFuzzParity:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_traces_all_policies(self, seed):
+        rng = np.random.default_rng(seed)
+        n_vcs = int(rng.integers(1, 4))
+        spec = make_spec(nodes=int(rng.integers(1, 5)), vcs=n_vcs)
+        trace = _random_trace(rng, n_vcs)
+        for sched in (FIFOScheduler(), SJFScheduler(), SRTFScheduler()):
+            try:
+                ref = Simulator(spec, sched, mode="reference").run(trace)
+            except (ValueError, RuntimeError) as exc:
+                # infeasible workload: the fast path must reject it with
+                # the identical error
+                with pytest.raises(type(exc)) as excinfo:
+                    Simulator(spec, sched).run(trace)
+                assert str(excinfo.value) == str(exc)
+                continue
+            fast = Simulator(spec, sched).run(trace)
+            assert_replays_identical(fast, ref)
+
+    def test_no_telemetry_mode(self):
+        trace = _random_trace(np.random.default_rng(99), 2)
+        spec = make_spec(nodes=3, vcs=2)
+        for mode in ("fast", "reference"):
+            res = Simulator(
+                spec, SRTFScheduler(), collect_node_intervals=False, mode=mode
+            ).run(trace)
+            assert len(res.node_intervals) == 0
+            assert res.node_intervals["node"].dtype == np.int64
+        fast = Simulator(spec, SJFScheduler(), collect_node_intervals=False).run(trace)
+        ref = Simulator(
+            spec, SJFScheduler(), collect_node_intervals=False, mode="reference"
+        ).run(trace)
+        assert_replays_identical(fast, ref)
+
+    def test_empty_trace(self):
+        spec = make_spec()
+        fast = Simulator(spec, FIFOScheduler()).run(make_trace([]))
+        ref = Simulator(spec, FIFOScheduler(), mode="reference").run(make_trace([]))
+        assert_replays_identical(fast, ref)
+
+
+@pytest.mark.parametrize("sched_cls", [FIFOScheduler, SRTFScheduler])
+class TestClusterParity:
+    """The paper's replay protocol: evaluation month, real topologies."""
+
+    @pytest.mark.parametrize(
+        "cluster", ["Venus", "Earth", "Saturn", "Uranus"]
+    )
+    def test_helios_evaluation_month(self, cluster, sched_cls):
+        from repro.experiments import common
+        from repro.traces import slice_period
+
+        gpu = common.cluster_gpu_trace(cluster)
+        sept = slice_period(
+            gpu,
+            common.EVAL_MONTH * common.MONTH_SECONDS,
+            (common.EVAL_MONTH + 1) * common.MONTH_SECONDS,
+        )
+        spec = common.cluster_spec(cluster)
+        ref = Simulator(spec, sched_cls(), mode="reference").run(sept)
+        fast = Simulator(spec, sched_cls()).run(sept)
+        assert_replays_identical(fast, ref)
+
+    def test_philly_window(self, sched_cls):
+        from repro.experiments import common
+        from repro.traces import SECONDS_PER_DAY, slice_period
+
+        trace = slice_period(common.philly_trace(), 0, 20 * SECONDS_PER_DAY)
+        spec = common.philly_generator().spec
+        ref = Simulator(spec, sched_cls(), mode="reference").run(trace)
+        fast = Simulator(spec, sched_cls()).run(trace)
+        assert_replays_identical(fast, ref)
+
+
+class TestModeKnob:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode must be one of"):
+            Simulator(make_spec(), FIFOScheduler(), mode="turbo")
+
+    def test_restrict_slices_jobs_keeps_telemetry(self):
+        trace = make_trace([(0, 8, 100), (10, 4, 50), (20, 2, 25)])
+        res = Simulator(make_spec(nodes=2), FIFOScheduler()).run(trace)
+        sub = res.restrict(np.array([1, 2]))
+        assert len(sub.trace) == 2
+        assert sub.start_times.tolist() == res.start_times[1:].tolist()
+        assert sub.queue_delays.tolist() == res.queue_delays[1:].tolist()
+        # cluster telemetry stays whole: it describes everything that ran
+        assert len(sub.node_intervals) == len(res.node_intervals)
+        assert sub.num_nodes == res.num_nodes
+
+    def test_restrict_boolean_mask(self):
+        trace = make_trace([(0, 8, 100), (10, 4, 50)])
+        res = Simulator(make_spec(), FIFOScheduler()).run(trace)
+        sub = res.restrict(np.array([False, True]))
+        assert len(sub.trace) == 1
+        assert sub.end_times.tolist() == [res.end_times[1]]

@@ -131,6 +131,27 @@ def test_makespan_bounds(jobs):
     assert lower - 1e-9 <= makespan <= upper + 1e-9
 
 
+@settings(max_examples=40, deadline=None)
+@given(jobs=job_lists)
+def test_fast_engine_matches_reference(jobs):
+    """Property form of the parity contract: for any workload and any
+    policy, the array-backed engine's ReplayResult is byte-identical to
+    the reference loop's (see tests/test_sim_parity.py for the seeded
+    cluster-scale suite)."""
+    trace = _trace(jobs)
+    for sched in (FIFOScheduler(), SJFScheduler(), SRTFScheduler()):
+        ref = Simulator(_spec(nodes=2), sched, mode="reference").run(trace)
+        fast = Simulator(_spec(nodes=2), sched).run(trace)
+        assert fast.start_times.tobytes() == ref.start_times.tobytes()
+        assert fast.end_times.tobytes() == ref.end_times.tobytes()
+        assert fast.preemptions.tobytes() == ref.preemptions.tobytes()
+        for col in ("node", "start", "end", "gpus"):
+            assert (
+                fast.node_intervals[col].tobytes()
+                == ref.node_intervals[col].tobytes()
+            )
+
+
 @settings(max_examples=25, deadline=None)
 @given(jobs=job_lists)
 def test_sjf_average_jct_not_worse_than_fifo_much(jobs):
