@@ -2,9 +2,10 @@
 
 Each test prints one ``BENCH {json}`` line so the numbers form a
 trajectory comparable across PRs (grep the suite output for ``BENCH``).
-The smoke profile (trace-only exhibits, no simulator replays) keeps the
-benchmark itself inside the suite budget; the full-exhibit-set numbers
-are recorded in ROADMAP.md from manual CLI runs.
+The smoke profile (trace-level exhibits, the serving smokes and the
+batched CES sweep) keeps the benchmark itself inside the suite budget;
+the full-exhibit-set numbers are recorded in ROADMAP.md from manual
+CLI runs.
 """
 
 import json

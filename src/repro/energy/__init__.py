@@ -1,6 +1,6 @@
 """Cluster Energy Saving service (the paper's second case study)."""
 
-from .ces import CESConfig, CESReport, CESService
+from .ces import CESConfig, CESForecast, CESReport, CESService
 from .drs import (
     DRSController,
     DRSOutcome,
@@ -9,13 +9,16 @@ from .drs import (
     run_drs,
     run_vanilla_drs,
 )
+from .fast_drs import DRSCase, run_drs_batch, run_drs_grid, run_vanilla_drs_batch
 from .forecaster import ForecastFeatures, GBDTSeriesForecaster, NodeDemandForecaster
 from .power import PowerModel
 
 __all__ = [
     "CESConfig",
+    "CESForecast",
     "CESReport",
     "CESService",
+    "DRSCase",
     "DRSController",
     "DRSOutcome",
     "DRSParams",
@@ -25,5 +28,8 @@ __all__ = [
     "PowerModel",
     "run_always_on",
     "run_drs",
+    "run_drs_batch",
+    "run_drs_grid",
     "run_vanilla_drs",
+    "run_vanilla_drs_batch",
 ]

@@ -4,6 +4,19 @@ Pipeline: replay telemetry → running-nodes series (10-minute bins) →
 train the GBDT node-demand forecaster on the history window → run
 Algorithm-2 DRS over the evaluation window → Table-5 metrics and the
 Fig-14/15 curves (Total / Running / Active / Prediction).
+
+The protocol is split at its cost cliff:
+
+* :meth:`CESService.forecast` is the expensive stage — one forecaster
+  fit per cluster plus a vectorized all-bins prediction — packaged as a
+  reusable :class:`CESForecast`;
+* :meth:`CESService.control` is the cheap stage — Algorithm-2 walks
+  over the evaluation window (batched through
+  :mod:`repro.energy.fast_drs`) plus the energy accounting.
+
+Table 5, Figs 14-15, the σ ablation and the σ/ξ/window sweep all share
+one :class:`CESForecast` per cluster and re-run only the control stage,
+so sweeping DRS knobs costs milliseconds, not refits.
 """
 
 from __future__ import annotations
@@ -12,14 +25,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..ml.gbdt import GBDTParams
 from ..sim.engine import ReplayResult
 from ..sim.telemetry import running_nodes_series
 from ..stats.timeseries import TimeGrid
-from .drs import DRSOutcome, DRSParams, run_always_on, run_drs, run_vanilla_drs
-from .forecaster import NodeDemandForecaster
+from .drs import DRSOutcome, DRSParams, _reactive_params, run_always_on
+from .fast_drs import DRSCase, run_drs_batch
+from .forecaster import ForecastFeatures, NodeDemandForecaster
 from .power import PowerModel
 
-__all__ = ["CESConfig", "CESReport", "CESService"]
+__all__ = ["CESConfig", "CESForecast", "CESReport", "CESService"]
 
 
 @dataclass(frozen=True)
@@ -27,17 +42,55 @@ class CESConfig:
     """CES evaluation protocol knobs.
 
     ``drs=None`` derives size-proportional Algorithm-2 parameters from
-    the cluster's node count (:meth:`DRSParams.scaled`).
+    the cluster's node count (:meth:`DRSParams.scaled`);
+    ``gbdt_params``/``features`` override the node-demand forecaster's
+    model size and feature recipe (``None`` keeps the defaults).
     """
 
     bin_seconds: int = 600
     horizon_bins: int = 18          # 3-hour lookahead (§4.3.2)
     drs: DRSParams | None = None
     power: PowerModel = field(default_factory=PowerModel)
+    gbdt_params: GBDTParams | None = None
+    features: ForecastFeatures | None = None
 
     def __post_init__(self) -> None:
         if self.bin_seconds <= 0:
             raise ValueError("bin_seconds must be positive")
+
+
+@dataclass
+class CESForecast:
+    """The fitted half of the CES protocol for one replayed cluster.
+
+    Everything downstream DRS stages need: the binned demand series,
+    the walk-forward prediction aligned for display (``prediction[i]``
+    estimates ``eval_demand[i]``), the control-loop forecast input
+    (``future_forecast[i]`` estimates demand H bins past eval bin i),
+    and per-bin job arrivals.  Deliberately model-free — it pickles
+    small and warms across processes as a precursor.
+    """
+
+    cluster: str
+    grid: TimeGrid
+    eval_start_bin: int
+    eval_start: float
+    eval_end: float
+    demand: np.ndarray          # running nodes, full window
+    prediction: np.ndarray      # forecast of demand (eval window, aligned)
+    future_forecast: np.ndarray  # forecast of demand at t + H (DRS input)
+    arrivals: np.ndarray        # job arrivals per eval-window bin
+    total_nodes: int
+    smape_forecast: float
+
+    @property
+    def eval_demand(self) -> np.ndarray:
+        """Demand over the controlled window only."""
+        return self.demand[self.eval_start_bin:]
+
+    @property
+    def eval_hours(self) -> float:
+        return (self.eval_end - self.eval_start) / 3_600.0
 
 
 @dataclass
@@ -80,6 +133,115 @@ class CESService:
     def __init__(self, config: CESConfig | None = None) -> None:
         self.config = config or CESConfig()
 
+    def forecast(
+        self,
+        result: ReplayResult,
+        eval_start: float,
+        eval_end: float,
+        cluster: str = "",
+        t0: float = 0.0,
+    ) -> CESForecast:
+        """Fit the demand forecaster and predict the evaluation window.
+
+        ``[t0, eval_start)`` trains the forecaster; predictions cover
+        ``[eval_start, eval_end)`` (the paper trains on everything
+        before 1 September and evaluates 3 weeks).  This is the
+        expensive stage — one GBDT fit plus two vectorized all-bins
+        predictions — and its output is everything any DRS
+        parameterization needs, so sweeps run it exactly once.
+        """
+        cfg = self.config
+        if not t0 < eval_start < eval_end:
+            raise ValueError("need t0 < eval_start < eval_end")
+        grid = TimeGrid.covering(t0, eval_end, cfg.bin_seconds)
+        demand = running_nodes_series(result, grid)
+        split = int((eval_start - t0) / cfg.bin_seconds)
+        forecaster = NodeDemandForecaster(
+            horizon_bins=cfg.horizon_bins,
+            features=cfg.features,
+            gbdt_params=cfg.gbdt_params,
+        )
+        if split < max(forecaster.features.lags) + cfg.horizon_bins + 10:
+            raise ValueError("training window too short for the forecaster")
+
+        forecaster.fit(demand[:split], t0=t0)
+        eval_bins = np.arange(split, grid.bins)
+        # ŷ[t] estimates demand at t + H using only data through t; the
+        # control loop compares it with current demand (FutureNodesTrend).
+        source_bins = np.maximum(eval_bins - cfg.horizon_bins, 0)
+        prediction = forecaster.predict_at(demand, source_bins, t0=t0)
+        future_fc = forecaster.predict_at(demand, eval_bins, t0=t0)
+
+        from ..stats.metrics import smape
+
+        return CESForecast(
+            cluster=cluster,
+            grid=grid,
+            eval_start_bin=split,
+            eval_start=eval_start,
+            eval_end=eval_end,
+            demand=demand,
+            prediction=prediction,
+            future_forecast=future_fc,
+            arrivals=self._arrivals_per_bin(result, grid)[split:],
+            total_nodes=result.num_nodes,
+            smape_forecast=smape(demand[split:] + 1.0, prediction + 1.0),
+        )
+
+    def control(
+        self,
+        forecast: CESForecast,
+        drs_params: DRSParams | None = None,
+    ) -> CESReport:
+        """Run Algorithm 2 (+ baselines) over a fitted evaluation window.
+
+        The cheap stage: predictive CES and the reactive baseline run as
+        one two-row batch through the fast engine (byte-identical to the
+        stepwise controller), then the energy model prices the outcome.
+        ``drs_params`` overrides the configured knobs — σ/ξ/window
+        sweeps call this repeatedly against one shared ``forecast``.
+        """
+        cfg = self.config
+        params = drs_params or cfg.drs or DRSParams.scaled(
+            forecast.total_nodes, cfg.bin_seconds
+        )
+        eval_demand = forecast.eval_demand
+        predictive = DRSCase(
+            demand=eval_demand,
+            predicted_future=forecast.future_forecast,
+            total_nodes=forecast.total_nodes,
+            params=params,
+            arrivals_per_bin=forecast.arrivals,
+        )
+        # the reactive baseline row: guards off, demand as its own
+        # forecast (the run_vanilla_drs rewrite, batched alongside)
+        reactive = DRSCase(
+            demand=eval_demand,
+            predicted_future=eval_demand,
+            total_nodes=forecast.total_nodes,
+            params=_reactive_params(params),
+            arrivals_per_bin=forecast.arrivals,
+        )
+        ces, vanilla = run_drs_batch([predictive, reactive])
+        always = run_always_on(eval_demand, forecast.total_nodes, params)
+
+        saved = cfg.power.saved_kwh(ces.avg_parked_nodes, forecast.eval_hours)
+        saved -= cfg.power.wake_overhead_kwh(ces.nodes_woken)
+        return CESReport(
+            cluster=forecast.cluster,
+            grid=forecast.grid,
+            eval_start_bin=forecast.eval_start_bin,
+            demand=forecast.demand,
+            prediction=forecast.prediction,
+            ces=ces,
+            vanilla=vanilla,
+            always_on=always,
+            total_nodes=forecast.total_nodes,
+            smape_forecast=forecast.smape_forecast,
+            saved_kwh_eval=saved,
+            annual_saved_kwh=cfg.power.annual_saved_kwh(ces.avg_parked_nodes),
+        )
+
     def evaluate(
         self,
         result: ReplayResult,
@@ -88,65 +250,8 @@ class CESService:
         cluster: str = "",
         t0: float = 0.0,
     ) -> CESReport:
-        """Run the full CES protocol.
-
-        ``[t0, eval_start)`` trains the forecaster; ``[eval_start,
-        eval_end)`` is controlled by Algorithm 2 (the paper trains on
-        everything before 1 September and evaluates 3 weeks).
-        """
-        cfg = self.config
-        if not t0 < eval_start < eval_end:
-            raise ValueError("need t0 < eval_start < eval_end")
-        grid = TimeGrid.covering(t0, eval_end, cfg.bin_seconds)
-        demand = running_nodes_series(result, grid)
-        split = int((eval_start - t0) / cfg.bin_seconds)
-        if split < max(NodeDemandForecaster().features.lags) + cfg.horizon_bins + 10:
-            raise ValueError("training window too short for the forecaster")
-
-        forecaster = NodeDemandForecaster(horizon_bins=cfg.horizon_bins).fit(
-            demand[:split], t0=t0
-        )
-        eval_bins = np.arange(split, grid.bins)
-        # ŷ[t] estimates demand at t + H using only data through t; the
-        # control loop compares it with current demand (FutureNodesTrend).
-        source_bins = np.maximum(eval_bins - cfg.horizon_bins, 0)
-        prediction = forecaster.predict_at(demand, source_bins, t0=t0)
-
-        eval_demand = demand[split:]
-        arrivals = self._arrivals_per_bin(result, grid)[split:]
-        future_fc = forecaster.predict_at(demand, eval_bins, t0=t0)
-        drs_params = cfg.drs or DRSParams.scaled(result.num_nodes, cfg.bin_seconds)
-        ces = run_drs(
-            eval_demand,
-            future_fc,
-            total_nodes=result.num_nodes,
-            params=drs_params,
-            arrivals_per_bin=arrivals,
-        )
-        vanilla = run_vanilla_drs(
-            eval_demand, result.num_nodes, drs_params, arrivals_per_bin=arrivals
-        )
-        always = run_always_on(eval_demand, result.num_nodes, drs_params)
-
-        from ..stats.metrics import smape
-
-        hours_eval = (eval_end - eval_start) / 3_600.0
-        saved = cfg.power.saved_kwh(ces.avg_parked_nodes, hours_eval)
-        saved -= cfg.power.wake_overhead_kwh(ces.nodes_woken)
-        return CESReport(
-            cluster=cluster,
-            grid=grid,
-            eval_start_bin=split,
-            demand=demand,
-            prediction=prediction,
-            ces=ces,
-            vanilla=vanilla,
-            always_on=always,
-            total_nodes=result.num_nodes,
-            smape_forecast=smape(eval_demand + 1.0, prediction + 1.0),
-            saved_kwh_eval=saved,
-            annual_saved_kwh=cfg.power.annual_saved_kwh(ces.avg_parked_nodes),
-        )
+        """Run the full CES protocol (forecast stage, then control)."""
+        return self.control(self.forecast(result, eval_start, eval_end, cluster, t0))
 
     @staticmethod
     def _arrivals_per_bin(result: ReplayResult, grid: TimeGrid) -> np.ndarray:

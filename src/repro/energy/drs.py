@@ -23,7 +23,7 @@ prediction, incurring far more wake-ups (§4.3.3 reports 34.1/day vs
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -110,9 +110,26 @@ class DRSOutcome:
         return float(np.mean(self.demand / np.maximum(self.active, 1e-9)))
 
 
-def _wake(active: float, demand: float, sigma: int, total: int) -> float:
-    """NodesWakeUp: restore ``demand - active + σ`` nodes (Alg 2 line 3)."""
+def _wake_target(demand: float, sigma: int, total: int) -> float:
+    """NodesWakeUp: restore the pool to ``demand + σ`` nodes (Alg 2 line 3,
+    capped at the physical node count)."""
     return min(total, demand + sigma)
+
+
+def _reactive_params(params: DRSParams) -> DRSParams:
+    """Vanilla-DRS knobs: both trend guards disabled.
+
+    With ``-inf`` thresholds the PeriodicCheck always parks down to the
+    floor, and feeding the demand itself as the "forecast" makes that
+    floor ``demand + σ`` — exactly the reactive baseline.  This is how
+    :func:`run_vanilla_drs` shares the controller's wake/park arithmetic
+    instead of duplicating it.
+    """
+    return replace(
+        params,
+        recent_threshold=float("-inf"),
+        future_threshold=float("-inf"),
+    )
 
 
 class DRSController:
@@ -156,7 +173,7 @@ class DRSController:
         cur = self.cur
         # JobArrivalCheck: demand beyond the active pool forces a wake.
         if demand > cur:
-            new = _wake(cur, demand, p.buffer_nodes, self.total_nodes)
+            new = _wake_target(demand, p.buffer_nodes, self.total_nodes)
             self.wake_events += 1
             self.nodes_woken += int(round(new - cur))
             self.affected_jobs += int(arrivals)
@@ -237,38 +254,21 @@ def run_vanilla_drs(
     params: DRSParams | None = None,
     arrivals_per_bin: np.ndarray | None = None,
 ) -> DRSOutcome:
-    """Reactive DRS baseline: track demand with no future knowledge."""
-    p = params or DRSParams()
+    """Reactive DRS baseline: track demand with no future knowledge.
+
+    Runs the same :class:`DRSController` walk as :func:`run_drs` under
+    :func:`_reactive_params` (guards off, demand as its own forecast),
+    so the baseline can never drift from Algorithm 2's wake/park
+    arithmetic — and the batched engine in :mod:`repro.energy.fast_drs`
+    accelerates it for free.
+    """
     d = np.asarray(demand, dtype=float)
-    arr = (
-        np.zeros_like(d)
-        if arrivals_per_bin is None
-        else np.asarray(arrivals_per_bin, dtype=float)
-    )
-    n = d.size
-    active = np.empty(n)
-    cur = float(total_nodes)
-    wake_events = 0
-    nodes_woken = 0
-    affected = 0
-    for t in range(n):
-        if d[t] > cur:
-            new = min(total_nodes, d[t] + p.buffer_nodes)
-            wake_events += 1
-            nodes_woken += int(round(new - cur))
-            affected += int(arr[t])
-            cur = new
-        else:
-            cur = min(cur, min(total_nodes, d[t] + p.buffer_nodes))
-        active[t] = cur
-    return DRSOutcome(
-        active=active,
-        demand=d,
-        total_nodes=total_nodes,
-        wake_events=wake_events,
-        nodes_woken=nodes_woken,
-        affected_jobs=affected,
-        bins_per_day=86_400.0 / p.bin_seconds,
+    return run_drs(
+        d,
+        d,
+        total_nodes,
+        _reactive_params(params or DRSParams()),
+        arrivals_per_bin=arrivals_per_bin,
     )
 
 

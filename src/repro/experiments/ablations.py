@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis import render_table
-from ..energy import DRSParams, GBDTSeriesForecaster, run_drs
+from ..energy import DRSParams, GBDTSeriesForecaster, run_drs_grid
 from ..frame import Table
 from ..ml import (
     ARIMAForecaster,
@@ -31,37 +31,14 @@ from ..sim import Simulator, running_nodes_series
 from ..stats.timeseries import TimeGrid, resample_mean
 from ..traces import slice_period
 from . import common
-from .energy_exp import ces_report
+from .energy_exp import ces_forecast
 
 __all__ = [
-    "DRS_H",
-    "shift_forecast",
     "exp_ablation_lambda",
     "exp_ablation_forecaster",
     "exp_ablation_buffer",
     "exp_ablation_oracle",
 ]
-
-DRS_H = 18  # 3-hour lookahead in 10-minute bins
-
-
-def shift_forecast(fc: np.ndarray, h: int) -> np.ndarray:
-    """Re-align a time-aligned forecast to be "demand at t + h".
-
-    ``fc[t]`` approximates the demand *at* bin ``t``; DRS instead wants,
-    at decision time ``t``, the forecast of demand ``h`` bins ahead —
-    i.e. ``fc[t + h]``.  The last ``h`` bins have no forecast beyond the
-    window, so they hold the final forecast value.  Output length always
-    equals input length (a shift larger than the window degenerates to a
-    constant series).
-    """
-    fc = np.asarray(fc, dtype=float)
-    if h < 0:
-        raise ValueError("h must be >= 0")
-    if fc.size == 0 or h == 0:
-        return fc.copy()
-    h_eff = min(h, fc.size)
-    return np.concatenate([fc[h_eff:], np.full(h_eff, fc[-1])])
 
 
 def exp_ablation_lambda(cluster: str = "Venus") -> dict:
@@ -145,32 +122,35 @@ def exp_ablation_forecaster(hour_bins: bool = True) -> dict:
 
 
 def exp_ablation_buffer(cluster: str = "Earth") -> dict:
-    """Sweep Algorithm 2's σ buffer (fraction of nodes)."""
-    rep = ces_report(cluster)
-    split = rep.eval_start_bin
-    demand = rep.demand[split:]
-    # future forecast input to run_drs must be "demand at t+H" — reuse the
-    # service's prediction shifted appropriately via the stored report.
-    future_fc = shift_forecast(rep.prediction, DRS_H)
-    rows = []
-    for frac in (0.01, 0.04, 0.08, 0.15):
-        sigma = max(1, int(round(frac * rep.total_nodes)))
-        params = DRSParams(
-            buffer_nodes=sigma,
-            recent_window_bins=6,
-            recent_threshold=max(0.5, 0.006 * rep.total_nodes),
-            future_threshold=max(0.5, 0.006 * rep.total_nodes),
+    """Sweep Algorithm 2's σ buffer (fraction of nodes).
+
+    One batched :func:`~repro.energy.fast_drs.run_drs_grid` call over
+    the cluster's cached forecast — the sweep shares the single
+    forecaster fit with Table 5 and costs only the controller walks.
+    """
+    fc = ces_forecast(cluster)
+    fracs = (0.01, 0.04, 0.08, 0.15)
+    grid = []
+    for frac in fracs:
+        grid.append(
+            DRSParams(
+                buffer_nodes=max(1, int(round(frac * fc.total_nodes))),
+                recent_window_bins=6,
+                recent_threshold=max(0.5, 0.006 * fc.total_nodes),
+                future_threshold=max(0.5, 0.006 * fc.total_nodes),
+            )
         )
-        out = run_drs(demand, future_fc, rep.total_nodes, params)
-        rows.append(
-            {
-                "sigma_frac": frac,
-                "sigma_nodes": sigma,
-                "avg_parked": out.avg_parked_nodes,
-                "daily_wake_ups": out.daily_wake_ups,
-                "util_ces_%": 100 * out.utilization_ces,
-            }
-        )
+    outs = run_drs_grid(fc.eval_demand, fc.future_forecast, fc.total_nodes, grid)
+    rows = [
+        {
+            "sigma_frac": frac,
+            "sigma_nodes": params.buffer_nodes,
+            "avg_parked": out.avg_parked_nodes,
+            "daily_wake_ups": out.daily_wake_ups,
+            "util_ces_%": 100 * out.utilization_ces,
+        }
+        for frac, params, out in zip(fracs, grid, outs)
+    ]
     table = Table.from_rows(rows)
     return {"table": table, "text": render_table(table, f"Ablation — DRS buffer σ ({cluster})")}
 

@@ -1,17 +1,39 @@
-"""§4.3 exhibits: Figures 14-15 and Table 5 (CES evaluation)."""
+"""§4.3 exhibits: Figures 14-15, Table 5 and the CES σ/ξ/window sweep.
+
+The CES pipeline is evaluated in two cached stages per cluster:
+
+* ``ces_forecast`` — the expensive precursor: bin the replay telemetry,
+  fit the node-demand forecaster once, predict every evaluation bin
+  (vectorized).  Warmable across processes (wave 4).
+* ``ces_report`` — the cheap stage: Algorithm-2 walks (batched through
+  :mod:`repro.energy.fast_drs`) plus energy accounting over the shared
+  forecast.  Parent-cheap (wave 5).
+
+Figs 14-15, Table 5, the σ ablation and ``ces_sweep`` all ride on the
+same five forecasts — one fit per cluster for the whole exhibit suite.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
 from ..analysis import render_kv, render_series, render_table
-from ..energy import CESService, PowerModel
+from ..energy import CESConfig, CESService, DRSCase, DRSParams, PowerModel, run_drs_batch
 from ..frame import Table
 from ..traces import SECONDS_PER_DAY
 from . import common
 from .cache import memo
 
-__all__ = ["exp_fig14", "exp_fig15", "exp_table5", "ces_report"]
+__all__ = [
+    "exp_fig14",
+    "exp_fig15",
+    "exp_table5",
+    "exp_ces_sweep",
+    "ces_forecast",
+    "ces_report",
+    "ces_service",
+    "sweep_param_grid",
+]
 
 #: Helios CES protocol: train on everything before "1 September", control
 #: the following 3 weeks (§4.3.3).
@@ -22,23 +44,38 @@ _HELIOS_EVAL_END = _HELIOS_EVAL_START + 21 * SECONDS_PER_DAY
 _PHILLY_EVAL_START = 61 * SECONDS_PER_DAY
 _PHILLY_EVAL_END = 75 * SECONDS_PER_DAY
 
+_CES_CLUSTERS = common.CLUSTERS + ("Philly",)
+
+
+def ces_service() -> CESService:
+    """The shared experiment-scale CES protocol (lighter forecaster)."""
+    return CESService(CESConfig(gbdt_params=common.CES_GBDT))
+
 
 @memo
-def ces_report(cluster: str):
-    """CES evaluation for one cluster (cached across exhibits)."""
+def ces_forecast(cluster: str):
+    """Fitted demand forecast for one cluster (the expensive stage)."""
     if cluster == "Philly":
         replay = common.philly_replay("FIFO", days=common.PHILLY_DAYS)
-        return CESService().evaluate(
+        return ces_service().forecast(
             replay, _PHILLY_EVAL_START, _PHILLY_EVAL_END, cluster="Philly"
         )
     replay = common.full_replay(cluster)
-    return CESService().evaluate(
+    return ces_service().forecast(
         replay, _HELIOS_EVAL_START, _HELIOS_EVAL_END, cluster=cluster
     )
 
 
-# CES reports are shared inputs of figs 14-15, table 5, and the buffer
-# ablation — make them addressable as precursor tokens ("ces_report:Earth").
+@memo
+def ces_report(cluster: str):
+    """CES evaluation for one cluster: batched DRS over the forecast."""
+    return ces_service().control(ces_forecast(cluster))
+
+
+# CES forecasts/reports are shared inputs of figs 14-15, table 5, the
+# buffer ablation and the sweep — make them addressable as precursor
+# tokens ("ces_forecast:Earth", "ces_report:Earth").
+common.PRECURSOR_FNS["ces_forecast"] = ces_forecast
 common.PRECURSOR_FNS["ces_report"] = ces_report
 
 
@@ -91,7 +128,7 @@ def exp_fig15() -> dict:
 def exp_table5() -> dict:
     """Table 5: CES performance per cluster (+ energy estimate)."""
     rows = []
-    for cluster in common.CLUSTERS + ("Philly",):
+    for cluster in _CES_CLUSTERS:
         rep = ces_report(cluster)
         s = rep.summary()
         rows.append(
@@ -124,5 +161,134 @@ def exp_table5() -> dict:
         "table": table,
         "annual_saved_kwh": annual,
         "annual_saved_kwh_full_scale": annual_full_scale,
+        "text": text,
+    }
+
+
+# ----------------------------------------------------------------------
+# ces_sweep: the scenario-diversity axis the batch engine opens
+# ----------------------------------------------------------------------
+
+#: Sweep axes, sized relative to the cluster (matching how
+#: :meth:`DRSParams.scaled` derives the defaults: σ ≈ 4%, ξ ≈ 0.6%).
+SWEEP_SIGMA_FRACS = (0.01, 0.02, 0.04, 0.08)
+SWEEP_XI_FRACS = (0.003, 0.006, 0.012)
+SWEEP_WINDOW_BINS = (3, 6, 12)
+
+
+def sweep_param_grid(total_nodes: int, bin_seconds: int = 600) -> list[DRSParams]:
+    """The σ × ξ × window grid for one cluster, in deterministic order."""
+    grid = []
+    for frac in SWEEP_SIGMA_FRACS:
+        for xi in SWEEP_XI_FRACS:
+            for window in SWEEP_WINDOW_BINS:
+                grid.append(
+                    DRSParams(
+                        buffer_nodes=max(1, int(round(frac * total_nodes))),
+                        recent_window_bins=window,
+                        recent_threshold=max(0.5, xi * total_nodes),
+                        future_threshold=max(0.5, xi * total_nodes),
+                        bin_seconds=bin_seconds,
+                    )
+                )
+    return grid
+
+
+def _pareto_front(rows: list[dict]) -> list[bool]:
+    """Maximize energy saved, minimize affected jobs (ties survive)."""
+    flags = []
+    for r in rows:
+        dominated = any(
+            (o["saved_kwh"] >= r["saved_kwh"] and o["affected_jobs"] <= r["affected_jobs"])
+            and (o["saved_kwh"] > r["saved_kwh"] or o["affected_jobs"] < r["affected_jobs"])
+            for o in rows
+        )
+        flags.append(not dominated)
+    return flags
+
+
+def exp_ces_sweep() -> dict:
+    """Sweep DRS knobs across every cluster in one batched walk.
+
+    Each cluster's σ/ξ/window grid shares that cluster's cached
+    forecast; all K × C controller runs advance simultaneously through
+    the fast engine.  The exhibit reports, per cluster, the energy-saved
+    vs affected-jobs Pareto frontier — the trade-off surface §4.3.3
+    describes but Table 5 samples at a single operating point.
+    """
+    # price outcomes with the same power model ces_report uses, so the
+    # sweep's kWh figures stay consistent with Table 5 / Figs 14-15
+    power = ces_service().config.power
+    cases: list[DRSCase] = []
+    meta: list[dict] = []
+    for cluster in _CES_CLUSTERS:
+        fc = ces_forecast(cluster)
+        for k, params in enumerate(sweep_param_grid(fc.total_nodes)):
+            cases.append(
+                DRSCase(
+                    demand=fc.eval_demand,
+                    predicted_future=fc.future_forecast,
+                    total_nodes=fc.total_nodes,
+                    params=params,
+                    arrivals_per_bin=fc.arrivals,
+                )
+            )
+            meta.append(
+                {
+                    "cluster": cluster,
+                    "config": k,
+                    "sigma_nodes": params.buffer_nodes,
+                    "xi_nodes": params.recent_threshold,
+                    "window_bins": params.recent_window_bins,
+                    "eval_hours": fc.eval_hours,
+                }
+            )
+
+    outcomes = run_drs_batch(cases)
+
+    rows = []
+    for m, out in zip(meta, outcomes):
+        saved = power.saved_kwh(out.avg_parked_nodes, m["eval_hours"])
+        saved -= power.wake_overhead_kwh(out.nodes_woken)
+        rows.append(
+            {
+                "cluster": m["cluster"],
+                "sigma_nodes": m["sigma_nodes"],
+                "xi_nodes": m["xi_nodes"],
+                "window_bins": m["window_bins"],
+                "avg_parked": out.avg_parked_nodes,
+                "daily_wake_ups": out.daily_wake_ups,
+                "affected_jobs": out.affected_jobs,
+                "util_ces_%": 100 * out.utilization_ces,
+                "saved_kwh": saved,
+            }
+        )
+
+    pareto_rows = []
+    for cluster in _CES_CLUSTERS:
+        cluster_rows = [r for r in rows if r["cluster"] == cluster]
+        for r, optimal in zip(cluster_rows, _pareto_front(cluster_rows)):
+            r["pareto"] = int(optimal)
+            if optimal:
+                pareto_rows.append(r)
+    pareto_rows.sort(key=lambda r: (r["cluster"], -r["saved_kwh"]))
+
+    table = Table.from_rows(rows)
+    pareto = Table.from_rows(pareto_rows)
+    n_configs = len(rows) // len(_CES_CLUSTERS)
+    text = render_table(
+        pareto,
+        f"CES sweep — energy-saved vs affected-jobs Pareto frontier "
+        f"({n_configs} configs x {len(_CES_CLUSTERS)} clusters, "
+        f"{len(pareto_rows)} optimal)",
+    )
+    return {
+        "table": table,
+        "pareto": pareto,
+        "grid": {
+            "sigma_fracs": list(SWEEP_SIGMA_FRACS),
+            "xi_fracs": list(SWEEP_XI_FRACS),
+            "window_bins": list(SWEEP_WINDOW_BINS),
+        },
         "text": text,
     }

@@ -54,9 +54,9 @@ __all__ = ["ExperimentOrchestrator", "OrchestratorResult", "RunReport"]
 _COST_RANK = {"heavy": 0, "medium": 1, "cheap": 2}
 
 #: rough per-token weight for precursor scheduling (heaviest first).
-_TOKEN_RANK = ("ces_report", "september_replay", "full_replay",
-               "philly_replay", "qssf_scheduler", "cluster_gpu_trace",
-               "cluster_trace", "philly_trace")
+_TOKEN_RANK = ("ces_forecast", "ces_report", "september_replay",
+               "full_replay", "philly_replay", "qssf_scheduler",
+               "cluster_gpu_trace", "cluster_trace", "philly_trace")
 
 
 @dataclass

@@ -17,7 +17,8 @@ orchestration metadata:
   workers replay the same (cluster, scheduler) pair and no replay worker
   regenerates a trace;
 * ``smoke`` — membership in the fast CLI profile (``--smoke``): the
-  trace-only exhibits that exercise the full pipeline in seconds.
+  trace-level exhibits, the serving smokes and the batched CES sweep —
+  everything cheap enough to exercise the full pipeline in seconds.
 """
 
 from __future__ import annotations
@@ -115,6 +116,9 @@ _SPEC_TABLE: tuple[ExperimentSpec, ...] = (
                    ("ces_report:Philly",)),
     ExperimentSpec("table5", energy_exp.exp_table5, "heavy",
                    tuple(f"ces_report:{c}" for c in CLUSTERS + ("Philly",))),
+    ExperimentSpec("ces_sweep", energy_exp.exp_ces_sweep, "heavy",
+                   tuple(f"ces_forecast:{c}" for c in CLUSTERS + ("Philly",)),
+                   smoke=True),
     # -- §4.1 serving runtime -----------------------------------------
     ExperimentSpec("serve_smoke", serving.exp_serve_smoke, "medium",
                    tuple(f"cluster_gpu_trace:{c}"
@@ -130,7 +134,7 @@ _SPEC_TABLE: tuple[ExperimentSpec, ...] = (
     ExperimentSpec("ablation_forecaster", ablations.exp_ablation_forecaster,
                    "heavy", _full_replays("Earth")),
     ExperimentSpec("ablation_buffer", ablations.exp_ablation_buffer, "heavy",
-                   ("ces_report:Earth",)),
+                   ("ces_forecast:Earth",)),
     ExperimentSpec("ablation_oracle", ablations.exp_ablation_oracle, "heavy",
                    _september(clusters=("Venus",), scheds=("FIFO", "QSSF"))),
 )
@@ -148,9 +152,10 @@ def experiment_ids() -> list[str]:
 
 
 def smoke_ids() -> list[str]:
-    """The fast CLI profile: trace-level exhibits plus the serving
-    smokes (``serve_replay`` rides on the fast engine's cheap replays —
-    no full-horizon simulation)."""
+    """The fast CLI profile: trace-level exhibits, the serving smokes
+    (``serve_replay`` rides on the fast engine's cheap replays — no
+    full-horizon simulation), and ``ces_sweep`` (the batched DRS grid
+    makes the whole CES sweep affordable enough to smoke-test)."""
     return [eid for eid, spec in SPECS.items() if spec.smoke]
 
 

@@ -13,7 +13,12 @@ long-running loop.  Requests are routed through the
   requests an H-bins-ahead forecast (O(1) per bin via maintained prefix
   sums), and steps the shared :class:`~repro.energy.drs.DRSController`
   — the same object the batch :func:`~repro.energy.drs.run_drs` drives,
-  so streamed decisions are byte-identical to a batch replay.
+  so streamed decisions are byte-identical to a batch replay.  The
+  serving loop deliberately keeps this *stepwise* controller (bins
+  arrive one at a time); it is also the correctness oracle the batched
+  sweep engine in :mod:`repro.energy.fast_drs` is parity-tested
+  against, so online decisions, batch replays and grid sweeps can never
+  disagree.
 
 Between requests the :class:`~repro.framework.engine.ModelUpdateEngine`
 ingests finished jobs and node samples; with ``online_updates`` on, the

@@ -12,6 +12,16 @@ import pytest
 from helpers import make_spec, make_trace  # noqa: F401  (re-export)
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/*.json from the current payloads "
+        "instead of asserting against them (see tests/test_goldens.py)",
+    )
+
+
 @pytest.fixture
 def sim_spec_factory():
     """Factory fixture for :func:`helpers.make_spec`."""

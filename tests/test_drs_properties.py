@@ -1,0 +1,134 @@
+"""Property-based tests for DRS invariants (hypothesis-driven).
+
+Physical invariants Algorithm 2 must satisfy for *any* demand series,
+forecast and parameterization:
+
+* coverage: once demand fits the cluster, the active pool covers it
+  (a wake step restores at least the demanded level);
+* capacity: the active pool never exceeds the physical node count;
+* the always-on baseline parks nothing and is dominated on parked
+  nodes by every DRS variant;
+* vanilla and CES outcomes describe the same window (aligned shapes,
+  identical demand, same calendar);
+* the batched fast engine agrees byte-for-byte with the stepwise
+  controller on random series (the parity property, fuzzed wider than
+  the seeded suite).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy import (
+    DRSCase,
+    DRSController,
+    DRSParams,
+    run_always_on,
+    run_drs,
+    run_drs_batch,
+    run_vanilla_drs,
+)
+
+
+@st.composite
+def drs_scenario(draw):
+    total = draw(st.integers(min_value=1, max_value=80))
+    n = draw(st.integers(min_value=1, max_value=120))
+    demand = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=total), min_size=n, max_size=n
+        )
+    )
+    forecast = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=2 * total),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    arrivals = draw(
+        st.lists(st.integers(min_value=0, max_value=9), min_size=n, max_size=n)
+    )
+    params = DRSParams(
+        buffer_nodes=draw(st.integers(min_value=0, max_value=6)),
+        recent_window_bins=draw(st.integers(min_value=1, max_value=15)),
+        recent_threshold=draw(
+            st.floats(min_value=-3, max_value=6, allow_nan=False)
+        ),
+        future_threshold=draw(
+            st.floats(min_value=-3, max_value=6, allow_nan=False)
+        ),
+    )
+    return (
+        np.asarray(demand, dtype=float),
+        np.asarray(forecast, dtype=float),
+        np.asarray(arrivals, dtype=float),
+        total,
+        params,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(drs_scenario())
+def test_active_covers_demand_after_wake(scenario):
+    demand, forecast, arrivals, total, params = scenario
+    out = run_drs(demand, forecast, total, params, arrivals_per_bin=arrivals)
+    # demand never exceeds the cluster here, so every wake step restores
+    # at least the demanded level and parking never undercuts it
+    assert np.all(out.active >= out.demand)
+
+
+@settings(max_examples=60, deadline=None)
+@given(drs_scenario())
+def test_active_never_exceeds_total(scenario):
+    demand, forecast, arrivals, total, params = scenario
+    # stress the cap: double the demand so it can exceed the cluster
+    out = run_drs(2 * demand, forecast, total, params, arrivals_per_bin=arrivals)
+    assert out.active.size == 0 or out.active.max() <= total
+
+
+@settings(max_examples=60, deadline=None)
+@given(drs_scenario())
+def test_always_on_dominates_parked_nodes(scenario):
+    demand, forecast, arrivals, total, params = scenario
+    always = run_always_on(demand, total, params)
+    ces = run_drs(demand, forecast, total, params, arrivals_per_bin=arrivals)
+    vanilla = run_vanilla_drs(demand, total, params, arrivals_per_bin=arrivals)
+    assert always.avg_parked_nodes == 0.0
+    assert always.wake_events == 0
+    assert ces.avg_parked_nodes >= 0.0
+    assert vanilla.avg_parked_nodes >= 0.0
+    assert always.avg_parked_nodes <= ces.avg_parked_nodes
+    assert always.avg_parked_nodes <= vanilla.avg_parked_nodes
+
+
+@settings(max_examples=60, deadline=None)
+@given(drs_scenario())
+def test_vanilla_and_ces_outcomes_align(scenario):
+    demand, forecast, arrivals, total, params = scenario
+    ces = run_drs(demand, forecast, total, params, arrivals_per_bin=arrivals)
+    vanilla = run_vanilla_drs(demand, total, params, arrivals_per_bin=arrivals)
+    assert ces.active.shape == vanilla.active.shape == demand.shape
+    assert ces.demand.tobytes() == vanilla.demand.tobytes()
+    assert ces.total_nodes == vanilla.total_nodes == total
+    assert ces.bins_per_day == vanilla.bins_per_day
+    assert 0 <= ces.affected_jobs <= arrivals.sum()
+
+
+@settings(max_examples=60, deadline=None)
+@given(drs_scenario())
+def test_batch_engine_matches_stepwise_controller(scenario):
+    demand, forecast, arrivals, total, params = scenario
+    controller = DRSController(total, params)
+    for t in range(demand.size):
+        controller.step(demand[t], forecast[t], arrivals[t])
+    oracle = controller.outcome()
+    (fast,) = run_drs_batch(
+        [DRSCase(demand, forecast, total, params, arrivals)]
+    )
+    assert fast.active.tobytes() == oracle.active.tobytes()
+    assert fast.demand.tobytes() == oracle.demand.tobytes()
+    assert fast.wake_events == oracle.wake_events
+    assert fast.nodes_woken == oracle.nodes_woken
+    assert fast.affected_jobs == oracle.affected_jobs
+    assert fast.bins_per_day == oracle.bins_per_day

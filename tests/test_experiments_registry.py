@@ -10,7 +10,7 @@ EXPECTED_IDS = {
     # every table and figure of the paper's evaluation + ablations
     "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
     "fig7", "fig8", "fig9", "fig11", "fig12", "fig13", "table3", "table4",
-    "fig14", "fig15", "table5",
+    "fig14", "fig15", "table5", "ces_sweep",
     "ablation_lambda", "ablation_forecaster", "ablation_buffer",
     "ablation_oracle",
     "serve_smoke", "serve_replay",
