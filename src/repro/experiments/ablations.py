@@ -26,7 +26,13 @@ from ..ml import (
     LSTMParams,
     compare_forecasters,
 )
-from ..sched import OracleGpuTimeScheduler, QSSFScheduler, compute_metrics
+from ..sched import (
+    MLEstimator,
+    OracleGpuTimeScheduler,
+    QSSFScheduler,
+    RollingEstimator,
+    compute_metrics,
+)
 from ..sim import Simulator, running_nodes_series
 from ..stats.timeseries import TimeGrid, resample_mean
 from ..traces import slice_period
@@ -51,9 +57,19 @@ def exp_ablation_lambda(cluster: str = "Venus") -> dict:
         (common.EVAL_MONTH + 1) * common.MONTH_SECONDS,
     )
     spec = common.cluster_spec(cluster)
+    # λ only reweights the blend — both estimators are λ-independent, so
+    # one fit each serves the whole sweep (replays never mutate them).
+    rolling = RollingEstimator().fit(history)
+    ml = MLEstimator(common.QSSF_GBDT).fit(history)
     rows = []
     for lam in (0.0, 0.25, 0.5, 0.75, 1.0):
-        sched = QSSFScheduler(history, lam=lam, gbdt_params=common.QSSF_GBDT)
+        sched = QSSFScheduler(
+            history,
+            lam=lam,
+            gbdt_params=common.QSSF_GBDT,
+            rolling=rolling,
+            ml=ml,
+        )
         res = Simulator(spec, sched).run(sept)
         m = compute_metrics(f"lam={lam}", res)
         pred = sched.predicted_durations(sept)

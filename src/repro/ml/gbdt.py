@@ -5,6 +5,14 @@ services (LightGBM [42] in the original): histogram trees, shrinkage,
 stochastic row subsampling, and optional early stopping on a validation
 split.  For squared loss the negative gradient is simply the residual, so
 each stage fits a :class:`~repro.ml.tree.RegressionTree` to residuals.
+
+Like the simulator (``sim/fast.py``) the fit path has two modes:
+``mode="fast"`` (default) precomputes a :class:`~repro.ml.tree.HistogramCache`
+over the frozen binned matrix once per fit and reuses it across every
+boosting stage, driving the fused single-``bincount`` split search;
+``mode="reference"`` runs the scratch per-feature histogram loop.  Both
+produce byte-identical ensembles — the reference path is the oracle the
+parity tests and benchmarks compare against.
 """
 
 from __future__ import annotations
@@ -13,9 +21,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .tree import Binner, RegressionTree, TreeParams
+from .tree import Binner, HistogramCache, RegressionTree, TreeParams
 
 __all__ = ["GBDTParams", "GBDTRegressor"]
+
+_FIT_MODES = ("fast", "reference")
 
 
 @dataclass(frozen=True)
@@ -54,8 +64,13 @@ class GBDTRegressor:
     True
     """
 
-    def __init__(self, params: GBDTParams | None = None) -> None:
+    def __init__(
+        self, params: GBDTParams | None = None, *, mode: str = "fast"
+    ) -> None:
+        if mode not in _FIT_MODES:
+            raise ValueError(f"mode must be one of {_FIT_MODES}, got {mode!r}")
         self.params = params or GBDTParams()
+        self.mode = mode
         self.binner_: Binner | None = None
         self.base_score_: float = 0.0
         self.trees_: list[RegressionTree] = []
@@ -69,6 +84,9 @@ class GBDTRegressor:
         self._y_train: np.ndarray | None = None
         self._pred_train: np.ndarray | None = None
         self._rng: np.random.Generator | None = None
+        # Fast-mode per-feature offset cache over the frozen binned matrix,
+        # built once per fit and reused by every boosting stage.
+        self._hist_cache: HistogramCache | None = None
 
     # ------------------------------------------------------------------
     def fit(
@@ -107,6 +125,9 @@ class GBDTRegressor:
         best_val = np.inf
         best_iter = 0
         n_bins = self.binner_.n_bins
+        self._hist_cache = (
+            HistogramCache(Xb, n_bins) if self.mode == "fast" else None
+        )
 
         for it in range(p.n_estimators):
             tree = self._boost_round(Xb, y, pred, rng, tree_params, n_bins)
@@ -152,7 +173,12 @@ class GBDTRegressor:
             k = max(1, int(round(p.subsample * n)))
             idx = rng.choice(n, size=k, replace=False)
         tree = RegressionTree(tree_params).fit(
-            Xb, residual, sample_indices=idx, n_bins=n_bins
+            Xb,
+            residual,
+            sample_indices=idx,
+            n_bins=n_bins,
+            mode=self.mode,
+            cache=self._hist_cache,
         )
         pred += p.learning_rate * tree.predict_binned(Xb)
         self.trees_.append(tree)
@@ -173,6 +199,7 @@ class GBDTRegressor:
         state["_Xb_train"] = None
         state["_y_train"] = None
         state["_pred_train"] = None
+        state["_hist_cache"] = None
         return state
 
     # ------------------------------------------------------------------
@@ -215,6 +242,8 @@ class GBDTRegressor:
             for tree in self.trees_:
                 pred_new += p.learning_rate * tree.predict_binned(Xb_new)
             self._Xb_train = np.vstack([self._Xb_train, Xb_new])
+            if self._hist_cache is not None:
+                self._hist_cache.append(Xb_new)
             self._y_train = np.concatenate([self._y_train, y_new])
             self._pred_train = np.concatenate([self._pred_train, pred_new])
 
@@ -257,11 +286,22 @@ class GBDTRegressor:
         return list(self.train_scores_)
 
     def feature_importances(self) -> np.ndarray:
-        """Gain-based importances, normalized to sum to 1."""
+        """Gain-based importances, normalized to sum to 1.
+
+        When early stopping selected a best iteration, only the trees
+        :meth:`predict` actually uses (up to and including that
+        iteration) contribute — gains from stages past the truncation
+        point would describe an ensemble that never predicts.
+        """
         if not self.trees_:
             raise RuntimeError("model not fitted")
+        n_trees = (
+            self.best_iteration_ + 1
+            if self.best_iteration_ is not None
+            else len(self.trees_)
+        )
         total = np.zeros(self.trees_[0].n_features_)
-        for tree in self.trees_:
+        for tree in self.trees_[:n_trees]:
             total += tree.feature_gains()
         s = total.sum()
         return total / s if s > 0 else total

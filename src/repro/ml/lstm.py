@@ -16,6 +16,17 @@ fit — weights, Adam moments and the data RNG carry forward, the
 standardization is frozen — and fine-tunes for a short
 ``update_epochs`` budget, which is what makes rolling-origin
 re-evaluation cheap.
+
+Like the GBDT (``ml/gbdt.py``) and the simulator (``sim/fast.py``) the
+fit path has two modes.  ``mode="reference"`` fine-tunes with the
+scratch per-window schedule: ``update_epochs`` shuffled minibatch epochs
+over *every* window of the grown series.  ``mode="fast"`` (default)
+fold-batches instead: only the windows whose target is a newly appended
+point are built, stacked into one batch, and driven through
+``update_epochs`` full-batch Adam steps — one forward/backward pair per
+step, no RNG draws.  The two disagree only within the tolerance band the
+rolling-origin tests pin (the GBDT modes, by contrast, are
+byte-identical); ``fit`` is the same minibatch schedule in both modes.
 """
 
 from __future__ import annotations
@@ -25,6 +36,8 @@ from dataclasses import dataclass
 import numpy as np
 
 __all__ = ["LSTMParams", "LSTMForecaster"]
+
+_FIT_MODES = ("fast", "reference")
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
@@ -54,8 +67,13 @@ class LSTMParams:
 class LSTMForecaster:
     """Sequence-to-one LSTM: window of past values -> next value."""
 
-    def __init__(self, params: LSTMParams | None = None) -> None:
+    def __init__(
+        self, params: LSTMParams | None = None, *, mode: str = "fast"
+    ) -> None:
+        if mode not in _FIT_MODES:
+            raise ValueError(f"mode must be one of {_FIT_MODES}, got {mode!r}")
         self.params = params or LSTMParams()
+        self.mode = mode
         self._weights: dict[str, np.ndarray] | None = None
         self._mu: float = 0.0
         self._sd: float = 1.0
@@ -164,16 +182,29 @@ class LSTMForecaster:
         idx = np.arange(p.window)[None, :] + np.arange(n_samples)[:, None]
         return z[idx], z[p.window :]
 
+    def _apply_adam(self, grads: dict[str, np.ndarray]) -> None:
+        """One Adam step (clipped grads, bias-corrected moments)."""
+        p = self.params
+        w = self._weights
+        m_state, v_state = self._adam_m, self._adam_v
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        self._adam_step += 1
+        step = self._adam_step
+        for k in w:
+            g = np.clip(grads[k], -5.0, 5.0)
+            m_state[k] = beta1 * m_state[k] + (1 - beta1) * g
+            v_state[k] = beta2 * v_state[k] + (1 - beta2) * g * g
+            m_hat = m_state[k] / (1 - beta1**step)
+            v_hat = v_state[k] / (1 - beta2**step)
+            w[k] -= p.lr * m_hat / (np.sqrt(v_hat) + eps)
+
     def _train(self, epochs: int) -> None:
         """Run minibatch Adam for ``epochs`` over the current history."""
         p = self.params
         X, target = self._window_matrix()
         n_samples = X.shape[0]
         w = self._weights
-        m_state, v_state = self._adam_m, self._adam_v
         rng = self._rng
-        beta1, beta2, eps = 0.9, 0.999, 1e-8
-        step = self._adam_step
         for _epoch in range(epochs):
             order = rng.permutation(n_samples)
             epoch_loss = 0.0
@@ -183,17 +214,27 @@ class LSTMForecaster:
                 pred, tape = self._forward(xb, w)
                 err = pred - tb
                 epoch_loss += float(np.sum(err**2))
-                grads = self._backward(xb, err, tape, w)
-                step += 1
-                for k in w:
-                    g = np.clip(grads[k], -5.0, 5.0)
-                    m_state[k] = beta1 * m_state[k] + (1 - beta1) * g
-                    v_state[k] = beta2 * v_state[k] + (1 - beta2) * g * g
-                    m_hat = m_state[k] / (1 - beta1**step)
-                    v_hat = v_state[k] / (1 - beta2**step)
-                    w[k] -= p.lr * m_hat / (np.sqrt(v_hat) + eps)
+                self._apply_adam(self._backward(xb, err, tape, w))
             self.loss_curve_.append(epoch_loss / n_samples)
-        self._adam_step = step
+
+    def _train_tail(self, n_new: int) -> None:
+        """Fold-batched fine-tune: one stacked batch of the windows whose
+        target is one of the ``n_new`` appended points, driven through
+        ``update_epochs`` full-batch Adam steps.  Consumes no RNG draws,
+        so interleaving updates never perturbs a later reference fit."""
+        p = self.params
+        z = (self._history - self._mu) / self._sd
+        t_idx = np.arange(max(p.window, z.size - n_new), z.size)
+        if t_idx.size == 0:
+            return
+        xb = z[(t_idx - p.window)[:, None] + np.arange(p.window)]
+        tb = z[t_idx]
+        w = self._weights
+        for _epoch in range(p.update_epochs):
+            pred, tape = self._forward(xb, w)
+            err = pred - tb
+            self.loss_curve_.append(float(np.sum(err**2)) / t_idx.size)
+            self._apply_adam(self._backward(xb, err, tape, w))
 
     def fit(self, y: np.ndarray) -> "LSTMForecaster":
         p = self.params
@@ -217,11 +258,14 @@ class LSTMForecaster:
     def update(self, new_points: np.ndarray) -> "LSTMForecaster":
         """Warm-start fine-tune on the history extended by ``new_points``.
 
-        Weights, Adam moments and the shuffling RNG continue from the
-        previous fit; the standardization constants stay frozen so the
-        network keeps seeing inputs on the scale it was trained on.  The
-        fine-tune runs ``params.update_epochs`` epochs over all windows
-        of the grown series.
+        Weights and Adam moments continue from the previous fit; the
+        standardization constants stay frozen so the network keeps
+        seeing inputs on the scale it was trained on.  In ``"fast"``
+        mode the fine-tune is fold-batched (one stacked batch of the
+        new-target windows, ``update_epochs`` full-batch Adam steps);
+        in ``"reference"`` mode it runs ``update_epochs`` shuffled
+        minibatch epochs over *all* windows of the grown series, with
+        the shuffling RNG carried forward.
         """
         if self._weights is None or self._history is None:
             raise RuntimeError("model not fitted; call fit() before update()")
@@ -231,7 +275,10 @@ class LSTMForecaster:
         if new_points.size == 0:
             return self
         self._history = np.concatenate([self._history, new_points])
-        self._train(self.params.update_epochs)
+        if self.mode == "fast":
+            self._train_tail(new_points.size)
+        else:
+            self._train(self.params.update_epochs)
         return self
 
     def forecast(self, horizon: int) -> np.ndarray:

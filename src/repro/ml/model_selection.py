@@ -13,6 +13,12 @@ from scratch O(n) at every origin.  Scratch re-fitting remains both the
 fallback for models without ``update`` and the correctness oracle the
 tolerance tests compare against (``mode="scratch"``).
 
+The fold walk composes with the models' own fast fit paths: the GBDT
+continues boosting on its frozen histogram cache and the LSTM (in its
+default ``mode="fast"``) turns each fold's ``update(new_points)`` into
+one fold-batched BPTT batch — so an entire rolling-origin walk drives a
+single batched fine-tune per fold rather than window-by-window tapes.
+
 :func:`compare_forecasters` additionally fans independent models out over
 the framework's forked worker pool (``jobs``); results are identical to
 the serial path because each evaluation is deterministic and

@@ -33,6 +33,12 @@ class QSSFScheduler(Scheduler):
         Merging coefficient λ between rolling and ML estimates.
     gbdt_params:
         Hyper-parameters for the GBDT duration model.
+    rolling, ml:
+        Optional *prefitted* estimators to adopt instead of training
+        from ``history``.  λ only affects how the two estimates blend,
+        not how either model trains, so a λ-sweep (or a set of replays
+        over the same month) can share one fit per estimator.  ``ml``
+        is ignored at ``lam=1`` (the blend never consults it).
     """
 
     name = "QSSF"
@@ -42,14 +48,17 @@ class QSSFScheduler(Scheduler):
         history: Table,
         lam: float = 0.5,
         gbdt_params: GBDTParams | None = None,
+        *,
+        rolling: RollingEstimator | None = None,
+        ml: MLEstimator | None = None,
     ) -> None:
         if not 0.0 <= lam <= 1.0:
             raise ValueError("lam must be in [0, 1]")
         self.lam = lam
-        self.rolling = RollingEstimator().fit(history)
+        self.rolling = rolling if rolling is not None else RollingEstimator().fit(history)
         self.ml: MLEstimator | None = None
         if lam < 1.0:
-            self.ml = MLEstimator(gbdt_params).fit(history)
+            self.ml = ml if ml is not None else MLEstimator(gbdt_params).fit(history)
 
     # ------------------------------------------------------------------
     def predicted_durations(self, trace: Table) -> np.ndarray:

@@ -72,6 +72,15 @@ def aggregate_reports(reports, wall_seconds: float | None = None) -> dict:
     events = sum(r.events for r in reports)
     if wall_seconds is None:
         wall_seconds = sum(r.wall_seconds for r in reports)
+    # Two shards may replay the same cluster (e.g. a re-sharded stream);
+    # their refit counters must add up per service, not overwrite.
+    refits: dict[str, dict[str, int]] = {}
+    for r in reports:
+        agg = refits.setdefault(r.cluster, {})
+        for service, counters in r.refits.items():
+            svc = agg.setdefault(service, {})
+            for key, n in counters.items():
+                svc[key] = svc.get(key, 0) + n
     return {
         "shards": len(reports),
         "events": events,
@@ -79,7 +88,5 @@ def aggregate_reports(reports, wall_seconds: float | None = None) -> dict:
         "events_per_s": round(events / wall_seconds, 1) if wall_seconds > 0 else 0.0,
         "qssf_decisions": sum(r.qssf_decisions for r in reports),
         "ces_steps": sum(r.node_samples for r in reports),
-        "refits": {
-            r.cluster: r.refits for r in reports
-        },
+        "refits": refits,
     }

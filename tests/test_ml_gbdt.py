@@ -121,3 +121,59 @@ class TestPredict:
     def test_importances_unfitted_raises(self):
         with pytest.raises(RuntimeError):
             GBDTRegressor().feature_importances()
+
+    def test_importances_respect_early_stopping_truncation(self, friedman):
+        """Regression: importances summed gains over *all* trees even when
+        early stopping truncated prediction to ``best_iteration_`` — they
+        must describe the ensemble ``predict`` actually uses."""
+        X, y = friedman
+        model = GBDTRegressor(
+            GBDTParams(n_estimators=500, early_stopping_rounds=5, max_depth=2)
+        ).fit(X[:600], y[:600], eval_set=(X[600:], y[600:]))
+        best = model.best_iteration_
+        assert best is not None and best + 1 < len(model.trees_)
+        imp = model.feature_importances()
+        used = np.zeros(5)
+        for tree in model.trees_[: best + 1]:
+            used += tree.feature_gains()
+        np.testing.assert_array_equal(imp, used / used.sum())
+        over = np.zeros(5)
+        for tree in model.trees_:
+            over += tree.feature_gains()
+        assert not np.array_equal(imp, over / over.sum())
+
+
+class TestModes:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            GBDTRegressor(mode="turbo")
+
+    @pytest.mark.parametrize(
+        "params",
+        [
+            GBDTParams(n_estimators=15, max_depth=4),
+            GBDTParams(n_estimators=20, max_depth=6, subsample=0.6, random_state=3),
+        ],
+        ids=["full-rows", "subsampled"],
+    )
+    def test_fast_is_byte_identical_to_reference(self, friedman, params):
+        X, y = friedman
+        fast = GBDTRegressor(params, mode="fast").fit(X, y)
+        ref = GBDTRegressor(params, mode="reference").fit(X, y)
+        np.testing.assert_array_equal(fast.predict(X), ref.predict(X))
+        assert fast.staged_mse() == ref.staged_mse()
+        np.testing.assert_array_equal(
+            fast.feature_importances(), ref.feature_importances()
+        )
+
+    def test_early_stopping_parity(self, friedman):
+        X, y = friedman
+        p = GBDTParams(n_estimators=100, early_stopping_rounds=5, max_depth=3)
+        fast = GBDTRegressor(p, mode="fast").fit(
+            X[:600], y[:600], eval_set=(X[600:], y[600:])
+        )
+        ref = GBDTRegressor(p, mode="reference").fit(
+            X[:600], y[:600], eval_set=(X[600:], y[600:])
+        )
+        assert fast.best_iteration_ == ref.best_iteration_
+        np.testing.assert_array_equal(fast.predict(X), ref.predict(X))

@@ -177,6 +177,56 @@ class TestLSTMIncremental:
         with pytest.raises(RuntimeError):
             LSTMForecaster().update(np.arange(10.0))
 
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            LSTMForecaster(mode="turbo")
+
+    def test_fast_update_within_band_of_reference(self):
+        """Fold-batched fast updates vs the scratch per-window reference
+        schedule: the two fine-tunes are different algorithms, so scores
+        agree within the rolling-origin tolerance band only."""
+        y = _series()
+        p = LSTMParams(window=24, hidden=8, epochs=5, update_epochs=2)
+        fast = evaluate_forecaster(
+            lambda: LSTMForecaster(p, mode="fast"), y, mode="auto", **EVAL
+        )
+        ref = evaluate_forecaster(
+            lambda: LSTMForecaster(p, mode="reference"), y, mode="auto", **EVAL
+        )
+        assert abs(fast - ref) / ref < 0.30
+
+    def test_fast_update_consumes_no_rng(self):
+        """The fold-batched path is full-batch: the shuffling RNG state
+        must be untouched so later reference epochs are unperturbed."""
+        y = _series(n=300)
+        p = LSTMParams(window=12, hidden=8, epochs=2, update_epochs=2)
+        model = LSTMForecaster(p, mode="fast").fit(y[:250])
+        before = model._rng.bit_generator.state
+        model.update(y[250:])
+        assert model._rng.bit_generator.state == before
+
+    def test_fast_update_batches_only_new_windows(self):
+        """One loss entry per fine-tune step, each over just the windows
+        targeting appended points."""
+        y = _series(n=300)
+        p = LSTMParams(window=12, hidden=8, epochs=2, update_epochs=3)
+        model = LSTMForecaster(p, mode="fast").fit(y[:250])
+        n_loss = len(model.loss_curve_)
+        model.update(y[250:])
+        assert len(model.loss_curve_) == n_loss + p.update_epochs
+
+    def test_fast_update_learns_tail_signal(self):
+        """Fine-tuning on a level-shifted tail must move forecasts toward
+        the new level (the batched gradient actually applies)."""
+        y = _series(n=400)
+        p = LSTMParams(window=24, hidden=8, epochs=5, update_epochs=10)
+        stale = LSTMForecaster(p, mode="fast").fit(y[:340])
+        tuned = LSTMForecaster(p, mode="fast").fit(y[:340])
+        tuned.update(y[340:] + 4.0)
+        # compare against the same model continuing without the shift
+        stale.update(y[340:])
+        assert tuned.forecast(10).mean() > stale.forecast(10).mean()
+
 
 class TestGBDTIncremental:
     def test_fit_more_grows_ensemble_and_improves_fit(self):
@@ -193,6 +243,54 @@ class TestGBDTIncremental:
     def test_fit_more_requires_fit(self):
         with pytest.raises(RuntimeError):
             GBDTRegressor().fit_more(np.ones((2, 2)), np.ones(2), 1)
+
+    def test_fit_more_zero_stages_appends_rows_only(self):
+        """n_more=0: the new rows join the training state but the
+        ensemble and its predictions are untouched."""
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(300, 3))
+        y = X[:, 0] ** 2 + X[:, 1]
+        model = GBDTRegressor(GBDTParams(n_estimators=20)).fit(X[:200], y[:200])
+        before = model.predict(X)
+        n_trees = len(model.trees_)
+        model.fit_more(X[200:], y[200:], n_more=0)
+        assert len(model.trees_) == n_trees
+        np.testing.assert_array_equal(model.predict(X), before)
+        assert model._Xb_train.shape[0] == 300
+        # ...and a later continuation trains on the grown matrix
+        model.fit_more(np.zeros((0, 3)), np.zeros(0), n_more=5)
+        assert len(model.trees_) == n_trees + 5
+
+    @pytest.mark.parametrize("mode", ["fast", "reference"])
+    def test_fit_more_rng_continuation_parity(self, mode):
+        """With subsample < 1 the boosting RNG must continue across
+        fit_more: fit(K) + fit_more(0 rows, J) is bitwise one fit(K+J)."""
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(400, 4))
+        y = X[:, 0] + 0.5 * X[:, 1] ** 2 + 0.1 * rng.normal(size=400)
+        split = GBDTRegressor(
+            GBDTParams(n_estimators=12, subsample=0.7, random_state=9), mode=mode
+        ).fit(X, y)
+        split.fit_more(np.zeros((0, 4)), np.zeros(0), n_more=8)
+        joint = GBDTRegressor(
+            GBDTParams(n_estimators=20, subsample=0.7, random_state=9), mode=mode
+        ).fit(X, y)
+        np.testing.assert_array_equal(split.predict(X), joint.predict(X))
+        assert split.train_scores_ == joint.train_scores_
+
+    def test_fit_more_fast_reference_parity(self):
+        """Continuation with appended rows (cache append path) stays
+        byte-identical across modes."""
+        rng = np.random.default_rng(6)
+        X = rng.normal(size=(400, 4))
+        y = X[:, 0] + 0.1 * rng.normal(size=400)
+        p = GBDTParams(n_estimators=10, subsample=0.8, random_state=2)
+        fast = GBDTRegressor(p, mode="fast").fit(X[:300], y[:300])
+        ref = GBDTRegressor(p, mode="reference").fit(X[:300], y[:300])
+        fast.fit_more(X[300:], y[300:], n_more=6)
+        ref.fit_more(X[300:], y[300:], n_more=6)
+        np.testing.assert_array_equal(fast.predict(X), ref.predict(X))
+        assert fast.train_scores_ == ref.train_scores_
 
     def test_fit_more_rejects_early_stopped(self):
         rng = np.random.default_rng(0)

@@ -6,6 +6,18 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.ml import Binner, RegressionTree, TreeParams
+from repro.ml.tree import HistogramCache
+
+
+def _tree_arrays(tree):
+    t = tree._tree
+    return (t.feature, t.threshold_bin, t.left, t.right, t.value, t.is_leaf)
+
+
+def _assert_same_tree(a, b):
+    for x, y in zip(_tree_arrays(a), _tree_arrays(b)):
+        np.testing.assert_array_equal(x, y)
+    assert a.split_gains_ == b.split_gains_
 
 
 class TestBinner:
@@ -50,6 +62,148 @@ class TestBinner:
         test = np.sort(rng.normal(size=(50, 1)), axis=0)
         bins = b.transform(test)[:, 0]
         assert np.all(np.diff(bins) >= 0)
+
+
+class TestMissingValues:
+    """NaN handling: a deterministic dedicated missing-value bin.
+
+    Regression: ``Binner.fit`` drops NaNs when computing quantile edges,
+    but ``transform`` used to route NaN through ``searchsorted`` — IEEE
+    NaN compares greater than everything, so missing values silently
+    aliased the *top* regular bin.
+    """
+
+    def test_nan_gets_dedicated_bin(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 2))
+        X[::7, 0] = np.nan
+        b = Binner(max_bins=16).fit(X)
+        Xb = b.transform(X)
+        miss = b.missing_bin(0)
+        assert miss == b.edges_[0].size + 1
+        nan_rows = np.isnan(X[:, 0])
+        assert np.all(Xb[nan_rows, 0] == miss)
+        assert np.all(Xb[~nan_rows, 0] < miss)
+
+    def test_nan_does_not_alias_top_bin(self):
+        """A huge finite value and NaN must land in different bins."""
+        b = Binner(max_bins=8).fit(np.arange(50.0).reshape(-1, 1))
+        out = b.transform(np.array([[1e12], [np.nan]]))
+        assert out[0, 0] != out[1, 0]
+        assert out[1, 0] == b.missing_bin(0)
+
+    def test_missing_bin_reserved_even_without_nans_in_fit(self):
+        """The missing bin exists regardless of the fit data, so a model
+        fitted on clean data routes NaN deterministically at predict."""
+        X = np.random.default_rng(1).normal(size=(60, 1))
+        b = Binner(max_bins=8).fit(X)
+        assert b.missing_bin(0) < b.n_bins
+        out = b.transform(np.array([[np.nan]]))
+        assert out[0, 0] == b.missing_bin(0)
+
+    def test_round_trip_is_deterministic(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(80, 3))
+        X[rng.random(X.shape) < 0.2] = np.nan
+        b = Binner(max_bins=16).fit(X)
+        np.testing.assert_array_equal(b.transform(X), b.transform(X))
+
+    def test_tree_fit_with_nan_column_parity(self):
+        """Split search threads the missing bin identically in both modes."""
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(300, 3))
+        # Target depends on missingness so splits on the NaN bin pay off.
+        nan_mask = rng.random(300) < 0.3
+        X[nan_mask, 0] = np.nan
+        y = np.where(nan_mask, 5.0, X[:, 1]) + 0.1 * rng.normal(size=300)
+        b = Binner(max_bins=16).fit(X)
+        Xb = b.transform(X)
+        p = TreeParams(max_depth=4, min_samples_leaf=5)
+        ref = RegressionTree(p).fit(Xb, y, n_bins=b.n_bins, mode="reference")
+        fast = RegressionTree(p).fit(Xb, y, n_bins=b.n_bins, mode="fast")
+        _assert_same_tree(ref, fast)
+        # The missingness signal is actually learnable: the tree must
+        # separate the NaN rows (value near 5) from the rest.
+        pred = ref.predict_binned(Xb)
+        assert abs(pred[nan_mask].mean() - 5.0) < 0.5
+
+
+class TestFastReferenceParity:
+    """The fused fast split search is a byte-parity twin of the
+    per-feature reference loop — including gain tie-breaking."""
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            RegressionTree().fit(
+                np.zeros((4, 1), dtype=np.int32), np.zeros(4), mode="turbo"
+            )
+
+    def test_cache_shape_mismatch_rejected(self):
+        Xb = np.zeros((4, 2), dtype=np.int32)
+        cache = HistogramCache(np.zeros((3, 2), dtype=np.int32), 4)
+        with pytest.raises(ValueError, match="shape"):
+            RegressionTree().fit(Xb, np.zeros(4), n_bins=4, cache=cache)
+
+    def test_cache_n_bins_mismatch_rejected(self):
+        Xb = np.zeros((4, 2), dtype=np.int32)
+        cache = HistogramCache(Xb, 4)
+        with pytest.raises(ValueError, match="n_bins"):
+            RegressionTree().fit(Xb, np.zeros(4), n_bins=8, cache=cache)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=9999))
+    def test_seeded_fuzz_parity(self, seed):
+        """Fuzz matrices engineered to produce gain ties (quantized and
+        duplicated columns): ties must break identically — lowest
+        feature, then lowest bin."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(30, 250))
+        m = int(rng.integers(2, 8))
+        X = rng.normal(size=(n, m))
+        X[:, 0] = np.round(X[:, 0])  # coarse grid: repeated gain values
+        if m >= 2:
+            X[:, 1] = X[:, 0]  # duplicated column: cross-feature ties
+        y = np.round(rng.normal(size=n), 1)
+        b = Binner(max_bins=int(rng.integers(4, 32))).fit(X)
+        Xb = b.transform(X)
+        p = TreeParams(
+            max_depth=int(rng.integers(2, 6)),
+            min_samples_leaf=int(rng.integers(1, 8)),
+        )
+        ref = RegressionTree(p).fit(Xb, y, n_bins=b.n_bins, mode="reference")
+        fast = RegressionTree(p).fit(Xb, y, n_bins=b.n_bins, mode="fast")
+        cached = RegressionTree(p).fit(
+            Xb, y, n_bins=b.n_bins, mode="fast",
+            cache=HistogramCache(Xb, b.n_bins),
+        )
+        _assert_same_tree(ref, fast)
+        _assert_same_tree(ref, cached)
+
+    def test_parity_with_sample_indices(self):
+        rng = np.random.default_rng(11)
+        X = rng.normal(size=(200, 4))
+        y = rng.normal(size=200)
+        b = Binner(max_bins=16).fit(X)
+        Xb = b.transform(X)
+        idx = rng.choice(200, size=120, replace=False)
+        p = TreeParams(max_depth=4, min_samples_leaf=4)
+        cache = HistogramCache(Xb, b.n_bins)
+        ref = RegressionTree(p).fit(
+            Xb, y, sample_indices=idx, n_bins=b.n_bins, mode="reference"
+        )
+        fast = RegressionTree(p).fit(
+            Xb, y, sample_indices=idx, n_bins=b.n_bins, mode="fast", cache=cache
+        )
+        _assert_same_tree(ref, fast)
+
+    def test_cache_append_matches_fresh_cache(self):
+        rng = np.random.default_rng(12)
+        Xb = rng.integers(0, 8, size=(50, 3)).astype(np.int32)
+        extra = rng.integers(0, 8, size=(20, 3)).astype(np.int32)
+        grown = HistogramCache(Xb, 8)
+        grown.append(extra)
+        fresh = HistogramCache(np.vstack([Xb, extra]), 8)
+        np.testing.assert_array_equal(grown.base, fresh.base)
 
 
 class TestTreeParams:

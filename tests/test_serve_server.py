@@ -341,3 +341,61 @@ class TestRoutes:
         assert report.events_per_s > 0
         assert report.qssf_latency.count == report.qssf_batches > 0
         assert report.qssf_latency.p99_ms >= report.qssf_latency.p50_ms >= 0
+
+
+# ----------------------------------------------------------------------
+# fleet telemetry rollup
+# ----------------------------------------------------------------------
+
+
+class TestAggregateReports:
+    @staticmethod
+    def _report(cluster, refits, events=10, wall=1.0, decisions=3, samples=2):
+        from types import SimpleNamespace
+
+        return SimpleNamespace(
+            cluster=cluster,
+            refits=refits,
+            events=events,
+            wall_seconds=wall,
+            qssf_decisions=decisions,
+            node_samples=samples,
+        )
+
+    def test_single_report_serializes_unchanged(self):
+        from repro.serve import aggregate_reports
+
+        refits = {"qssf": {"refits": 2, "incremental": 5}}
+        agg = aggregate_reports([self._report("Venus", refits)])
+        assert agg["refits"] == {"Venus": refits}
+
+    def test_duplicate_cluster_refits_sum_not_overwrite(self):
+        """Regression: two shards replaying the same cluster used to
+        silently overwrite each other's refit counters in the rollup."""
+        from repro.serve import aggregate_reports
+
+        a = self._report("Venus", {"qssf": {"refits": 2, "incremental": 5}})
+        b = self._report(
+            "Venus",
+            {"qssf": {"refits": 1, "incremental": 4}, "ces": {"refits": 3}},
+        )
+        agg = aggregate_reports([a, b])
+        assert agg["refits"] == {
+            "Venus": {
+                "qssf": {"refits": 3, "incremental": 9},
+                "ces": {"refits": 3},
+            }
+        }
+        assert agg["shards"] == 2
+        assert agg["events"] == 20
+
+    def test_distinct_clusters_stay_separate(self):
+        from repro.serve import aggregate_reports
+
+        a = self._report("Venus", {"qssf": {"refits": 1, "incremental": 0}})
+        b = self._report("Earth", {"qssf": {"refits": 2, "incremental": 1}})
+        agg = aggregate_reports([a, b])
+        assert agg["refits"] == {
+            "Venus": {"qssf": {"refits": 1, "incremental": 0}},
+            "Earth": {"qssf": {"refits": 2, "incremental": 1}},
+        }
