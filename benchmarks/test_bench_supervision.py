@@ -1,0 +1,61 @@
+"""Supervision-overhead benchmark.
+
+``BENCH {json}`` line ``supervision_overhead``: the same fault-free
+fan-out run bare (:func:`run_forked`) and supervised
+(:func:`run_supervised` — heartbeats, timeouts, retry accounting).
+The acceptance ceiling is 5% wall-clock overhead: supervision must be
+cheap enough to be the default for serving shards.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.framework import Supervision, fork_available, run_forked, run_supervised
+
+_ITEMS = [0.75, 0.75, 0.75, 0.75]
+_JOBS = 4
+
+SUP = Supervision(
+    timeout_s=30.0, heartbeat_timeout_s=10.0, max_retries=0,
+    backoff_base_s=0.001, poll_interval_s=0.01,
+)
+
+
+def _sleep_task(seconds):
+    # sleep-dominated work: any supervision cost shows up as pure overhead
+    time.sleep(seconds)
+    return seconds
+
+
+@pytest.mark.skipif(not fork_available(), reason="requires os.fork")
+def test_supervision_overhead_within_5_percent(capsys):
+    # warm both pools once so fork/import costs don't skew either side
+    run_forked(_sleep_task, [0.0, 0.0], jobs=2)
+    run_supervised(_sleep_task, [0.0, 0.0], jobs=2, supervision=SUP)
+
+    t0 = time.perf_counter()
+    bare = run_forked(_sleep_task, _ITEMS, jobs=_JOBS)
+    t_forked = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    supervised = run_supervised(_sleep_task, _ITEMS, jobs=_JOBS, supervision=SUP)
+    t_sup = time.perf_counter() - t0
+
+    assert supervised == bare == _ITEMS
+    overhead = t_sup / t_forked - 1.0
+    with capsys.disabled():
+        print()
+        print("BENCH " + json.dumps({
+            "bench": "supervision_overhead",
+            "items": len(_ITEMS),
+            "jobs": _JOBS,
+            "forked_s": round(t_forked, 4),
+            "supervised_s": round(t_sup, 4),
+            "overhead_pct": round(100.0 * overhead, 2),
+        }, sort_keys=True))
+    assert t_sup <= 1.05 * t_forked, (
+        f"supervised fan-out took {t_sup:.3f}s vs {t_forked:.3f}s bare "
+        f"({100 * overhead:.1f}% overhead, ceiling is 5%)"
+    )

@@ -128,6 +128,10 @@ _SPEC_TABLE: tuple[ExperimentSpec, ...] = (
                    tuple(f"cluster_gpu_trace:{c}"
                          for c in serving.SERVE_REPLAY_CLUSTERS),
                    smoke=True),
+    ExperimentSpec("serve_chaos", serving.exp_serve_chaos, "medium",
+                   tuple(f"cluster_gpu_trace:{c}"
+                         for c in serving.SERVE_CHAOS_CLUSTERS),
+                   smoke=True),
     # -- ablations ----------------------------------------------------
     ExperimentSpec("ablation_lambda", ablations.exp_ablation_lambda, "heavy",
                    ("cluster_gpu_trace:Venus",)),

@@ -24,8 +24,10 @@ from __future__ import annotations
 from . import common
 
 __all__ = [
+    "exp_serve_chaos",
     "exp_serve_replay",
     "exp_serve_smoke",
+    "SERVE_CHAOS_CLUSTERS",
     "SERVE_REPLAY_CLUSTERS",
     "SERVE_SMOKE_CLUSTERS",
     "smoke_serve_config",
@@ -39,6 +41,11 @@ SERVE_SMOKE_MAX_JOBS = 1_200
 
 #: shards streamed from a live simulator replay
 SERVE_REPLAY_CLUSTERS = ("Venus",)
+
+#: chaos exhibit: one supervised shard, SIGKILLed mid-stream and resumed
+SERVE_CHAOS_CLUSTERS = ("Venus",)
+SERVE_CHAOS_KILL_BATCH = 130
+SERVE_CHAOS_CHECKPOINT_EVERY = 50
 
 
 def smoke_serve_config():
@@ -113,3 +120,78 @@ def exp_serve_smoke() -> dict:
 def exp_serve_replay() -> dict:
     """Serve a shard from a *live* simulator replay (§4.1 closed loop)."""
     return _serve_exhibit("serve_replay", SERVE_REPLAY_CLUSTERS, "replay")
+
+
+def exp_serve_chaos() -> dict:
+    """Kill a serving shard mid-stream; prove crash-recovery parity.
+
+    The baseline serves one shard fault-free.  The chaos run serves the
+    *same* shard under supervision with a deterministic
+    :class:`~repro.framework.faults.FaultPlan` that SIGKILLs the worker
+    at micro-batch 130 (between the second and third checkpoints); the
+    supervisor restarts it, the new attempt resumes from the last
+    checkpoint, and the exhibit asserts the recovered report's parity
+    surface is byte-identical to the baseline's.  Every field in the
+    payload is deterministic, so this exhibit carries a golden.
+    """
+    from ..framework import FaultPlan, FaultSpec, Supervision, SupervisionLog
+    from ..serve import serve_clusters
+
+    shard_kwargs = dict(
+        config=smoke_serve_config(),
+        history_days=SERVE_SMOKE_HISTORY_DAYS,
+        stream_days=SERVE_SMOKE_STREAM_DAYS,
+        max_jobs=SERVE_SMOKE_MAX_JOBS,
+    )
+    baseline = serve_clusters(SERVE_CHAOS_CLUSTERS, jobs=1, **shard_kwargs)[0]
+
+    plan = FaultPlan(
+        seed=7,
+        faults=tuple(
+            FaultSpec(key=c, kind="crash", at=SERVE_CHAOS_KILL_BATCH)
+            for c in SERVE_CHAOS_CLUSTERS
+        ),
+    )
+    log = SupervisionLog()
+    recovered = serve_clusters(
+        SERVE_CHAOS_CLUSTERS,
+        jobs=1,
+        **shard_kwargs,
+        supervised=True,
+        supervision=Supervision(
+            timeout_s=600.0, max_retries=2,
+            backoff_base_s=0.01, backoff_cap_s=0.05,
+        ),
+        fault_plan=plan,
+        checkpoint_every=SERVE_CHAOS_CHECKPOINT_EVERY,
+        log=log,
+    )[0]
+
+    parity = recovered.parity_bytes() == baseline.parity_bytes()
+    if not parity:
+        raise RuntimeError(
+            "crash-recovery parity violated: the resumed shard's report "
+            "differs from the never-failed baseline"
+        )
+    lines = [
+        "serve_chaos — SIGKILL a serving shard mid-stream, resume from "
+        "checkpoint, byte-compare against the never-failed run",
+        f"shard {baseline.cluster}: {baseline.events} events, "
+        f"kill at batch {SERVE_CHAOS_KILL_BATCH}, "
+        f"checkpoint every {SERVE_CHAOS_CHECKPOINT_EVERY} batches",
+        f"supervision: {log.retries()} retry "
+        f"({', '.join(o for _, _, o in log.events)})",
+        f"parity: recovered report == baseline report "
+        f"(qssf digest {baseline.qssf_digest[:16]}…)",
+    ]
+    return {
+        "parity": parity,
+        "baseline": baseline.parity_dict(),
+        "recovered": recovered.parity_dict(),
+        "retries": recovered.retries,
+        "supervision": log.as_dict(),
+        "kill_batch": SERVE_CHAOS_KILL_BATCH,
+        "checkpoint_every": SERVE_CHAOS_CHECKPOINT_EVERY,
+        "clusters": list(SERVE_CHAOS_CLUSTERS),
+        "text": "\n".join(lines),
+    }

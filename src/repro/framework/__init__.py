@@ -1,27 +1,58 @@
 """Prediction-based resource-management framework (§4.1, Fig 10)."""
 
 from .engine import ModelUpdateEngine, UpdatePolicy
+from .faults import (
+    CorruptPayload,
+    FaultPlan,
+    FaultSpec,
+    TransientWorkerFault,
+    clear_fault_plan,
+    install_fault_plan,
+    installed_fault_plan,
+)
 from .orchestrator import ResourceOrchestrator
 from .parallel import (
+    WorkerError,
     effective_jobs,
     fork_available,
     map_threaded,
     run_forked,
     stable_seed,
 )
-from .plugins import CESNodeService, QSSFService
+from .plugins import CESNodeService, PassthroughQueueService, QSSFService
 from .service import PredictionService
+from .supervise import (
+    Supervision,
+    SupervisionLog,
+    WorkerContext,
+    WorkerFailure,
+    run_supervised,
+)
 
 __all__ = [
     "CESNodeService",
+    "CorruptPayload",
+    "FaultPlan",
+    "FaultSpec",
     "ModelUpdateEngine",
+    "PassthroughQueueService",
     "PredictionService",
     "QSSFService",
     "ResourceOrchestrator",
+    "Supervision",
+    "SupervisionLog",
+    "TransientWorkerFault",
     "UpdatePolicy",
+    "WorkerContext",
+    "WorkerError",
+    "WorkerFailure",
+    "clear_fault_plan",
     "effective_jobs",
     "fork_available",
+    "install_fault_plan",
+    "installed_fault_plan",
     "map_threaded",
     "run_forked",
+    "run_supervised",
     "stable_seed",
 ]

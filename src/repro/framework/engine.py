@@ -106,6 +106,23 @@ class ModelUpdateEngine:
     def services(self) -> list[str]:
         return list(self._services)
 
+    def swap(self, name: str, service: PredictionService, *, prefitted: bool = True) -> None:
+        """Hot-swap the object behind an already-registered service name.
+
+        Keeps the observation history, pending buffer, refit counters,
+        and builders — only the model changes.  This is the degradation
+        ladder's engine-side half: when a refit raises, the serving
+        layer swaps in a simpler fallback service without losing the
+        observations the next (cheaper) refit will train on.
+        """
+        state = self._state(name)
+        if service.service_name != name:
+            raise ValueError(
+                f"cannot swap service named {service.service_name!r} into slot {name!r}"
+            )
+        state.service = service
+        state.fitted = prefitted
+
     def reset_clock(self, now: float) -> None:
         """Anchor every service's refit timer at ``now``.
 

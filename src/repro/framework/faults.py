@@ -1,0 +1,169 @@
+"""Deterministic fault-injection plane for chaos testing.
+
+A :class:`FaultPlan` is a seeded, picklable description of *exactly*
+which faults fire where: each :class:`FaultSpec` is keyed by the
+worker's label (``key``), the retry ``attempt`` on which it fires, and
+optionally a progress index ``at`` (e.g. a stream-batch number) so a
+crash lands mid-run rather than at startup.  The plan travels to forked
+workers either as a keyword argument or via the ``REPRO_FAULT_PLAN``
+environment variable (fork inherits the parent's environment), so the
+same plan + seed replays the identical fault sequence bit-for-bit —
+the property the crash-recovery parity suite relies on.
+
+Fault kinds:
+
+* ``crash``      — the worker process SIGKILLs itself (no cleanup, no
+  goodbye message): the supervisor sees a silent death.
+* ``hang``       — the worker stalls (heartbeats stop) until the
+  supervisor's timeout kills it.
+* ``slow_start`` — the worker sleeps ``delay_s`` before doing work;
+  exercises timeout headroom without failing.
+* ``corrupt``    — the worker's result is wrapped in
+  :class:`CorruptPayload`; the supervisor treats it as a failed
+  attempt.
+* ``exception``  — the worker raises :class:`TransientWorkerFault`, a
+  retryable error with a full remote traceback.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_PLAN_ENV",
+    "CorruptPayload",
+    "FaultPlan",
+    "FaultSpec",
+    "TransientWorkerFault",
+    "clear_fault_plan",
+    "install_fault_plan",
+    "installed_fault_plan",
+]
+
+FAULT_KINDS = ("crash", "hang", "slow_start", "corrupt", "exception")
+
+#: Environment variable carrying a JSON-serialized plan into workers.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+
+class TransientWorkerFault(RuntimeError):
+    """The injected retryable exception (``kind="exception"``)."""
+
+
+@dataclass(frozen=True)
+class CorruptPayload:
+    """Marker wrapping a worker result that was corrupted in flight."""
+
+    payload: object = None
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault.
+
+    ``key``     — the worker label the fault targets (e.g. a cluster name).
+    ``attempt`` — the retry attempt (0 = first try) on which it fires.
+    ``at``      — progress index at which it fires; ``None`` fires at
+    worker startup, before any work is done.  Progress is whatever the
+    task reports via ``WorkerContext.maybe_fault(progress)`` — the
+    serving shard reports its stream-batch index.
+    ``delay_s`` — sleep length for ``slow_start`` (and an optional cap
+    for ``hang``; 0 means "hang until killed").
+    """
+
+    key: str
+    kind: str = "exception"
+    attempt: int = 0
+    at: int | None = None
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {self.attempt}")
+        if self.at is not None and self.at < 0:
+            raise ValueError(f"at must be None or >= 0, got {self.at}")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s}")
+
+    def as_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "kind": self.kind,
+            "attempt": self.attempt,
+            "at": self.at,
+            "delay_s": self.delay_s,
+        }
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, replayable set of faults keyed by (label, attempt).
+
+    Picklable and JSON round-trippable; at most one fault per
+    (key, attempt) pair so a replay is unambiguous.
+    """
+
+    seed: int = 0
+    faults: tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        seen: set[tuple[str, int]] = set()
+        for f in self.faults:
+            pair = (f.key, f.attempt)
+            if pair in seen:
+                raise ValueError(f"duplicate fault for key={f.key!r} attempt={f.attempt}")
+            seen.add(pair)
+
+    def fault_for(self, key: str, attempt: int) -> FaultSpec | None:
+        """The fault planned for this (label, attempt), or None."""
+        for f in self.faults:
+            if f.key == key and f.attempt == attempt:
+                return f
+        return None
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"seed": self.seed, "faults": [f.as_dict() for f in self.faults]},
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        data = json.loads(text)
+        return cls(
+            seed=int(data.get("seed", 0)),
+            faults=tuple(FaultSpec(**f) for f in data.get("faults", ())),
+        )
+
+
+def install_fault_plan(plan: FaultPlan | None) -> None:
+    """Publish ``plan`` via the environment (None uninstalls).
+
+    Forked workers inherit the environment, so a plan installed in the
+    parent is visible to every descendant without explicit plumbing.
+    """
+    if plan is None:
+        os.environ.pop(FAULT_PLAN_ENV, None)
+    else:
+        os.environ[FAULT_PLAN_ENV] = plan.to_json()
+
+
+def installed_fault_plan() -> FaultPlan | None:
+    """The environment-installed plan, or None."""
+    text = os.environ.get(FAULT_PLAN_ENV)
+    if not text:
+        return None
+    return FaultPlan.from_json(text)
+
+
+def clear_fault_plan() -> None:
+    """Remove any environment-installed plan."""
+    install_fault_plan(None)

@@ -21,16 +21,43 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 import os
-from concurrent.futures import ThreadPoolExecutor
+import traceback
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
 __all__ = [
+    "WorkerError",
     "stable_seed",
     "effective_jobs",
     "fork_available",
     "run_forked",
     "map_threaded",
 ]
+
+
+class WorkerError(RuntimeError):
+    """A forked/supervised worker failed.
+
+    Carries the failing item's repr (``item``), the worker-side
+    traceback (``remote_traceback``), and how many attempts were made
+    (``attempts``; always 1 for :func:`run_forked`), so the caller sees
+    *which* item broke and *where* — not a context-free pool exception.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        item: str | None = None,
+        remote_traceback: str | None = None,
+        attempts: int = 1,
+    ) -> None:
+        super().__init__(message)
+        self.item = item
+        self.remote_traceback = remote_traceback
+        self.attempts = attempts
 
 
 def stable_seed(name: str, salt: int = 0) -> int:
@@ -73,6 +100,36 @@ def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+@dataclass(frozen=True)
+class _RemoteFailure:
+    """Worker-side failure record shipped back in the result slot."""
+
+    item: str
+    traceback: str
+
+
+class _TracedCall:
+    """Picklable wrapper that converts worker exceptions into markers.
+
+    Raising inside a pool worker surfaces a context-free exception in
+    the parent; returning a :class:`_RemoteFailure` instead preserves
+    the remote traceback and the failing item's repr so the caller's
+    :class:`WorkerError` can name both.
+    """
+
+    def __init__(self, fn: Callable[[Any], Any]) -> None:
+        self.fn = fn
+
+    def __call__(self, item: Any) -> Any:
+        try:
+            return self.fn(item)
+        except Exception:
+            text = repr(item)
+            if len(text) > 200:
+                text = text[:197] + "..."
+            return _RemoteFailure(item=text, traceback=traceback.format_exc())
+
+
 def run_forked(
     fn: Callable[[Any], Any],
     items: Sequence[Any],
@@ -85,14 +142,35 @@ def run_forked(
     Results keep ``items`` order.  Degrades to an in-process loop when
     ``jobs <= 1``, there is under 2 items of work, or the platform has no
     ``fork`` start method — callers get one code path either way.
-    Exceptions raised in workers propagate to the caller.
+
+    A worker exception raises :class:`WorkerError` naming the first
+    failing item (in ``items`` order) with its remote traceback; a
+    worker that dies before reporting (SIGKILL, OOM) fails fast with a
+    :class:`WorkerError` instead of hanging the pool.  In-process
+    execution lets exceptions propagate untouched — the local traceback
+    is already complete.
     """
     jobs = min(effective_jobs(jobs), len(items)) if items else 1
     if jobs <= 1 or len(items) < 2 or not fork_available():
         return [fn(item) for item in items]
     ctx = multiprocessing.get_context("fork")
-    with ctx.Pool(processes=jobs) as pool:
-        return pool.map(fn, items, chunksize=chunksize)
+    with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx) as pool:
+        try:
+            results = list(pool.map(_TracedCall(fn), items, chunksize=chunksize))
+        except BrokenProcessPool as exc:
+            raise WorkerError(
+                "a forked worker died before reporting a result "
+                "(SIGKILL/OOM?); aborting the batch"
+            ) from exc
+    for result in results:
+        if isinstance(result, _RemoteFailure):
+            raise WorkerError(
+                f"forked worker failed on item {result.item}\n"
+                f"--- remote traceback ---\n{result.traceback}",
+                item=result.item,
+                remote_traceback=result.traceback,
+            )
+    return results
 
 
 def map_threaded(

@@ -17,7 +17,7 @@ from ..ml.gbdt import GBDTParams
 from ..sched.qssf import QSSFScheduler
 from .service import PredictionService
 
-__all__ = ["QSSFService", "CESNodeService"]
+__all__ = ["QSSFService", "CESNodeService", "PassthroughQueueService"]
 
 
 class QSSFService(PredictionService):
@@ -98,6 +98,34 @@ class QSSFService(PredictionService):
                 event["user"], event["name"], int(event["gpu_num"]),
                 float(event["duration"]),
             )
+
+
+class PassthroughQueueService(PredictionService):
+    """FIFO passthrough — the QSSF degradation ladder's last rung.
+
+    Model-free and unfailable: ``act`` returns the queue in arrival
+    order, ``predict`` returns zeros, ``fit``/``apply_update`` are
+    no-ops.  When every smarter fallback has raised, the serving loop
+    swaps this in so decisions keep flowing.
+    """
+
+    service_name = "qssf"
+    supports_incremental = False
+
+    def fit(self, history) -> "PassthroughQueueService":
+        return self
+
+    def apply_update(self, new_history) -> "PassthroughQueueService":
+        return self
+
+    def predict(self, request) -> np.ndarray:
+        return np.zeros(len(request), dtype=float)
+
+    def act(self, state: Table) -> Table:
+        return state
+
+    def observe(self, event) -> None:
+        pass
 
 
 class CESNodeService(PredictionService):

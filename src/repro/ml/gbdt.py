@@ -17,13 +17,37 @@ parity tests and benchmarks compare against.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
 
 from .tree import Binner, HistogramCache, RegressionTree, TreeParams
 
-__all__ = ["GBDTParams", "GBDTRegressor"]
+__all__ = ["GBDTParams", "GBDTRegressor", "keep_training_state"]
+
+#: nesting depth of :func:`keep_training_state` contexts
+_KEEP_TRAINING_STATE = 0
+
+
+@contextmanager
+def keep_training_state():
+    """Make GBDT pickles carry their ``fit_more`` continuation buffers.
+
+    By default :meth:`GBDTRegressor.__getstate__` strips the binned
+    training matrix (it dominates the object's footprint and is useless
+    for plain prediction across a process boundary).  A crash-recovery
+    checkpoint is the exception: a restored serving shard must be able
+    to *continue incremental boosting* exactly where the dead one
+    stopped, so the serving layer pickles its model snapshots inside
+    this context.
+    """
+    global _KEEP_TRAINING_STATE
+    _KEEP_TRAINING_STATE += 1
+    try:
+        yield
+    finally:
+        _KEEP_TRAINING_STATE -= 1
 
 _FIT_MODES = ("fast", "reference")
 
@@ -193,13 +217,16 @@ class GBDTRegressor:
         are the bulk of the object's footprint and are never useful
         across a process boundary (orchestrator precursor shipping,
         artifact payloads).  An unpickled model predicts normally but
-        refuses ``fit_more`` until re-fitted.
+        refuses ``fit_more`` until re-fitted.  Inside a
+        :func:`keep_training_state` context (serving checkpoints) the
+        buffers are kept, so a restored model continues boosting.
         """
         state = self.__dict__.copy()
-        state["_Xb_train"] = None
-        state["_y_train"] = None
-        state["_pred_train"] = None
-        state["_hist_cache"] = None
+        if not _KEEP_TRAINING_STATE:
+            state["_Xb_train"] = None
+            state["_y_train"] = None
+            state["_pred_train"] = None
+            state["_hist_cache"] = None
         return state
 
     # ------------------------------------------------------------------

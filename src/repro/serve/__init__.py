@@ -21,7 +21,7 @@ same framework components into a *long-running service*:
 CLI: ``python -m repro.serve --clusters Venus,Earth --days 3 --jobs 2``.
 """
 
-from .server import PredictionServer, ServeConfig, ShardReport
+from .server import PredictionServer, ServeConfig, ShardCheckpoint, ShardReport
 from .stream import Event, EventStream, approx_node_demand
 from .runtime import ShardTask, build_shard, run_shard, serve_clusters
 from .telemetry import LatencyStats, aggregate_reports
@@ -32,6 +32,7 @@ __all__ = [
     "LatencyStats",
     "PredictionServer",
     "ServeConfig",
+    "ShardCheckpoint",
     "ShardReport",
     "ShardTask",
     "aggregate_reports",

@@ -17,11 +17,13 @@ with per-shard throughput and decision-latency telemetry.
 from __future__ import annotations
 
 import argparse
+import difflib
 import json
 import sys
 from pathlib import Path
 
 from ..experiments.common import CLUSTERS
+from ..framework import FaultPlan, SupervisionLog
 from .runtime import serve_clusters
 from .server import ServeConfig
 from .telemetry import aggregate_reports
@@ -71,6 +73,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="freeze models: serve decisions without observing the stream",
     )
     parser.add_argument(
+        "--supervised", action="store_true",
+        help="run each shard under a watched worker (heartbeats, retries, "
+             "crash recovery)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="K",
+        help="checkpoint every K micro-batches (supervised shards resume "
+             "from the last checkpoint after a crash)",
+    )
+    parser.add_argument(
+        "--fault-plan", default=None, metavar="JSON|PATH",
+        help="deterministic fault-injection plan (inline JSON or a file "
+             "path); implies --supervised",
+    )
+    parser.add_argument(
         "--json", type=Path, default=None, metavar="PATH",
         help="write per-shard + aggregate telemetry to PATH",
     )
@@ -85,14 +102,33 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(sys.argv[1:] if argv is None else argv)
     clusters = tuple(c.strip() for c in args.clusters.split(",") if c.strip())
-    unknown = [c for c in clusters if c not in CLUSTERS]
-    if not clusters or unknown:
+    if not clusters:
         print(
-            f"error: unknown clusters {unknown or '(none given)'}; "
-            f"available: {list(CLUSTERS)}",
+            f"error: no clusters given; known clusters: {', '.join(CLUSTERS)}",
             file=sys.stderr,
         )
         return 2
+    unknown = [c for c in clusters if c not in CLUSTERS]
+    if unknown:
+        for name in unknown:
+            close = difflib.get_close_matches(name, CLUSTERS, n=1)
+            hint = f" (did you mean {close[0]!r}?)" if close else ""
+            print(f"error: unknown cluster {name!r}{hint}", file=sys.stderr)
+        print(f"known clusters: {', '.join(CLUSTERS)}", file=sys.stderr)
+        return 2
+
+    fault_plan = None
+    if args.fault_plan is not None:
+        text = args.fault_plan
+        path = Path(text)
+        if path.exists():
+            text = path.read_text()
+        try:
+            fault_plan = FaultPlan.from_json(text)
+        except Exception as exc:
+            print(f"error: bad --fault-plan: {exc}", file=sys.stderr)
+            return 2
+    supervised = args.supervised or fault_plan is not None
 
     from ..experiments.common import QSSF_GBDT
 
@@ -102,6 +138,7 @@ def main(argv: list[str] | None = None) -> int:
         bin_seconds=args.bin_seconds,
         online_updates=not args.no_online_updates,
     )
+    log = SupervisionLog() if supervised else None
     reports = serve_clusters(
         clusters,
         config=config,
@@ -110,6 +147,10 @@ def main(argv: list[str] | None = None) -> int:
         stream_days=args.days,
         max_jobs=args.max_jobs,
         speedup=args.speedup,
+        supervised=supervised,
+        fault_plan=fault_plan,
+        checkpoint_every=args.checkpoint_every,
+        log=log,
     )
 
     for report in reports:
@@ -131,8 +172,16 @@ def main(argv: list[str] | None = None) -> int:
         f"{agg['qssf_decisions']} queue orderings, {agg['ces_steps']} CES steps"
     )
 
+    if log is not None and log.events:
+        print(
+            f"supervision: {log.retries()} retried attempt(s) across "
+            f"{len(log.events)} event(s)"
+        )
+
     if args.json is not None:
         payload = {"shards": [r.as_dict() for r in reports], "aggregate": agg}
+        if log is not None:
+            payload["supervision"] = log.as_dict()
         args.json.parent.mkdir(parents=True, exist_ok=True)
         args.json.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"report written to {args.json}")

@@ -7,6 +7,14 @@ stream.  Shards are independent, so they fan out over
 shared trace memos first so workers inherit them copy-on-write instead
 of regenerating six months of synthetic workload per process.
 
+With ``supervised=True`` the fan-out instead runs under
+:func:`repro.framework.supervise.run_supervised`: each shard gets its
+own watched worker process with heartbeats, timeouts and bounded
+retries.  A shard that crashes (SIGKILL, OOM) mid-stream is restarted
+and — when ``checkpoint_every`` is set — resumed from its last
+:class:`~repro.serve.server.ShardCheckpoint`, producing a report whose
+parity surface is byte-identical to a never-failed run.
+
 The shard scenario mirrors the batch experiments: QSSF trains on the
 ``history_days`` before the evaluation month, the CES forecaster on the
 same window's node-demand series, and the stream replays the first
@@ -32,7 +40,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..experiments import common
+from ..framework.faults import FaultPlan
 from ..framework.parallel import run_forked
+from ..framework.supervise import (
+    Supervision,
+    SupervisionLog,
+    WorkerContext,
+    run_supervised,
+)
 from ..sched import FIFOScheduler
 from ..sim import Simulator, running_nodes_series
 from ..stats.timeseries import TimeGrid
@@ -56,12 +71,24 @@ class ShardTask:
     max_jobs: int | None = None
     speedup: float | None = None
     source: str = "trace"
+    #: checkpoint cadence in micro-batches (None = no checkpoints);
+    #: only meaningful under supervised serving, where the supervisor
+    #: resumes a restarted shard from its last checkpoint.
+    checkpoint_every: int | None = None
 
     def __post_init__(self) -> None:
         if self.history_days < 1:
             raise ValueError("history_days must be >= 1")
         if self.stream_days <= 0:
             raise ValueError("stream_days must be positive")
+        if self.max_jobs is not None and self.max_jobs <= 0:
+            raise ValueError(f"max_jobs must be positive, got {self.max_jobs}")
+        if self.speedup is not None and self.speedup <= 0:
+            raise ValueError(f"speedup must be positive, got {self.speedup}")
+        if self.checkpoint_every is not None and self.checkpoint_every <= 0:
+            raise ValueError(
+                f"checkpoint_every must be positive, got {self.checkpoint_every}"
+            )
         if self.source not in _SOURCES:
             raise ValueError(
                 f"source must be one of {_SOURCES}, got {self.source!r}"
@@ -164,10 +191,31 @@ def _scale_demand(raw: np.ndarray, scale: float, total_nodes: int) -> np.ndarray
     return np.minimum(np.round(raw * scale), float(total_nodes))
 
 
-def run_shard(task: ShardTask) -> ShardReport:
-    """Build and serve one shard to exhaustion (the pool's task unit)."""
+def run_shard(task: ShardTask, context: WorkerContext | None = None) -> ShardReport:
+    """Build and serve one shard to exhaustion (the pool's task unit).
+
+    Under supervision ``context`` wires the serving loop into the
+    fault-tolerance plane: checkpoints flow to the supervisor via
+    ``context.save`` (so a restarted attempt resumes mid-stream from
+    ``context.checkpoint``), and each micro-batch heartbeats — and
+    gives any installed :class:`~repro.framework.faults.FaultPlan` its
+    deterministic injection point — through ``context.maybe_fault``.
+    """
     server, stream = build_shard(task)
-    return server.run(stream, speedup=task.speedup)
+    if context is None:
+        return server.run(
+            stream,
+            speedup=task.speedup,
+            checkpoint_every=task.checkpoint_every,
+        )
+    return server.run(
+        stream,
+        speedup=task.speedup,
+        checkpoint_every=task.checkpoint_every,
+        checkpoint_sink=context.save,
+        resume=context.checkpoint,
+        on_batch=context.maybe_fault,
+    )
 
 
 def serve_clusters(
@@ -179,6 +227,12 @@ def serve_clusters(
     max_jobs: int | None = None,
     speedup: float | None = None,
     source: str = "trace",
+    *,
+    supervised: bool = False,
+    supervision: Supervision | None = None,
+    fault_plan: FaultPlan | None = None,
+    checkpoint_every: int | None = None,
+    log: SupervisionLog | None = None,
 ) -> list[ShardReport]:
     """Serve one shard per cluster, fanned out over the fork pool.
 
@@ -187,6 +241,13 @@ def serve_clusters(
     worker inherits the traces copy-on-write.  ``source="replay"``
     streams each shard from a live simulator replay instead of the
     raw-trace approximation.
+
+    ``supervised=True`` runs each shard under a watched worker process
+    (heartbeats, timeouts, bounded retries) with crash recovery from
+    periodic checkpoints every ``checkpoint_every`` micro-batches; a
+    ``fault_plan`` injects deterministic failures for chaos testing,
+    and ``log`` collects the per-attempt supervision events.  Each
+    report's ``retries`` field carries the restarts its shard needed.
     """
     cfg = config or ServeConfig()
     tasks = [
@@ -198,10 +259,26 @@ def serve_clusters(
             max_jobs=max_jobs,
             speedup=speedup,
             source=source,
+            checkpoint_every=checkpoint_every if supervised else None,
         )
         for c in clusters
     ]
-    if jobs > 1:
+    if jobs > 1 or supervised:
         for c in clusters:
             common.cluster_gpu_trace(c)
-    return run_forked(run_shard, tasks, jobs)
+    if not supervised:
+        return run_forked(run_shard, tasks, jobs)
+    log = log if log is not None else SupervisionLog()
+    reports = run_supervised(
+        run_shard,
+        tasks,
+        jobs,
+        labels=[t.cluster for t in tasks],
+        supervision=supervision,
+        fault_plan=fault_plan,
+        with_context=True,
+        log=log,
+    )
+    for task, report in zip(tasks, reports):
+        report.retries = log.retries(task.cluster)
+    return reports

@@ -26,14 +26,38 @@ incremental refit path advances models in place (the forecasters'
 ``update()``/``extend()`` protocol) while scratch refits remain the
 fallback and correctness oracle.  ``online_updates=False`` freezes the
 models — the mode the online/batch parity tests run in.
+
+Fault tolerance (two independent planes):
+
+* **Crash recovery** — ``run(..., checkpoint_every=K,
+  checkpoint_sink=sink)`` emits a :class:`ShardCheckpoint` every K
+  micro-batches: the batch cursor plus a pickled snapshot of every
+  piece of mutable serving state (orchestrator, update engine, demand
+  series, DRS controller, decision digests).  A fresh server resumed
+  via ``run(..., resume=ckpt)`` replays the remaining batches and
+  produces a report whose :meth:`ShardReport.parity_dict` is
+  byte-identical to a never-failed run — the crash-recovery parity
+  guarantee the chaos tests enforce.
+* **Graceful degradation** — a *model* failure (a refit or forecast
+  raising mid-stream) must not kill the shard.  QSSF failures step a
+  one-rung-at-a-time ladder: incremental refits → scratch refits →
+  a rolling-only estimator (``lam=1.0``) → FIFO passthrough.  CES
+  failures drop node control to always-on (forecast = every node).
+  Decisions keep flowing at every rung; every degraded decision is
+  counted in ``ShardReport.degraded``.  *Data corruption* (non-finite
+  demand, finish-before-submit) is the opposite case: it raises loudly
+  rather than degrading, because serving garbage quietly is worse than
+  stopping.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
+import pickle
 import time
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
@@ -43,15 +67,26 @@ from ..frame import Table
 from ..framework import (
     CESNodeService,
     ModelUpdateEngine,
+    PassthroughQueueService,
     QSSFService,
     ResourceOrchestrator,
     UpdatePolicy,
 )
-from ..ml.gbdt import GBDTParams
-from .stream import FINISH, NODE_SAMPLE, SUBMIT, EventStream
+from ..ml.gbdt import GBDTParams, keep_training_state
+from .stream import FINISH, NODE_FAIL, NODE_SAMPLE, SUBMIT, EventStream
 from .telemetry import LatencyRecorder, LatencyStats
 
-__all__ = ["PredictionServer", "ServeConfig", "ShardReport"]
+__all__ = [
+    "PredictionServer",
+    "ServeConfig",
+    "ShardCheckpoint",
+    "ShardReport",
+]
+
+#: QSSF degradation ladder rungs (``ShardReport.degraded["qssf_rung"]``).
+#: 0 = healthy (as configured), 1 = scratch refits only, 2 = rolling-only
+#: estimator (lam=1.0, no GBDT), 3 = FIFO passthrough.
+QSSF_LADDER = ("as-configured", "scratch-refits", "rolling-only", "fifo-passthrough")
 
 
 @dataclass(frozen=True)
@@ -79,6 +114,23 @@ class ServeConfig:
     record_decisions: bool = False
 
 
+@dataclass(frozen=True)
+class ShardCheckpoint:
+    """One shard's crash-recovery snapshot.
+
+    ``cursor`` is the index of the next micro-batch to process; ``blob``
+    pickles the server's full mutable state (models, engine, controller,
+    loop counters, decision digests).  Resuming a fresh server from the
+    checkpoint and replaying the remaining batches reproduces the
+    never-failed run's :meth:`ShardReport.parity_dict` byte-for-byte.
+    """
+
+    cluster: str
+    cursor: int
+    seq: int
+    blob: bytes
+
+
 @dataclass
 class ShardReport:
     """Telemetry + decision digests for one served shard."""
@@ -102,9 +154,16 @@ class ShardReport:
     #: populated only under ``record_decisions`` (parity tests)
     decisions: list[tuple[str, tuple[str, ...]]] | None = None
     ces_active: np.ndarray | None = None
+    #: supervision retries spent serving this shard (set by the runtime,
+    #: not the server — a never-supervised shard reports 0)
+    retries: int = 0
+    #: degradation-ladder telemetry: rung reached + degraded decisions
+    degraded: dict[str, int] = field(default_factory=dict)
+    #: node down/up event tallies from the stream's ``node_fail`` events
+    node_health: dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
-        return {
+        out = {
             "cluster": self.cluster,
             "events": self.events,
             "submits": self.submits,
@@ -122,6 +181,45 @@ class ShardReport:
             "ces_digest": self.ces_digest,
             "ces_summary": self.ces_summary,
         }
+        # Fault-tolerance fields appear only when something happened, so
+        # fault-free payloads (and their goldens) are byte-identical to
+        # the pre-chaos schema.
+        if self.retries:
+            out["retries"] = self.retries
+        if self.degraded:
+            out["degraded"] = self.degraded
+        if self.node_health:
+            out["node_health"] = self.node_health
+        return out
+
+    def parity_dict(self) -> dict:
+        """The deterministic subset of the report: everything except
+        wall-clock metrics (latencies, throughput) and supervision
+        retries.  Two runs of the same stream — including a crashed-and-
+        resumed one — must agree on this dict exactly."""
+        return {
+            "cluster": self.cluster,
+            "events": self.events,
+            "submits": self.submits,
+            "finishes": self.finishes,
+            "node_samples": self.node_samples,
+            "qssf_batches": self.qssf_batches,
+            "qssf_decisions": self.qssf_decisions,
+            "duration_requests": self.duration_requests,
+            "refits": self.refits,
+            "qssf_digest": self.qssf_digest,
+            "ces_digest": self.ces_digest,
+            "ces_summary": self.ces_summary,
+            "degraded": self.degraded,
+            "node_health": self.node_health,
+        }
+
+    def parity_bytes(self) -> bytes:
+        """Canonical JSON encoding of :meth:`parity_dict` — the bytes the
+        crash-recovery parity tests compare."""
+        return json.dumps(
+            self.parity_dict(), sort_keys=True, separators=(",", ":")
+        ).encode()
 
 
 class _GrowingSeries:
@@ -174,6 +272,51 @@ class _GrowingSeries:
         return self._c1[: self.n + 1], self._c2[: self.n + 1]
 
 
+class _AppendRows:
+    """Module-level (hence picklable) QSSF history builder: the fitted
+    history table plus every finished job observed since."""
+
+    def __init__(self, history: Table) -> None:
+        self.history = history
+
+    def __call__(self, rows: list[dict]) -> Table:
+        return Table.concat([self.history, Table.from_rows(rows)])
+
+
+def _rows_table(rows: list[dict]) -> Table:
+    return Table.from_rows(rows)
+
+
+class _AppendSamples:
+    """Picklable CES series builder: training window + streamed samples."""
+
+    def __init__(self, history: np.ndarray) -> None:
+        self.history = history
+
+    def __call__(self, samples: list[float]) -> np.ndarray:
+        return np.concatenate([self.history, np.asarray(samples, dtype=float)])
+
+
+def _sample_array(samples: list[float]) -> np.ndarray:
+    return np.asarray(samples, dtype=float)
+
+
+def _fresh_loop_state() -> dict[str, Any]:
+    return {
+        "cursor": 0,
+        "counts": {SUBMIT: 0, FINISH: 0, NODE_SAMPLE: 0, NODE_FAIL: 0},
+        "qssf_batches": 0,
+        "duration_requests": 0,
+        "qssf_bytes": bytearray(),
+        "decisions": [],
+        "node_down": 0,
+        "node_up": 0,
+        "down_now": 0,
+        "max_down": 0,
+        "ckpt_seq": 0,
+    }
+
+
 class PredictionServer:
     """One shard's serving runtime: orchestrator + update engine + loop."""
 
@@ -191,6 +334,11 @@ class PredictionServer:
         self._ces_series: _GrowingSeries | None = None
         self._ces_controller: DRSController | None = None
         self._vc_decisions = 0
+        #: degradation ladder position (index into :data:`QSSF_LADDER`)
+        self._qssf_rung = 0
+        self._ces_degraded = False
+        #: degradation telemetry, copied into the shard report
+        self.degraded: dict[str, int] = {}
 
     # -- installation --------------------------------------------------
 
@@ -211,14 +359,10 @@ class PredictionServer:
             refit_mode=cfg.qssf_refit_mode,
         ).fit(history)
         self._qssf_history = history
-
-        def build_history(rows: list[dict]) -> Table:
-            return Table.concat([history, Table.from_rows(rows)])
-
         self.engine.register(
             service,
-            build_history,
-            update_builder=Table.from_rows,
+            _AppendRows(history),
+            update_builder=_rows_table,
             prefitted=True,
         )
         self.orchestrator.replace(service)
@@ -240,14 +384,10 @@ class PredictionServer:
             features=cfg.ces_features,
             gbdt_params=cfg.ces_gbdt,
         ).fit(history)
-
-        def build_series(samples: list[float]) -> np.ndarray:
-            return np.concatenate([history, np.asarray(samples, dtype=float)])
-
         self.engine.register(
             service,
-            build_series,
-            update_builder=lambda samples: np.asarray(samples, dtype=float),
+            _AppendSamples(history),
+            update_builder=_sample_array,
             prefitted=True,
         )
         self.orchestrator.replace(service)
@@ -258,6 +398,98 @@ class PredictionServer:
         )
         return service
 
+    # -- checkpoint / restore ------------------------------------------
+
+    def _snapshot(self, stream: EventStream, state: dict) -> ShardCheckpoint:
+        """Freeze every piece of mutable serving state into a pickle.
+
+        Wall-clock telemetry (latency recorders) is deliberately *not*
+        checkpointed — it is excluded from the parity surface.
+        """
+        payload = {
+            "config": self.config,
+            "orchestrator": self.orchestrator,
+            "engine": self.engine,
+            "ces_series": self._ces_series,
+            "ces_controller": self._ces_controller,
+            "vc_decisions": self._vc_decisions,
+            "qssf_history": self._qssf_history,
+            "qssf_rung": self._qssf_rung,
+            "ces_degraded": self._ces_degraded,
+            "degraded": dict(self.degraded),
+            "state": {**state, "qssf_bytes": bytes(state["qssf_bytes"]),
+                      "counts": dict(state["counts"]),
+                      "decisions": list(state["decisions"])},
+        }
+        with keep_training_state():
+            blob = pickle.dumps(payload)
+        return ShardCheckpoint(
+            cluster=stream.cluster,
+            cursor=state["cursor"],
+            seq=state["ckpt_seq"],
+            blob=blob,
+        )
+
+    def _restore(self, checkpoint: ShardCheckpoint) -> dict:
+        """Replace this server's state with a checkpoint's; returns the
+        loop state to resume from."""
+        payload = pickle.loads(checkpoint.blob)
+        self.config = payload["config"]
+        self.orchestrator = payload["orchestrator"]
+        self.engine = payload["engine"]
+        self._ces_series = payload["ces_series"]
+        self._ces_controller = payload["ces_controller"]
+        self._vc_decisions = payload["vc_decisions"]
+        self._qssf_history = payload["qssf_history"]
+        self._qssf_rung = payload["qssf_rung"]
+        self._ces_degraded = payload["ces_degraded"]
+        self.degraded = dict(payload["degraded"])
+        state = dict(payload["state"])
+        state["qssf_bytes"] = bytearray(state["qssf_bytes"])
+        return state
+
+    # -- graceful degradation ------------------------------------------
+
+    def _degrade_qssf(self) -> None:
+        """Step the QSSF ladder exactly one rung (jump to passthrough if
+        even the fallback install fails)."""
+        rung = min(self._qssf_rung + 1, len(QSSF_LADDER) - 1)
+        try:
+            if rung == 1:
+                # Incremental refits implicated: scratch refits only.
+                self.orchestrator.service("qssf").refit_mode = "scratch"
+            elif rung == 2:
+                # Model refits implicated: rolling-only estimator (lam=1
+                # never consults the GBDT), scratch-fit on the original
+                # training window.
+                svc = QSSFService(lam=1.0, refit_mode="scratch")
+                if self._qssf_history is not None:
+                    svc.fit(self._qssf_history)
+                    self.engine.swap("qssf", svc, prefitted=True)
+                else:
+                    self.engine.swap("qssf", svc, prefitted=False)
+                self.orchestrator.replace(svc)
+            else:
+                rung = len(QSSF_LADDER) - 1
+                svc = PassthroughQueueService()
+                self.engine.swap("qssf", svc, prefitted=True)
+                self.orchestrator.replace(svc)
+        except Exception:
+            rung = len(QSSF_LADDER) - 1
+            svc = PassthroughQueueService()
+            self.engine.swap("qssf", svc, prefitted=True)
+            self.orchestrator.replace(svc)
+        self._qssf_rung = rung
+        self.degraded["qssf_rung"] = rung
+
+    def _degrade_ces(self) -> None:
+        """Drop CES node control to always-on (forecast = every node)."""
+        self._ces_degraded = True
+        self.degraded["ces_rung"] = 1
+
+    def _count_degraded(self, key: str, n: int = 1) -> None:
+        self.degraded[key] = self.degraded.get(key, 0) + n
+
     # -- the loop ------------------------------------------------------
 
     def run(
@@ -265,52 +497,105 @@ class PredictionServer:
         stream: EventStream,
         speedup: float | None = None,
         window_s: float | None = None,
+        *,
+        checkpoint_every: int | None = None,
+        checkpoint_sink: Callable[[ShardCheckpoint], None] | None = None,
+        resume: ShardCheckpoint | None = None,
+        on_batch: Callable[[int], None] | None = None,
     ) -> ShardReport:
         """Serve one stream to exhaustion; returns the shard report.
 
         ``speedup`` paces the stream against the wall clock (``None`` =
         as fast as possible); ``window_s`` overrides the configured
-        micro-batch window.
+        micro-batch window.  ``checkpoint_every=K`` (with a
+        ``checkpoint_sink``) emits a :class:`ShardCheckpoint` every K
+        micro-batches; ``resume`` restores one, skipping every batch
+        before its cursor.  ``on_batch(bi)`` is invoked before each
+        *processed* batch — the supervisor's heartbeat/fault hook.
         """
         cfg = self.config
         window = cfg.batch_window_s if window_s is None else window_s
-        if len(stream):
-            self.engine.reset_clock(float(stream.times[0]))
+        if resume is not None:
+            if resume.cluster != stream.cluster:
+                raise ValueError(
+                    f"checkpoint is for shard {resume.cluster!r}, "
+                    f"stream is {stream.cluster!r}"
+                )
+            state = self._restore(resume)
+            cfg = self.config
+        else:
+            state = _fresh_loop_state()
+            if len(stream):
+                self.engine.reset_clock(float(stream.times[0]))
         qssf_lat = LatencyRecorder()
         ces_lat = LatencyRecorder()
-        decisions: list[tuple[str, tuple[str, ...]]] = []
-        qssf_digest = hashlib.sha256()
-        counts = {SUBMIT: 0, FINISH: 0, NODE_SAMPLE: 0}
-        qssf_batches = 0
-        duration_requests = 0
+        counts = state["counts"]
         jobs_table = stream.jobs
+        start_cursor = state["cursor"]
 
         t_start = time.perf_counter()
-        for batch in stream.play(window, speedup):
+        for bi, batch in enumerate(stream.play(window, speedup)):
+            if bi < start_cursor:
+                continue  # replayed prefix already served pre-crash
+            if on_batch is not None:
+                on_batch(bi)
             counts[batch.kind] += len(batch)
             if batch.kind == SUBMIT:
-                qssf_batches += 1
+                state["qssf_batches"] += 1
                 queue = jobs_table.take(batch.refs)
                 t0 = time.perf_counter()
-                ordered = self._order_queues(queue)
+                ordered = self._order_with_fallback(queue)
                 qssf_lat.record(time.perf_counter() - t0)
+                if self._qssf_rung:
+                    self._count_degraded("qssf_decisions", len(ordered))
                 if cfg.predict_durations:
-                    self._predict_durations(queue)
-                    duration_requests += len(batch)
+                    try:
+                        self._predict_durations(queue)
+                        state["duration_requests"] += len(batch)
+                    except Exception:
+                        self._count_degraded("duration_failures")
+                        self._degrade_qssf()
+                qssf_bytes = state["qssf_bytes"]
                 for vc, ids in ordered:
-                    qssf_digest.update(vc.encode())
-                    qssf_digest.update(b"\x1f".join(i.encode() for i in ids))
-                    qssf_digest.update(b"\x00")
+                    qssf_bytes += vc.encode()
+                    qssf_bytes += b"\x1f".join(i.encode() for i in ids)
+                    qssf_bytes += b"\x00"
                 if cfg.record_decisions:
-                    decisions.extend(ordered)
+                    state["decisions"].extend(ordered)
             elif batch.kind == FINISH:
                 if cfg.online_updates:
                     for ref in batch.refs:
-                        self.engine.observe(
-                            "qssf", jobs_table.row(int(ref)), now=batch.time
-                        )
+                        try:
+                            self.engine.observe(
+                                "qssf", jobs_table.row(int(ref)), now=batch.time
+                            )
+                        except Exception:
+                            # A failed refit leaves the engine's pending
+                            # buffer intact; step the ladder one rung and
+                            # let the next observation retry at it.
+                            self._count_degraded("refit_failures")
+                            self._degrade_qssf()
+            elif batch.kind == NODE_FAIL:
+                assert stream.node_events is not None
+                ups = stream.node_events["up"]
+                for ref in batch.refs:
+                    if int(ups[int(ref)]):
+                        state["node_up"] += 1
+                        state["down_now"] -= 1
+                    else:
+                        state["node_down"] += 1
+                        state["down_now"] += 1
+                        state["max_down"] = max(state["max_down"], state["down_now"])
             else:  # NODE_SAMPLE
                 self._serve_node_samples(stream, batch, ces_lat)
+            state["cursor"] = bi + 1
+            if (
+                checkpoint_every
+                and checkpoint_sink is not None
+                and (bi + 1) % checkpoint_every == 0
+            ):
+                state["ckpt_seq"] += 1
+                checkpoint_sink(self._snapshot(stream, state))
         wall = time.perf_counter() - t_start
 
         events = len(stream)
@@ -340,25 +625,34 @@ class PredictionServer:
                 "forecaster_updates": getattr(ces_svc, "updates_applied", 0),
             }
             ces_active = outcome.active
+        node_health: dict[str, int] = {}
+        if state["node_down"] or state["node_up"]:
+            node_health = {
+                "node_down": state["node_down"],
+                "node_up": state["node_up"],
+                "max_down": state["max_down"],
+            }
         return ShardReport(
             cluster=stream.cluster,
             events=events,
             submits=counts[SUBMIT],
             finishes=counts[FINISH],
             node_samples=counts[NODE_SAMPLE],
-            qssf_batches=qssf_batches,
+            qssf_batches=state["qssf_batches"],
             qssf_decisions=self._vc_decisions,
-            duration_requests=duration_requests,
+            duration_requests=state["duration_requests"],
             wall_seconds=wall,
             events_per_s=events / wall if wall > 0 else 0.0,
             qssf_latency=qssf_lat.stats(),
             ces_latency=ces_lat.stats(),
             refits=refits,
-            qssf_digest=qssf_digest.hexdigest(),
+            qssf_digest=hashlib.sha256(bytes(state["qssf_bytes"])).hexdigest(),
             ces_digest=ces_digest.hexdigest(),
             ces_summary=ces_summary,
-            decisions=decisions if cfg.record_decisions else None,
+            decisions=list(state["decisions"]) if cfg.record_decisions else None,
             ces_active=ces_active,
+            degraded=dict(self.degraded),
+            node_health=node_health,
         )
 
     # -- request routes ------------------------------------------------
@@ -380,6 +674,27 @@ class PredictionServer:
             for vc, table in zip(groups, ordered)
         ]
 
+    def _order_with_fallback(self, queue: Table) -> list[tuple[str, tuple[str, ...]]]:
+        """Order a submit batch, stepping the degradation ladder on each
+        failure; decisions never stop flowing."""
+        for _ in range(len(QSSF_LADDER)):
+            try:
+                return self._order_queues(queue)
+            except Exception:
+                self._count_degraded("qssf_failures")
+                self._degrade_qssf()
+        return self._passthrough_order(queue)
+
+    def _passthrough_order(self, queue: Table) -> list[tuple[str, tuple[str, ...]]]:
+        """Last-resort FIFO ordering without touching any service."""
+        vcs = queue["vc"]
+        ids = queue["job_id"]
+        groups: dict[str, list[str]] = {}
+        for vc, jid in zip(vcs, ids):
+            groups.setdefault(str(vc), []).append(str(jid))
+        self._vc_decisions += len(groups)
+        return [(vc, tuple(jids)) for vc, jids in groups.items()]
+
     def _predict_durations(self, queue: Table) -> np.ndarray:
         """The duration-prediction route (expected GPU time per job)."""
         return self.orchestrator.service("qssf").predict(queue)
@@ -390,17 +705,39 @@ class PredictionServer:
         if series is None or controller is None:
             raise RuntimeError("node samples in stream but CES not installed")
         assert stream.demand is not None
-        service = self.orchestrator.service("ces")
         arrivals = stream.arrivals
+        always_on = float(controller.total_nodes)
         for ref in batch.refs:
             b = int(ref)
             value = float(stream.demand[b])
+            if not np.isfinite(value):
+                # Corruption, not failure: serving a poisoned series
+                # quietly would silently wreck every downstream decision.
+                raise ValueError(
+                    f"corrupt node-demand sample at bin {b}: {value!r}"
+                )
+            arr = float(arrivals[b]) if arrivals is not None else 0.0
             t0 = time.perf_counter()
             i = series.append(value)
-            fc = service.forecaster.predict_at(
-                series.values, np.array([i]), cumsums=series.cumsums
-            )[0]
-            controller.step(value, fc, float(arrivals[b]) if arrivals is not None else 0.0)
+            if self._ces_degraded:
+                fc = always_on
+                self._count_degraded("ces_steps")
+            else:
+                try:
+                    fc = float(
+                        self.orchestrator.service("ces").forecaster.predict_at(
+                            series.values, np.array([i]), cumsums=series.cumsums
+                        )[0]
+                    )
+                except Exception:
+                    self._degrade_ces()
+                    fc = always_on
+                    self._count_degraded("ces_steps")
+            controller.step(value, fc, arr)
             ces_lat.record(time.perf_counter() - t0)
-            if self.config.online_updates:
-                self.engine.observe("ces", value, now=float(batch.time))
+            if self.config.online_updates and not self._ces_degraded:
+                try:
+                    self.engine.observe("ces", value, now=float(batch.time))
+                except Exception:
+                    self._count_degraded("refit_failures")
+                    self._degrade_ces()

@@ -39,6 +39,7 @@ from ..stats.timeseries import TimeGrid, interval_concurrency
 
 __all__ = [
     "FINISH",
+    "NODE_FAIL",
     "NODE_SAMPLE",
     "SUBMIT",
     "Event",
@@ -51,8 +52,17 @@ __all__ = [
 FINISH = 0
 NODE_SAMPLE = 1
 SUBMIT = 2
+#: node down/up health events (refs index the stream's ``node_events``
+#: table).  Ranked last so the pre-existing kinds keep their codes and
+#: every node-event-free stream batches exactly as before.
+NODE_FAIL = 3
 
-_KIND_NAMES = {FINISH: "finish", NODE_SAMPLE: "node_sample", SUBMIT: "submit"}
+_KIND_NAMES = {
+    FINISH: "finish",
+    NODE_SAMPLE: "node_sample",
+    SUBMIT: "submit",
+    NODE_FAIL: "node_fail",
+}
 
 
 @dataclass(frozen=True)
@@ -122,9 +132,15 @@ class EventStream:
         grid: TimeGrid | None = None,
         demand: np.ndarray | None = None,
         arrivals: np.ndarray | None = None,
+        node_events: Table | None = None,
     ) -> None:
         if not (len(times) == len(kinds) == len(refs)):
             raise ValueError("times/kinds/refs must align")
+        if demand is not None and not np.all(np.isfinite(np.asarray(demand, dtype=float))):
+            bad = int(np.flatnonzero(~np.isfinite(np.asarray(demand, dtype=float)))[0])
+            raise ValueError(
+                f"corrupt node-demand series: non-finite value at bin {bad}"
+            )
         self.cluster = cluster
         self.jobs = jobs
         self.times = np.asarray(times, dtype=float)
@@ -133,6 +149,7 @@ class EventStream:
         self.grid = grid
         self.demand = demand
         self.arrivals = arrivals
+        self.node_events = node_events
 
     # -- construction --------------------------------------------------
 
@@ -145,6 +162,7 @@ class EventStream:
         t1: float | None = None,
         bin_seconds: int | None = None,
         demand: np.ndarray | None = None,
+        node_events: Table | None = None,
     ) -> "EventStream":
         """Stream a raw (un-replayed) trace.
 
@@ -154,7 +172,9 @@ class EventStream:
         from ``demand`` when given (one per bin — e.g. a capacity-scaled
         series from :func:`approx_node_demand` over the full cluster
         trace), else default to :func:`approx_node_demand` of ``trace``
-        itself.
+        itself.  ``node_events`` (a time/node/up table, e.g. from
+        :func:`repro.traces.synth.synthesize_node_events`) adds
+        ``node_fail`` events, clipped to the stream window.
         """
         submit = trace["submit_time"].astype(float)
         finish = submit + trace["duration"].astype(float)
@@ -173,7 +193,9 @@ class EventStream:
             arrivals = _arrivals_per_bin(submit, grid)
         else:
             demand = None
-        return cls._assemble(cluster, trace, submit, finish, hi, grid, demand, arrivals)
+        return cls._assemble(
+            cluster, trace, submit, finish, hi, grid, demand, arrivals, node_events
+        )
 
     @classmethod
     def from_replay(
@@ -182,6 +204,7 @@ class EventStream:
         cluster: str = "",
         bin_seconds: int | None = None,
         t0: float = 0.0,
+        node_events: Table | None = None,
     ) -> "EventStream":
         """Stream a replayed trace: finishes at the *simulated* end time,
         node demand from the replay's running-nodes telemetry."""
@@ -194,11 +217,22 @@ class EventStream:
             grid = TimeGrid.covering(t0, hi, bin_seconds)
             demand = running_nodes_series(replay, grid)
             arrivals = _arrivals_per_bin(submit, grid)
-        return cls._assemble(cluster, trace, submit, finish, hi, grid, demand, arrivals)
+        return cls._assemble(
+            cluster, trace, submit, finish, hi, grid, demand, arrivals, node_events
+        )
 
     @classmethod
-    def _assemble(cls, cluster, trace, submit, finish, horizon, grid, demand, arrivals):
+    def _assemble(
+        cls, cluster, trace, submit, finish, horizon, grid, demand, arrivals,
+        node_events=None,
+    ):
         n = len(trace)
+        if n and np.any(finish < submit):
+            bad = int(np.flatnonzero(finish < submit)[0])
+            raise ValueError(
+                f"corrupt event stream: job {bad} finishes at {finish[bad]:g} "
+                f"before its submit at {submit[bad]:g}"
+            )
         keep_fin = finish < horizon if n else np.zeros(0, dtype=bool)
         parts_t = [submit, finish[keep_fin]]
         parts_k = [
@@ -211,13 +245,23 @@ class EventStream:
             parts_t.append(sample_times)
             parts_k.append(np.full(grid.bins, NODE_SAMPLE, dtype=np.int8))
             parts_r.append(np.arange(grid.bins, dtype=np.int64))
+        clipped_events = None
+        if node_events is not None and len(node_events):
+            # Clip the high end only: dropping *leading* events would break
+            # the per-node down/up alternation a consumer may validate.
+            ev_times = node_events["time"].astype(float)
+            keep_ev = ev_times < horizon
+            clipped_events = node_events.take(np.flatnonzero(keep_ev))
+            parts_t.append(ev_times[keep_ev])
+            parts_k.append(np.full(len(clipped_events), NODE_FAIL, dtype=np.int8))
+            parts_r.append(np.arange(len(clipped_events), dtype=np.int64))
         times = np.concatenate(parts_t)
         kinds = np.concatenate(parts_k)
         refs = np.concatenate(parts_r)
         order = np.lexsort((refs, kinds, times))
         return cls(
             cluster, trace, times[order], kinds[order], refs[order],
-            grid=grid, demand=demand, arrivals=arrivals,
+            grid=grid, demand=demand, arrivals=arrivals, node_events=clipped_events,
         )
 
     # -- inspection ----------------------------------------------------

@@ -81,7 +81,7 @@ def aggregate_reports(reports, wall_seconds: float | None = None) -> dict:
             svc = agg.setdefault(service, {})
             for key, n in counters.items():
                 svc[key] = svc.get(key, 0) + n
-    return {
+    out = {
         "shards": len(reports),
         "events": events,
         "wall_seconds": round(wall_seconds, 4),
@@ -90,3 +90,28 @@ def aggregate_reports(reports, wall_seconds: float | None = None) -> dict:
         "ces_steps": sum(r.node_samples for r in reports),
         "refits": refits,
     }
+    # Fault-tolerance rollups (getattr: pre-chaos report objects — and
+    # the test doubles modeled on them — lack these fields entirely).
+    # Emitted only when nonzero so fault-free payloads keep their schema.
+    retries = sum(getattr(r, "retries", 0) or 0 for r in reports)
+    if retries:
+        out["retries"] = retries
+    degraded: dict[str, int] = {}
+    for r in reports:
+        for key, n in (getattr(r, "degraded", None) or {}).items():
+            if key == "qssf_rung" or key == "ces_rung":
+                degraded[key] = max(degraded.get(key, 0), n)
+            else:
+                degraded[key] = degraded.get(key, 0) + n
+    if degraded:
+        out["degraded"] = degraded
+    node_health: dict[str, int] = {}
+    for r in reports:
+        for key, n in (getattr(r, "node_health", None) or {}).items():
+            if key == "max_down":
+                node_health[key] = max(node_health.get(key, 0), n)
+            else:
+                node_health[key] = node_health.get(key, 0) + n
+    if node_health:
+        out["node_health"] = node_health
+    return out

@@ -1,7 +1,7 @@
 """Discrete-event cluster simulator substrate."""
 
 from .cluster import Allocation, ClusterState, VCState
-from .engine import ReplayResult, SimJob, Simulator
+from .engine import ReplayResult, SimJob, Simulator, normalize_node_events
 from .placement import can_place, consolidate_place
 from .telemetry import (
     busy_gpus_series,
@@ -21,6 +21,7 @@ __all__ = [
     "can_place",
     "consolidate_place",
     "node_busy_intervals",
+    "normalize_node_events",
     "running_nodes_series",
     "utilization_series",
 ]

@@ -93,7 +93,12 @@ class VCState:
         )
 
     def release(self, alloc: Allocation) -> None:
-        """Return an allocation's GPUs to the free pool."""
+        """Return an allocation's GPUs to the free pool.
+
+        GPUs released onto a *failed* node update its encoded free level
+        only — the node stays blacklisted, its capacity out of the pool,
+        until :meth:`restore_node` brings it back.
+        """
         # Map global node ids back to local indices (VC nodes are few).
         local = np.searchsorted(self.node_ids, alloc.node_ids)
         if np.any(self.node_ids[local] != alloc.node_ids):
@@ -103,12 +108,48 @@ class VCState:
         gpn = self.gpus_per_node
         for i, g in zip(local.tolist(), alloc.gpus.tolist()):
             f = int(free[i])
+            if f < 0:
+                # Down node: -1 - true_free encoding; just track the level.
+                if (-1 - f) + g > gpn:
+                    raise RuntimeError(f"double free in VC {self.name}")
+                free[i] = f - g  # -1 - (true_free + g)
+                continue
             if f + g > gpn:
                 raise RuntimeError(f"double free in VC {self.name}")
             counts[f] -= 1
             counts[f + g] += 1
             free[i] = f + g
             self._free_gpus += g
+
+    def fail_node(self, local: int) -> None:
+        """Blacklist a node: no new placements; running jobs keep their
+        GPUs and drain to completion.
+
+        The node's free level is encoded as ``-1 - true_free`` so the
+        placement scans (which match exact non-negative levels) can
+        never pick it, and its free GPUs leave the counters/pool.
+        """
+        f = int(self.free[local])
+        if f < 0:
+            raise RuntimeError(
+                f"node {int(self.node_ids[local])} in VC {self.name} is already down"
+            )
+        self.level_counts[f] -= 1
+        self._free_gpus -= f
+        self.free[local] = -1 - f
+
+    def restore_node(self, local: int) -> None:
+        """Bring a failed node back: its (possibly drained-into) free
+        GPUs rejoin the counters and the pool."""
+        encoded = int(self.free[local])
+        if encoded >= 0:
+            raise RuntimeError(
+                f"node {int(self.node_ids[local])} in VC {self.name} is already up"
+            )
+        f = -1 - encoded
+        self.level_counts[f] += 1
+        self._free_gpus += f
+        self.free[local] = f
 
 
 class ClusterState:

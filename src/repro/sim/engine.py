@@ -40,12 +40,67 @@ from .cluster import Allocation, ClusterState
 from .fast import replay_fast
 from .placement import consolidate_place
 
-__all__ = ["SimJob", "ReplayResult", "Simulator"]
+__all__ = ["SimJob", "ReplayResult", "Simulator", "normalize_node_events"]
 
-_FINISH = 0  # processed before arrivals at the same time
-_ARRIVAL = 1
+#: same-instant processing order: finishes free resources first, node
+#: health changes next, arrivals see the settled state.
+_FINISH = 0
+_NODE_EVENT = 1
+_ARRIVAL = 2
 
 _MODES = ("fast", "reference")
+
+
+def normalize_node_events(spec: ClusterSpec, node_events) -> list[tuple[float, int, int, int]]:
+    """Validate and order node down/up events against ``spec``.
+
+    ``node_events`` is a Table-like with columns ``time`` / ``node``
+    (global node id in the :class:`ClusterState` numbering) / ``up``
+    (0 = down, 1 = up).  Returns ``(time, vc_index, local_node, up)``
+    tuples in stable time order.  Both engines consume this one
+    normalized form, so an invalid schedule (unknown node, non-finite
+    time, broken per-node down/up alternation) raises the *identical*
+    error in fast and reference modes — the property the parity fuzz
+    asserts.
+    """
+    if node_events is None or len(node_events) == 0:
+        return []
+    times = np.asarray(node_events["time"], dtype=float)
+    nodes = np.asarray(node_events["node"], dtype=np.int64)
+    ups = np.asarray(node_events["up"], dtype=np.int64)
+    if not (len(times) == len(nodes) == len(ups)):
+        raise ValueError("node_events time/node/up columns must align")
+    if not np.all(np.isfinite(times)):
+        raise ValueError("node_events times must be finite")
+    num_nodes = sum(vc.num_nodes for vc in spec.vcs)
+    out_of_range = (nodes < 0) | (nodes >= num_nodes)
+    if np.any(out_of_range):
+        bad = int(nodes[int(np.argmax(out_of_range))])
+        raise ValueError(
+            f"node_events references node {bad} outside [0, {num_nodes})"
+        )
+    if np.any((ups != 0) & (ups != 1)):
+        raise ValueError("node_events 'up' column must be 0 (down) or 1 (up)")
+    bounds = np.cumsum([0] + [vc.num_nodes for vc in spec.vcs])
+    is_up = np.ones(num_nodes, dtype=bool)
+    out: list[tuple[float, int, int, int]] = []
+    for i in np.argsort(times, kind="stable").tolist():
+        node = int(nodes[i])
+        up = int(ups[i])
+        if up and is_up[node]:
+            raise ValueError(
+                f"node_events: node {node} comes up at t={times[i]:g} "
+                "but is not down"
+            )
+        if not up and not is_up[node]:
+            raise ValueError(
+                f"node_events: node {node} goes down at t={times[i]:g} "
+                "but is already down"
+            )
+        is_up[node] = bool(up)
+        vck = int(np.searchsorted(bounds, node, side="right") - 1)
+        out.append((float(times[i]), vck, node - int(bounds[vck]), up))
+    return out
 
 
 @dataclass
@@ -153,20 +208,28 @@ class Simulator:
         self.mode = mode
 
     # ------------------------------------------------------------------
-    def run(self, trace: Table) -> ReplayResult:
-        """Replay ``trace`` (GPU jobs only; CPU rows are rejected)."""
+    def run(self, trace: Table, node_events=None) -> ReplayResult:
+        """Replay ``trace`` (GPU jobs only; CPU rows are rejected).
+
+        ``node_events`` (a time/node/up table, see
+        :func:`normalize_node_events`) injects node failures: a down
+        node is blacklisted for new placements while its running jobs
+        drain to completion; an up event returns its capacity and
+        re-drains the VC queue.
+        """
         if len(trace) and int(trace["gpu_num"].min()) < 1:
             raise ValueError("simulator replays GPU jobs; filter CPU jobs out first")
         self._check_capacity(trace)
+        events = normalize_node_events(self.spec, node_events)
         priorities = np.asarray(self.scheduler.priorities(trace), dtype=float)
         if priorities.shape != (len(trace),):
             raise ValueError("scheduler.priorities must return one value per job")
         preemptive = getattr(self.scheduler, "preemptive", False)
         if self.mode == "reference":
-            return self._run_reference(trace, priorities, preemptive)
+            return self._run_reference(trace, priorities, preemptive, events)
         start, end, preempt, itable, num_nodes, total_gpus = replay_fast(
             self.spec, trace, priorities, preemptive,
-            self.collect_node_intervals,
+            self.collect_node_intervals, node_events=events,
         )
         return self._result(
             trace,
@@ -180,15 +243,24 @@ class Simulator:
 
     # ------------------------------------------------------------------
     def _run_reference(
-        self, trace: Table, priorities: np.ndarray, preemptive: bool
+        self,
+        trace: Table,
+        priorities: np.ndarray,
+        preemptive: bool,
+        node_events: list[tuple[float, int, int, int]] | None = None,
     ) -> ReplayResult:
         state = ClusterState(self.spec)
         jobs = self._build_jobs(trace, priorities)
         n = len(jobs)
+        node_events = node_events or []
 
         heap: list[tuple[float, int, int, int, int]] = [
             (j.submit, _ARRIVAL, i, j.idx, 0) for i, j in enumerate(jobs)
         ]
+        # Node events ride the same heap; the idx slot indexes node_events.
+        heap.extend(
+            (t, _NODE_EVENT, i, i, 0) for i, (t, _, _, _) in enumerate(node_events)
+        )
         heapq.heapify(heap)
         seq = n
 
@@ -270,6 +342,15 @@ class Simulator:
         qseq = 0
         while heap:
             now, kind, _, jidx, epoch = heapq.heappop(heap)
+            if kind == _NODE_EVENT:
+                _, vck, local, up = node_events[jidx]
+                vc_name = self.spec.vcs[vck].name
+                if up:
+                    state.vc(vc_name).restore_node(local)
+                    drain_vc(vc_name, now)
+                else:
+                    state.vc(vc_name).fail_node(local)
+                continue
             job = jobs[jidx]
             if kind == _FINISH:
                 if epoch != job.epoch or job.alloc is None:

@@ -89,6 +89,7 @@ def replay_fast(
     priorities: np.ndarray,
     preemptive: bool,
     collect: bool,
+    node_events=None,
 ):
     """Run the fast event loop; returns the raw state the caller wraps
     into a :class:`~repro.sim.engine.ReplayResult`.
@@ -96,6 +97,13 @@ def replay_fast(
     Returns ``(start, end, preemptions, intervals_table, num_nodes,
     total_gpus)`` where the first three are Python lists in trace row
     order (the SoA state, handed back for the result arrays).
+
+    ``node_events`` is the *normalized* output of
+    :func:`repro.sim.engine.normalize_node_events` — ``(time, vc_index,
+    local_node, up)`` tuples in processing order.  A down node's free
+    level is encoded as ``-1 - true_free`` so the exact-level placement
+    scans can never match it; its free GPUs leave the counters/pool
+    until the matching up event.
     """
     n = len(trace)
 
@@ -236,6 +244,11 @@ def replay_fast(
         cnt = counts[k]
         for i, g in zip(nodes, gpus):
             f = fr[i]
+            if f < 0:
+                # Node failed while the job ran: GPUs return to the node's
+                # encoded level only, never the pool (-1-(t+g) == f-g).
+                fr[i] = f - g
+                continue
             cnt[f] -= 1
             cnt[f + g] += 1
             fr[i] = f + g
@@ -297,25 +310,77 @@ def replay_fast(
             heappop(q)
             start_job(j, now, placed)
 
+    def fail_node(k: int, i: int) -> None:
+        fr = free[k]
+        f = fr[i]
+        counts[k][f] -= 1
+        free_gpus[k] -= f
+        fr[i] = -1 - f
+
+    def restore_node(k: int, i: int, now: float) -> None:
+        fr = free[k]
+        f = -1 - fr[i]
+        counts[k][f] += 1
+        free_gpus[k] += f
+        fr[i] = f
+        stalled[k] = -1  # returned capacity: a stalled head may fit now
+        drain_vc(k, now)
+
     # -- the loop: merged finish-heap / arrival-array event stream -----
     ai = 0
-    while ai < n or fheap:
-        if fheap and (ai >= n or fheap[0][0] <= submit[arrivals[ai]]):
-            now, _, j, ep = heappop(fheap)
-            k = vc_id[j]
-            if ep != epoch[j] or j not in running[k]:
-                continue  # stale event from a preempted run
-            remaining[j] = 0.0
-            release_job(j, now)
-            drain_vc(k, now)
-        else:
-            j = arrivals[ai]
-            ai += 1
-            now = submit[j]
-            k = vc_id[j]
-            heappush(queues[k], (priority[j], qseq, j))
-            qseq += 1
-            drain_vc(k, now)
+    if not node_events:
+        # Hot path: two-way merge, no per-iteration node-event checks.
+        while ai < n or fheap:
+            if fheap and (ai >= n or fheap[0][0] <= submit[arrivals[ai]]):
+                now, _, j, ep = heappop(fheap)
+                k = vc_id[j]
+                if ep != epoch[j] or j not in running[k]:
+                    continue  # stale event from a preempted run
+                remaining[j] = 0.0
+                release_job(j, now)
+                drain_vc(k, now)
+            else:
+                j = arrivals[ai]
+                ai += 1
+                now = submit[j]
+                k = vc_id[j]
+                heappush(queues[k], (priority[j], qseq, j))
+                qseq += 1
+                drain_vc(k, now)
+    else:
+        # Three-way merge; same-instant order matches the reference
+        # heap ranks: finish < node event < arrival.
+        ev = node_events
+        n_ev = len(ev)
+        ei = 0
+        inf = float("inf")
+        while ai < n or ei < n_ev or fheap:
+            t_f = fheap[0][0] if fheap else inf
+            t_e = ev[ei][0] if ei < n_ev else inf
+            t_a = submit[arrivals[ai]] if ai < n else inf
+            if t_f <= t_e and t_f <= t_a:
+                now, _, j, ep = heappop(fheap)
+                k = vc_id[j]
+                if ep != epoch[j] or j not in running[k]:
+                    continue  # stale event from a preempted run
+                remaining[j] = 0.0
+                release_job(j, now)
+                drain_vc(k, now)
+            elif t_e <= t_a:
+                now, k, local, up = ev[ei]
+                ei += 1
+                if up:
+                    restore_node(k, local, now)
+                else:
+                    fail_node(k, local)
+            else:
+                j = arrivals[ai]
+                ai += 1
+                now = submit[j]
+                k = vc_id[j]
+                heappush(queues[k], (priority[j], qseq, j))
+                qseq += 1
+                drain_vc(k, now)
 
     itable = (
         intervals.table()

@@ -47,6 +47,7 @@ __all__ = [
     "HeliosTraceGenerator",
     "params_signature",
     "sequence_within_group",
+    "synthesize_node_events",
 ]
 
 
@@ -593,6 +594,81 @@ _EMPTY_DTYPES = {
 }
 
 
+def synthesize_node_events(
+    num_nodes: int,
+    horizon_seconds: float,
+    seed: int,
+    *,
+    burst_rate_per_day: float = 0.5,
+    burst_nodes_mean: float = 3.0,
+    repair_minutes_median: float = 45.0,
+    repair_sigma: float = 0.9,
+) -> Table:
+    """Synthesize correlated node down/up events for one cluster.
+
+    Real datacenter node failures are bursty and rack-correlated: a PDU
+    trip or a top-of-rack switch fault takes out a *contiguous run* of
+    nodes at once, and repairs follow a heavy-tailed (lognormal)
+    time-to-restore.  We model failure *bursts* as a Poisson process over
+    the horizon; each burst knocks out ``1 + Geometric`` physically
+    adjacent nodes, and each downed node comes back after an independent
+    lognormal repair delay.
+
+    The returned :class:`Table` has columns ``time`` (seconds, float),
+    ``node`` (global node index, int) and ``up`` (0 = down, 1 = up),
+    stably sorted by time.  Per node, events strictly alternate
+    down/up starting from up — the invariant
+    :func:`repro.sim.normalize_node_events` enforces — because a node
+    already down when a later burst hits it is simply skipped.
+
+    Fully deterministic for a given ``(num_nodes, horizon, seed)`` and
+    knob set.
+    """
+    if num_nodes <= 0:
+        raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+    if horizon_seconds <= 0:
+        raise ValueError(f"horizon_seconds must be positive, got {horizon_seconds}")
+    for knob, value in (
+        ("burst_rate_per_day", burst_rate_per_day),
+        ("burst_nodes_mean", burst_nodes_mean),
+        ("repair_minutes_median", repair_minutes_median),
+        ("repair_sigma", repair_sigma),
+    ):
+        if value < 0:
+            raise ValueError(f"{knob} must be nonnegative, got {value}")
+    rng = np.random.default_rng(seed)
+    horizon_days = horizon_seconds / SECONDS_PER_DAY
+    n_bursts = int(rng.poisson(burst_rate_per_day * horizon_days))
+    burst_times = np.sort(rng.uniform(0.0, horizon_seconds, size=n_bursts))
+
+    times: list[float] = []
+    nodes: list[int] = []
+    ups: list[int] = []
+    next_up = np.zeros(num_nodes, dtype=np.float64)
+    repair_median_s = repair_minutes_median * 60.0
+    for t in burst_times.tolist():
+        size = 1 + int(rng.geometric(1.0 / max(1.0, burst_nodes_mean)))
+        start = int(rng.integers(0, num_nodes))
+        for node in range(start, min(start + size, num_nodes)):
+            if t < next_up[node]:
+                continue  # still down from an earlier burst
+            repair_s = repair_median_s * float(rng.lognormal(0.0, repair_sigma))
+            t_up = t + max(1.0, repair_s)
+            next_up[node] = t_up
+            times.extend((t, t_up))
+            nodes.extend((node, node))
+            ups.extend((0, 1))
+
+    order = np.argsort(np.asarray(times, dtype=np.float64), kind="stable")
+    return Table(
+        {
+            "time": np.asarray(times, dtype=np.float64)[order],
+            "node": np.asarray(nodes, dtype=np.int64)[order],
+            "up": np.asarray(ups, dtype=np.int64)[order],
+        }
+    )
+
+
 class HeliosTraceGenerator:
     """Generate the four-cluster Helios workload (Table 1 shape).
 
@@ -628,6 +704,24 @@ class HeliosTraceGenerator:
     def generate(self) -> dict[str, Table]:
         """Generate all four cluster traces."""
         return {name: self.generate_cluster(name) for name in self.specs}
+
+    def generate_node_events(self, name: str, **knobs) -> Table:
+        """Synthesize correlated node-failure events for one cluster.
+
+        The seed is derived from the generator seed and the cluster name
+        so node events are independent of (but reproducible alongside)
+        the job trace.
+        """
+        if name not in self.specs:
+            raise KeyError(f"unknown cluster {name!r}")
+        spec = self.specs[name]
+        digest = hashlib.sha256(
+            f"node-events:{self.params.seed}:{name}".encode()
+        ).digest()
+        seed = int.from_bytes(digest[:8], "little")
+        return synthesize_node_events(
+            spec.num_nodes, self.params.horizon_seconds, seed, **knobs
+        )
 
 
 _CLUSTER_SEED_OFFSET = {"Venus": 11, "Earth": 23, "Saturn": 37, "Uranus": 53}

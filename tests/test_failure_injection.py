@@ -162,3 +162,55 @@ class TestDRSEdgeCases:
         res = Simulator(ms(), SJFScheduler()).run(mt([(0, 1, 100)]))
         with pytest.raises(ValueError):
             CESService().evaluate(res, eval_start=50.0, eval_end=100.0)
+
+
+class TestServeLayerCorruption:
+    """Corrupt serving inputs fail loudly; model failures degrade
+    (covered in test_chaos_recovery.py) but bad data never does."""
+
+    def _stream(self):
+        from repro.serve import EventStream
+
+        from helpers import make_trace as mt
+
+        return EventStream.from_trace(
+            mt([(0, 1, 10), (5, 2, 20)]), cluster="T", bin_seconds=10
+        )
+
+    def test_finish_before_submit_rejected(self):
+        from repro.serve import EventStream
+
+        from helpers import make_trace as mt
+
+        t = mt([(100, 1, 10)]).with_column("duration", np.array([-50.0]))
+        with pytest.raises(ValueError, match="corrupt event stream"):
+            EventStream.from_trace(t, cluster="T")
+
+    def test_nan_demand_rejected_at_construction(self):
+        stream = self._stream()
+        bad = stream.demand.copy()
+        bad[1] = np.nan
+        from repro.serve import EventStream
+
+        with pytest.raises(ValueError, match="corrupt node-demand series"):
+            EventStream(
+                "T", stream.jobs, stream.times, stream.kinds, stream.refs,
+                grid=stream.grid, demand=bad,
+            )
+
+    def test_nan_demand_mid_stream_raises_in_serve_loop(self):
+        """Demand corrupted after validation (e.g. a bad producer) must
+        abort the shard loudly, not silently degrade the CES path."""
+        from repro.serve import ShardTask, build_shard
+
+        from repro.experiments.serving import smoke_serve_config
+
+        task = ShardTask(
+            cluster="Venus", config=smoke_serve_config(),
+            history_days=14, stream_days=1.0, max_jobs=200,
+        )
+        server, stream = build_shard(task)
+        k = len(stream.demand) // 2
+        stream.demand[k] = np.nan
+        with pytest.raises(ValueError, match="corrupt node-demand sample at bin"):
+            server.run(stream)

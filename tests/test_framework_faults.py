@@ -1,0 +1,84 @@
+"""Deterministic fault-injection plane: plans, lookup, installation."""
+
+import pickle
+
+import pytest
+
+from repro.framework import (
+    CorruptPayload,
+    FaultPlan,
+    FaultSpec,
+    clear_fault_plan,
+    install_fault_plan,
+    installed_fault_plan,
+)
+
+
+class TestFaultSpec:
+    def test_defaults(self):
+        spec = FaultSpec(key="Venus")
+        assert spec.kind == "exception"
+        assert spec.attempt == 0
+        assert spec.at is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec(key="a", kind="meteor")
+        with pytest.raises(ValueError, match="attempt"):
+            FaultSpec(key="a", attempt=-1)
+        with pytest.raises(ValueError, match="at"):
+            FaultSpec(key="a", at=-2)
+        with pytest.raises(ValueError, match="delay_s"):
+            FaultSpec(key="a", delay_s=-0.5)
+
+    def test_as_dict_round_trips_json(self):
+        spec = FaultSpec(key="Earth", kind="crash", attempt=1, at=42)
+        plan = FaultPlan(seed=3, faults=(spec,))
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan
+        assert again.fault_for("Earth", 1) == spec
+
+
+class TestFaultPlan:
+    def test_lookup_by_key_and_attempt(self):
+        plan = FaultPlan(
+            seed=1,
+            faults=(
+                FaultSpec(key="a", kind="crash", attempt=0, at=5),
+                FaultSpec(key="a", kind="exception", attempt=1),
+                FaultSpec(key="b", kind="hang", attempt=0, at=0),
+            ),
+        )
+        assert plan.fault_for("a", 0).kind == "crash"
+        assert plan.fault_for("a", 1).kind == "exception"
+        assert plan.fault_for("a", 2) is None
+        assert plan.fault_for("b", 0).kind == "hang"
+        assert plan.fault_for("c", 0) is None
+
+    def test_duplicate_key_attempt_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultPlan(faults=(FaultSpec(key="a"), FaultSpec(key="a")))
+
+    def test_same_plan_same_seed_identical(self):
+        """The determinism contract: equal plans replay equal faults."""
+        mk = lambda: FaultPlan(
+            seed=9, faults=(FaultSpec(key="x", kind="crash", at=7),)
+        )
+        assert mk() == mk()
+        assert mk().to_json() == mk().to_json()
+        assert pickle.loads(pickle.dumps(mk())) == mk()
+
+    def test_install_and_clear(self):
+        plan = FaultPlan(seed=2, faults=(FaultSpec(key="k"),))
+        try:
+            install_fault_plan(plan)
+            assert installed_fault_plan() == plan
+        finally:
+            clear_fault_plan()
+        assert installed_fault_plan() is None
+
+
+class TestCorruptPayload:
+    def test_wraps_payload(self):
+        wrapped = CorruptPayload({"x": 1})
+        assert wrapped.payload == {"x": 1}

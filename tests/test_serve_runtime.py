@@ -58,6 +58,16 @@ class TestBuildShard:
             ShardTask("Venus", config=frozen_config, stream_days=0.0)
         with pytest.raises(ValueError, match="source"):
             ShardTask("Venus", config=frozen_config, source="oracle")
+        with pytest.raises(ValueError, match="max_jobs"):
+            ShardTask("Venus", config=frozen_config, max_jobs=0)
+        with pytest.raises(ValueError, match="max_jobs"):
+            ShardTask("Venus", config=frozen_config, max_jobs=-5)
+        with pytest.raises(ValueError, match="speedup"):
+            ShardTask("Venus", config=frozen_config, speedup=0.0)
+        with pytest.raises(ValueError, match="speedup"):
+            ShardTask("Venus", config=frozen_config, speedup=-1.0)
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            ShardTask("Venus", config=frozen_config, checkpoint_every=0)
 
 
 class TestReplaySource:
@@ -133,6 +143,17 @@ class TestServeClusters:
             assert a.ces_digest == b.ces_digest
             assert a.events == b.events
         assert all(r.events > 0 for r in serial)
+
+    def test_supervised_fault_free_matches_plain(self, frozen_config):
+        """Supervision must be a pure wrapper: a fault-free supervised
+        run's parity surface equals the bare fan-out's."""
+        plain = serve_clusters(("Venus",), config=frozen_config, jobs=1, **_TASK)
+        supervised = serve_clusters(
+            ("Venus",), config=frozen_config, jobs=1, supervised=True, **_TASK
+        )
+        assert supervised[0].parity_bytes() == plain[0].parity_bytes()
+        assert supervised[0].retries == 0
+        assert "retries" not in supervised[0].as_dict()
 
     def test_reports_carry_telemetry(self, frozen_config):
         (report,) = serve_clusters(

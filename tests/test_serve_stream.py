@@ -4,8 +4,10 @@ import numpy as np
 import pytest
 
 from helpers import make_spec, make_trace
+from repro.frame import Table
 from repro.serve.stream import (
     FINISH,
+    NODE_FAIL,
     NODE_SAMPLE,
     SUBMIT,
     EventStream,
@@ -21,7 +23,9 @@ def _stream(rows, **kwargs):
 class TestFromTrace:
     def test_counts_and_order(self):
         s = _stream([(0, 1, 100.0), (50, 2, 10.0), (200, 1, 5.0)])
-        assert s.counts() == {"submit": 3, "finish": 3, "node_sample": 0}
+        assert s.counts() == {
+            "submit": 3, "finish": 3, "node_sample": 0, "node_fail": 0,
+        }
         assert np.all(np.diff(s.times) >= 0)
 
     def test_finish_before_submit_at_same_instant(self):
@@ -49,7 +53,9 @@ class TestFromTrace:
 
     def test_empty_trace(self):
         s = _stream([], t0=0.0, t1=300.0, bin_seconds=100)
-        assert s.counts() == {"submit": 0, "finish": 0, "node_sample": 3}
+        assert s.counts() == {
+            "submit": 0, "finish": 0, "node_sample": 3, "node_fail": 0,
+        }
 
 
 class TestFromReplay:
@@ -66,6 +72,58 @@ class TestFromReplay:
         assert fin_times.tolist() == sorted(replay.end_times.tolist())
         assert fin_times.max() == 150.0  # queued job ran after the first
         assert np.array_equal(s.demand, running_nodes_series(replay, s.grid))
+
+
+def _events_table(rows):
+    """rows: (time, node, up) triples -> a node-events Table."""
+    t, n, u = (np.array(c) for c in zip(*rows)) if rows else (
+        np.zeros(0), np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    )
+    return Table({
+        "time": t.astype(float),
+        "node": n.astype(np.int64),
+        "up": u.astype(np.int64),
+    })
+
+
+class TestNodeFailEvents:
+    def test_counts_and_refs_index_events_table(self):
+        ev = _events_table([(30.0, 2, 0), (80.0, 2, 1)])
+        s = _stream([(0, 1, 100.0)], t0=0.0, t1=200.0, node_events=ev)
+        assert s.counts()["node_fail"] == 2
+        fail = s.kinds == NODE_FAIL
+        # refs index the (clipped) node_events table carried on the stream
+        for t, ref in zip(s.times[fail], s.refs[fail]):
+            assert s.node_events["time"][int(ref)] == t
+        assert s.node_events["node"].tolist() == [2, 2]
+        assert s.node_events["up"].tolist() == [0, 1]
+
+    def test_clipped_at_high_end_only(self):
+        """Events past the horizon drop; leading events never do (that
+        would break the per-node down/up alternation)."""
+        ev = _events_table([(10.0, 0, 0), (150.0, 0, 1), (999.0, 1, 0)])
+        s = _stream([(0, 1, 100.0)], t0=0.0, t1=200.0, node_events=ev)
+        assert s.counts()["node_fail"] == 2
+        assert s.node_events["time"].tolist() == [10.0, 150.0]
+
+    def test_sorts_last_at_equal_timestamps(self):
+        # finish (t=100) and a node event at the same instant: the event
+        # kind code is highest, so placement reacts after the release
+        ev = _events_table([(100.0, 0, 0)])
+        s = _stream([(0, 1, 100.0)], t0=0.0, t1=200.0, node_events=ev)
+        at_100 = s.kinds[s.times == 100.0]
+        assert list(at_100) == [FINISH, NODE_FAIL]
+
+    def test_empty_events_table_is_noop(self):
+        s = _stream([(0, 1, 100.0)], t0=0.0, t1=200.0,
+                    node_events=_events_table([]))
+        assert s.counts()["node_fail"] == 0
+
+    def test_batches_carry_node_fail_kind(self):
+        ev = _events_table([(40.0, 0, 0), (40.0, 1, 0), (90.0, 0, 1)])
+        s = _stream([(0, 1, 1e6)], t0=0.0, t1=200.0, node_events=ev)
+        kinds = [(b.kind, len(b)) for b in s.batches(window_s=0.0)]
+        assert (NODE_FAIL, 2) in kinds and (NODE_FAIL, 1) in kinds
 
 
 class TestApproxNodeDemand:

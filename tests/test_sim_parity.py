@@ -14,8 +14,9 @@ trace and policy.  Two layers:
 import numpy as np
 import pytest
 
+from repro.frame import Table
 from repro.sched import FIFOScheduler, SJFScheduler, SRTFScheduler
-from repro.sim import Simulator
+from repro.sim import Simulator, normalize_node_events
 
 from helpers import make_spec, make_trace
 
@@ -92,6 +93,124 @@ class TestFuzzParity:
         fast = Simulator(spec, FIFOScheduler()).run(make_trace([]))
         ref = Simulator(spec, FIFOScheduler(), mode="reference").run(make_trace([]))
         assert_replays_identical(fast, ref)
+
+
+def _node_events_table(rows):
+    """rows: list of (time, node, up)."""
+    return Table(
+        {
+            "time": np.array([r[0] for r in rows], dtype=float),
+            "node": np.array([r[1] for r in rows], dtype=np.int64),
+            "up": np.array([r[2] for r in rows], dtype=np.int64),
+        }
+    )
+
+
+def _random_node_events(rng, num_nodes, horizon):
+    """Valid per-node down/up alternations with integer-time collisions."""
+    rows = []
+    for node in range(num_nodes):
+        if rng.random() < 0.4:
+            continue
+        t = 0.0
+        for _ in range(int(rng.integers(1, 3))):
+            t += float(rng.integers(0, max(2, horizon // 3)))
+            rows.append((t, node, 0))
+            t += float(rng.integers(1, max(2, horizon // 3)))
+            rows.append((t, node, 1))
+    return _node_events_table(rows)
+
+
+class TestNodeEventParity:
+    """Node failures: blacklisted placements, drained jobs, byte parity."""
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_fuzz_with_node_failures(self, seed):
+        rng = np.random.default_rng(1000 + seed)
+        n_vcs = int(rng.integers(1, 3))
+        nodes = int(rng.integers(2, 5))
+        spec = make_spec(nodes=nodes, vcs=n_vcs)
+        trace = _random_trace(rng, n_vcs)
+        events = _random_node_events(rng, nodes * n_vcs, 1000)
+        for sched in (FIFOScheduler(), SJFScheduler(), SRTFScheduler()):
+            try:
+                ref = Simulator(spec, sched, mode="reference").run(
+                    trace, node_events=events
+                )
+            except (ValueError, RuntimeError) as exc:
+                with pytest.raises(type(exc)) as excinfo:
+                    Simulator(spec, sched).run(trace, node_events=events)
+                assert str(excinfo.value) == str(exc)
+                continue
+            fast = Simulator(spec, sched).run(trace, node_events=events)
+            assert_replays_identical(fast, ref)
+
+    def test_directed_drain_and_blacklist(self):
+        # Node 0 goes down at t=10 while an 8-GPU job drains on it; a
+        # 16-GPU job arriving at t=20 must wait for the restore at t=100.
+        spec = make_spec(nodes=2, gpn=8)
+        trace = make_trace([(0, 8, 50), (20, 16, 30)])
+        events = _node_events_table([(10, 0, 0), (100, 0, 1)])
+        ref = Simulator(spec, FIFOScheduler(), mode="reference").run(
+            trace, node_events=events
+        )
+        fast = Simulator(spec, FIFOScheduler()).run(trace, node_events=events)
+        assert_replays_identical(fast, ref)
+        assert ref.start_times.tolist() == [0.0, 100.0]
+        assert ref.end_times.tolist() == [50.0, 130.0]
+
+    def test_no_events_table_matches_none(self):
+        spec = make_spec(nodes=2)
+        trace = make_trace([(0, 4, 30), (5, 8, 20)])
+        plain = Simulator(spec, FIFOScheduler()).run(trace)
+        empty = Simulator(spec, FIFOScheduler()).run(
+            trace, node_events=_node_events_table([])
+        )
+        assert_replays_identical(plain, empty)
+
+    def test_synthesized_events_round_trip(self):
+        from repro.traces.synth import synthesize_node_events
+
+        spec = make_spec(nodes=3, vcs=2)
+        trace = _random_trace(np.random.default_rng(7), 2)
+        events = synthesize_node_events(6, 5000.0, seed=11,
+                                        burst_rate_per_day=40.0)
+        assert len(events)
+        ref = Simulator(spec, FIFOScheduler(), mode="reference").run(
+            trace, node_events=events
+        )
+        fast = Simulator(spec, FIFOScheduler()).run(trace, node_events=events)
+        assert_replays_identical(fast, ref)
+
+    @pytest.mark.parametrize(
+        "rows, match",
+        [
+            ([(5, 0, 0), (3, 0, 0)], "already down"),
+            ([(5, 0, 1)], "is not down"),
+            ([(5, 99, 0)], "outside"),
+            ([(float("nan"), 0, 0)], "finite"),
+            ([(5, 0, 2)], "must be 0"),
+        ],
+    )
+    def test_invalid_sequences_identical_errors(self, rows, match):
+        spec = make_spec(nodes=2)
+        trace = make_trace([(0, 4, 30)])
+        events = _node_events_table(rows)
+        with pytest.raises(ValueError, match=match) as ref_exc:
+            Simulator(spec, FIFOScheduler(), mode="reference").run(
+                trace, node_events=events
+            )
+        with pytest.raises(ValueError) as fast_exc:
+            Simulator(spec, FIFOScheduler()).run(trace, node_events=events)
+        assert str(fast_exc.value) == str(ref_exc.value)
+
+    def test_normalize_orders_and_maps_vcs(self):
+        spec = make_spec(nodes=2, vcs=2)  # nodes 0-1 vc0, 2-3 vc1
+        events = _node_events_table([(30, 2, 0), (10, 0, 0), (40, 2, 1), (20, 0, 1)])
+        norm = normalize_node_events(spec, events)
+        assert norm == [
+            (10.0, 0, 0, 0), (20.0, 0, 0, 1), (30.0, 1, 0, 0), (40.0, 1, 0, 1),
+        ]
 
 
 @pytest.mark.parametrize("sched_cls", [FIFOScheduler, SRTFScheduler])

@@ -1,0 +1,233 @@
+"""Supervised worker pool: retries, timeouts, checkpoints, fault modes."""
+
+import os
+import time
+
+import pytest
+
+from repro.framework import (
+    FaultPlan,
+    FaultSpec,
+    Supervision,
+    SupervisionLog,
+    WorkerError,
+    WorkerFailure,
+    fork_available,
+    run_supervised,
+)
+from repro.framework.supervise import backoff_delay
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="requires os.fork"
+)
+
+FAST = Supervision(
+    timeout_s=10.0, max_retries=2, backoff_base_s=0.001,
+    backoff_cap_s=0.01, poll_interval_s=0.005,
+)
+
+
+def _double(x):
+    return 2 * x
+
+
+def _boom(x):
+    if x == 3:
+        raise ValueError(f"boom on {x}")
+    return x
+
+
+def _ctx_task(x, ctx):
+    """Checkpoint-aware task: resumes from a saved partial sum."""
+    base = ctx.checkpoint or 0
+    ctx.save(base + x)
+    ctx.maybe_fault(0)
+    return base + 10 * x
+
+
+class TestSupervisionKnobs:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="timeout_s"):
+            Supervision(timeout_s=0)
+        with pytest.raises(ValueError, match="heartbeat"):
+            Supervision(heartbeat_timeout_s=-1)
+        with pytest.raises(ValueError, match="max_retries"):
+            Supervision(max_retries=-1)
+        with pytest.raises(ValueError, match="poll_interval"):
+            Supervision(poll_interval_s=0)
+
+    def test_backoff_deterministic_and_bounded(self):
+        sup = Supervision(backoff_base_s=0.1, backoff_cap_s=1.0)
+        assert backoff_delay("x", 0, sup) == 0.0
+        d1 = backoff_delay("x", 1, sup)
+        d2 = backoff_delay("x", 2, sup)
+        # same inputs, same jitter — no wall clock involved
+        assert d1 == backoff_delay("x", 1, sup)
+        assert d1 != backoff_delay("y", 1, sup)
+        assert 0.1 <= d1 <= 0.2
+        assert 0.2 <= d2 <= 0.4
+        assert backoff_delay("x", 30, sup) == 1.0
+
+
+class TestHappyPath:
+    def test_matches_plain_map(self):
+        assert run_supervised(_double, [1, 2, 3], supervision=FAST) == [2, 4, 6]
+
+    def test_jobs_many(self):
+        out = run_supervised(_double, list(range(8)), jobs=4, supervision=FAST)
+        assert out == [2 * i for i in range(8)]
+
+    def test_empty_items(self):
+        assert run_supervised(_double, [], supervision=FAST) == []
+
+
+class TestErrorPaths:
+    def test_remote_traceback_and_item_preserved(self):
+        log = SupervisionLog()
+        with pytest.raises(WorkerError) as excinfo:
+            run_supervised(_boom, [1, 2, 3, 4], supervision=FAST, log=log)
+        err = excinfo.value
+        assert err.item == "2"  # label of the failing item (index)
+        assert "boom on 3" in str(err)
+        assert err.remote_traceback is None or "boom on 3" in err.remote_traceback
+        # error attempts exhausted the retry budget
+        assert err.attempts == FAST.max_retries + 1
+
+    def test_failures_isolated_per_item(self):
+        """strict=False: siblings' results survive a dead item."""
+        out = run_supervised(
+            _boom, [1, 2, 3, 4], supervision=FAST, strict=False
+        )
+        assert out[0] == 1 and out[1] == 2 and out[3] == 4
+        assert isinstance(out[2], WorkerFailure)
+        assert out[2].outcome == "error"
+
+    def test_strict_error_still_carries_all_results(self):
+        with pytest.raises(WorkerError) as excinfo:
+            run_supervised(_boom, [3, 1], supervision=FAST)
+        assert excinfo.value.results[1] == 1
+
+    def test_labels_length_checked(self):
+        with pytest.raises(ValueError, match="labels"):
+            run_supervised(_double, [1, 2], labels=["only-one"], supervision=FAST)
+
+
+class TestInjectedFaults:
+    def test_transient_exception_retried_to_success(self):
+        # exception fires only on attempt 0; attempt 1 succeeds
+        plan = FaultPlan(faults=(FaultSpec(key="0", kind="exception", at=0),))
+        log = SupervisionLog()
+        out = run_supervised(
+            _ctx_task, [5], supervision=FAST, fault_plan=plan,
+            with_context=True, log=log,
+        )
+        assert out == [55]  # checkpoint (5) + 10*5 on the retry
+        assert [(lbl, a, o) for lbl, a, o in log.events] == [
+            ("0", 0, "error"), ("0", 1, "ok"),
+        ]
+        assert log.retries() == 1
+
+    def test_corrupt_payload_retried(self):
+        plan = FaultPlan(faults=(FaultSpec(key="0", kind="corrupt"),))
+        log = SupervisionLog()
+        out = run_supervised(
+            _double, [4], supervision=FAST, fault_plan=plan, log=log
+        )
+        assert out == [8]
+        assert log.events[0] == ("0", 0, "corrupt")
+        assert log.events[-1] == ("0", 1, "ok")
+
+    def test_validate_hook_marks_corrupt(self):
+        def reject_odd(result):
+            if result % 2:
+                raise ValueError("odd payload")
+
+        log = SupervisionLog()
+        with pytest.raises(WorkerError, match="corrupt"):
+            run_supervised(
+                lambda x: x, [3], supervision=FAST, validate=reject_odd, log=log
+            )
+        assert all(o in ("corrupt", "failed") for _, _, o in log.events)
+
+    def test_exhausted_retries_terminal(self):
+        plan = FaultPlan(
+            faults=tuple(
+                FaultSpec(key="0", kind="exception", attempt=a, at=0)
+                for a in range(FAST.max_retries + 1)
+            )
+        )
+        log = SupervisionLog()
+        with pytest.raises(WorkerError, match="failed after 3 attempt"):
+            run_supervised(
+                _ctx_task, [1], supervision=FAST, fault_plan=plan,
+                with_context=True, log=log,
+            )
+        assert log.events[-1][2] == "failed"
+
+
+@needs_fork
+class TestForkedCrashes:
+    def test_sigkill_crash_recovers_from_checkpoint(self):
+        plan = FaultPlan(faults=(FaultSpec(key="a", kind="crash", at=0),))
+        log = SupervisionLog()
+        out = run_supervised(
+            _ctx_task, [2], labels=["a"], supervision=FAST,
+            fault_plan=plan, with_context=True, log=log,
+        )
+        # attempt 0 saved checkpoint 2 then died; attempt 1 resumed: 2 + 20
+        assert out == [22]
+        assert log.events == [("a", 0, "crash"), ("a", 1, "ok")]
+
+    def test_hang_killed_by_timeout(self):
+        plan = FaultPlan(faults=(FaultSpec(key="0", kind="hang", at=0),))
+        sup = Supervision(
+            timeout_s=0.3, max_retries=1, backoff_base_s=0.001,
+            backoff_cap_s=0.01, poll_interval_s=0.01,
+        )
+        log = SupervisionLog()
+        t0 = time.monotonic()
+        out = run_supervised(
+            _ctx_task, [1], supervision=sup, fault_plan=plan,
+            with_context=True, log=log,
+        )
+        assert time.monotonic() - t0 < 5.0
+        assert out == [11]
+        assert log.events[0][2] == "timeout"
+
+    def test_heartbeat_timeout_enforced(self):
+        def silent_sleep(x):
+            time.sleep(1.0)
+            return x
+
+        sup = Supervision(
+            timeout_s=30.0, heartbeat_timeout_s=0.2, max_retries=0,
+            backoff_base_s=0.001, poll_interval_s=0.01,
+        )
+        t0 = time.monotonic()
+        with pytest.raises(WorkerError, match="timeout"):
+            run_supervised(silent_sleep, [1], supervision=sup)
+        assert time.monotonic() - t0 < 5.0
+
+
+@needs_fork
+class TestModeParity:
+    def test_inprocess_fallback_same_outcomes(self, monkeypatch):
+        """The daemonic-pool fallback replays the same outcome strings
+        and checkpoint flow as real forked supervision."""
+        plan = FaultPlan(faults=(FaultSpec(key="a", kind="crash", at=0),))
+
+        forked_log = SupervisionLog()
+        forked = run_supervised(
+            _ctx_task, [2], labels=["a"], supervision=FAST,
+            fault_plan=plan, with_context=True, log=forked_log,
+        )
+
+        import repro.framework.supervise as sup_mod
+        monkeypatch.setattr(sup_mod, "fork_available", lambda: False)
+        inproc_log = SupervisionLog()
+        inproc = run_supervised(
+            _ctx_task, [2], labels=["a"], supervision=FAST,
+            fault_plan=plan, with_context=True, log=inproc_log,
+        )
+        assert forked == inproc
+        assert forked_log.events == inproc_log.events

@@ -273,3 +273,67 @@ class TestSequenceWithinGroup:
 
     def test_all_distinct(self):
         assert sequence_within_group(np.array([3, 1, 2])).tolist() == [0, 0, 0]
+
+
+class TestNodeEvents:
+    def _events(self, **kw):
+        from repro.traces import synthesize_node_events
+
+        args = dict(num_nodes=20, horizon_seconds=7 * 86_400.0, seed=5,
+                    burst_rate_per_day=4.0)
+        args.update(kw)
+        return synthesize_node_events(**args)
+
+    def test_deterministic(self):
+        assert self._events() == self._events()
+        assert self._events(seed=6) != self._events(seed=5)
+
+    def test_schema_and_ranges(self):
+        ev = self._events()
+        assert set(ev.columns) == {"time", "node", "up"}
+        assert len(ev) > 0
+        assert np.all(np.diff(ev["time"]) >= 0)
+        assert ev["node"].min() >= 0 and ev["node"].max() < 20
+        assert set(np.unique(ev["up"])) <= {0, 1}
+        assert ev["time"].min() >= 0
+        # failures land inside the horizon; the matching repairs may
+        # spill past it (stream assembly clips the high end)
+        assert ev["time"][ev["up"] == 0].max() < 7 * 86_400.0
+
+    def test_per_node_alternation_starts_down(self):
+        """Every node's event sequence is down, up, down, up, ... — a
+        node never fails twice without a repair in between."""
+        ev = self._events()
+        for node in np.unique(ev["node"]):
+            ups = ev["up"][ev["node"] == node]
+            assert np.array_equal(ups, np.arange(len(ups)) % 2)
+
+    def test_repairs_after_failures(self):
+        ev = self._events()
+        for node in np.unique(ev["node"]):
+            times = ev["time"][ev["node"] == node]
+            assert np.all(np.diff(times) > 0)  # strictly later repairs
+
+    def test_validation(self):
+        from repro.traces import synthesize_node_events
+
+        with pytest.raises(ValueError, match="num_nodes"):
+            synthesize_node_events(0, 1000.0, seed=1)
+        with pytest.raises(ValueError, match="horizon"):
+            synthesize_node_events(4, 0.0, seed=1)
+        with pytest.raises(ValueError, match="burst_rate_per_day"):
+            synthesize_node_events(4, 1000.0, seed=1, burst_rate_per_day=-1.0)
+
+    def test_generator_method_unknown_cluster(self, generator):
+        with pytest.raises(KeyError, match="unknown cluster"):
+            generator.generate_node_events("Pluto")
+
+    def test_independent_of_job_trace(self, generator):
+        """Node events derive only from (seed, cluster): generating the
+        job trace first must not change them."""
+        p = generator.params
+        a = HeliosTraceGenerator(p).generate_node_events("Venus")
+        g = HeliosTraceGenerator(p)
+        g.generate_cluster("Venus")
+        b = g.generate_node_events("Venus")
+        assert a == b
