@@ -8,6 +8,8 @@
   assert enforces it.
 * ``serve_mixed`` — jobs plus node-sample events: adds the per-bin CES
   forecast + DRS control step, reporting its p50/p99 alongside.
+* ``serve_obs_overhead`` — the same job-only stream with tracing+metrics
+  enabled vs disabled; the assert enforces the documented <=2% budget.
 """
 
 import json
@@ -16,6 +18,7 @@ import time
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.energy.forecaster import ForecastFeatures
 from repro.frame import Table
 from repro.ml.gbdt import GBDTParams
@@ -140,3 +143,78 @@ def test_mixed_stream_with_ces(qssf_history, capsys):
     assert report.node_samples == 144
     assert report.events_per_s >= 2_000
     assert report.ces_latency.p99_ms < 100.0
+
+
+def test_obs_overhead_within_budget(qssf_history, capsys):
+    """Serving with obs enabled must stay within 2% of obs-off wall time.
+
+    Shared CI containers show 5-10% run-to-run wall noise on identical
+    work, so a naive A/B of two runs cannot resolve a 2% budget.  The
+    harness therefore (a) runs the arms as adjacent pairs and takes the
+    median paired ratio — adjacent runs see the same load/frequency
+    drift, and the median sheds contention spikes — and (b) runs an A/A
+    control (off vs the next round's off) to measure the host's own
+    same-config noise.  The budget is enforced to within that measured
+    resolution: on a quiet machine the tolerance collapses to ~2%; on a
+    noisy one the BENCH line still reports both numbers so regressions
+    show up in the history even when the assert must stay lenient.
+    """
+    import gc
+    import statistics
+
+    day = 86_400.0
+    window = _make_trace(2_000, 5 * day, day, seed=4)
+    pairs = 20
+
+    def once(enabled: bool) -> float:
+        obs.reset()
+        if enabled:
+            obs.enable()
+        else:
+            obs.disable()
+        server = PredictionServer(ServeConfig(lam=1.0, batch_window_s=600.0))
+        server.install_qssf(qssf_history)
+        stream = EventStream.from_trace(window, "B", t0=5 * day, t1=6 * day)
+        gc.collect()
+        gc.disable()
+        t0 = time.perf_counter()
+        server.run(stream)
+        wall = time.perf_counter() - t0
+        gc.enable()
+        return wall
+
+    try:
+        once(False)  # warm caches outside the timed comparison
+        once(True)
+        offs, ons = [], []
+        for _ in range(pairs):
+            offs.append(once(False))
+            ons.append(once(True))
+    finally:
+        obs.reset()
+        obs.disable()
+
+    overhead = statistics.median(
+        on / off - 1.0 for off, on in zip(offs, ons)
+    )
+    noise = statistics.median(
+        abs(offs[i + 1] / offs[i] - 1.0) for i in range(pairs - 1)
+    )
+    _bench_line(
+        {
+            "bench": "serve_obs_overhead",
+            "wall_off_s": round(statistics.median(offs), 4),
+            "wall_on_s": round(statistics.median(ons), 4),
+            "overhead_pct": round(overhead * 100.0, 2),
+            "aa_noise_pct": round(noise * 100.0, 2),
+        },
+        capsys,
+    )
+    assert overhead <= 0.02 + noise, (
+        f"obs-on overhead {overhead:+.1%} exceeds the 2% budget plus the "
+        f"host's measured A/A noise floor ({noise:.1%})"
+    )
+    # Hard ceiling: even a hopelessly noisy host cannot excuse this.
+    assert overhead <= 0.25, (
+        f"obs-on overhead {overhead:+.1%} is far beyond the 2% budget"
+    )

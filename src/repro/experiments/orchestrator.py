@@ -44,6 +44,7 @@ from ..framework.parallel import (
     run_forked,
     stable_seed,
 )
+from ..obs import collect as obs
 from . import common
 from .cache import ArtifactCache, code_fingerprint, dumps_payload, loads_payload
 from .registry import get_spec
@@ -154,7 +155,8 @@ def _run_seeded(exp_id: str) -> dict:
     payload equality.
     """
     np.random.seed(stable_seed(exp_id))
-    return get_spec(exp_id).fn()
+    with obs.trace(f"exhibit:{exp_id}", exp_id=exp_id):
+        return get_spec(exp_id).fn()
 
 
 def _precursor_task(token: str) -> tuple[str, Any, bool, float]:
@@ -163,7 +165,9 @@ def _precursor_task(token: str) -> tuple[str, Any, bool, float]:
     individually in the experiment phase, with a full traceback)."""
     t0 = time.perf_counter()
     try:
-        return token, common.compute_precursor(token), True, time.perf_counter() - t0
+        with obs.trace(f"precursor:{token}", token=token):
+            value = common.compute_precursor(token)
+        return token, value, True, time.perf_counter() - t0
     except Exception:
         return token, None, False, time.perf_counter() - t0
 
@@ -203,6 +207,7 @@ class ExperimentOrchestrator:
 
     def run(self, exp_ids: list[str]) -> OrchestratorResult:
         t_start = time.perf_counter()
+        t_start_wall = obs.wall_now()
         exp_ids = list(dict.fromkeys(exp_ids))  # dedup, keep order
         specs = [get_spec(eid) for eid in exp_ids]  # fail fast on typos
         fingerprint = code_fingerprint() if self.cache else ""
@@ -264,7 +269,7 @@ class ExperimentOrchestrator:
                     exp_id, "computed", time.perf_counter() - t0, keys[exp_id]
                 )
 
-        return OrchestratorResult(
+        result = OrchestratorResult(
             reports=[reports[eid] for eid in exp_ids],
             payloads=payloads,
             wall_seconds=time.perf_counter() - t_start,
@@ -274,6 +279,13 @@ class ExperimentOrchestrator:
             cache_stats=self.cache.stats.as_dict() if self.cache else {},
             precursors=precursor_profile,
         )
+        obs.record_span(
+            "orchestrator.run", t_start_wall, obs.wall_now(),
+            jobs=self.jobs, exhibits=len(exp_ids),
+            cached=sum(1 for r in result.reports if r.status == "cached"),
+            computed=sum(1 for r in result.reports if r.status == "computed"),
+        )
+        return result
 
     # -- internals -----------------------------------------------------
 
@@ -288,6 +300,7 @@ class ExperimentOrchestrator:
         blob: bytes | None = None,
     ) -> None:
         if self.cache is not None:
+            obs.counter_add("runner.cache.store")
             self.cache.store(
                 key,
                 payload,
@@ -301,10 +314,17 @@ class ExperimentOrchestrator:
         if self.cache is None or self.force:
             return None
         t0 = time.perf_counter()
+        t0_wall = obs.wall_now()
         payload = self.cache.load(key)
         if payload is None:
+            obs.counter_add("runner.cache.miss")
             return None
-        return payload, RunReport(exp_id, "cached", time.perf_counter() - t0, key)
+        seconds = time.perf_counter() - t0
+        obs.counter_add("runner.cache.hit")
+        obs.record_span(
+            "runner.cache_probe", t0_wall, t0_wall + seconds, exp_id=exp_id
+        )
+        return payload, RunReport(exp_id, "cached", seconds, key)
 
     def _warm_precursors(self, specs) -> list[dict]:
         """Compute each distinct shared input once, in dependency waves.
@@ -331,7 +351,9 @@ class ExperimentOrchestrator:
                 for token in cold:
                     t0 = time.perf_counter()
                     try:
-                        common.compute_precursor(token)
+                        with obs.trace(f"precursor:{token}", token=token,
+                                       wave=wave, where="parent"):
+                            common.compute_precursor(token)
                     except Exception:
                         pass  # the exhibits needing it will report the failure
                     profile.append({
@@ -340,13 +362,14 @@ class ExperimentOrchestrator:
                     })
                 continue
             cold.sort(key=_token_rank)
-            for token, value, ok, seconds in run_forked(
-                _precursor_task, cold, self.jobs
-            ):
-                if ok:
-                    common.warm_precursor(token, value)
-                profile.append({
-                    "token": token, "wave": wave, "where": "pool",
-                    "seconds": round(seconds, 4),
-                })
+            with obs.trace("runner.wave", wave=wave, tokens=len(cold)):
+                for token, value, ok, seconds in run_forked(
+                    _precursor_task, cold, self.jobs
+                ):
+                    if ok:
+                        common.warm_precursor(token, value)
+                    profile.append({
+                        "token": token, "wave": wave, "where": "pool",
+                        "seconds": round(seconds, 4),
+                    })
         return profile

@@ -25,6 +25,7 @@ import os
 import sys
 from pathlib import Path
 
+from .. import obs
 from .cache import ArtifactCache
 from .orchestrator import ExperimentOrchestrator
 from .registry import SPECS, experiment_ids, get_spec, smoke_ids
@@ -96,6 +97,12 @@ def build_parser() -> argparse.ArgumentParser:
              "slowest first; the same breakdown is always embedded in "
              "the --json report under 'profile')",
     )
+    parser.add_argument(
+        "--obs-out", type=Path, default=None, metavar="DIR",
+        help="enable tracing+metrics and dump trace.jsonl + "
+             "trace.chrome.json (Perfetto-loadable) under DIR; inspect "
+             "with 'python -m repro.obs summarize DIR/trace.jsonl'",
+    )
     return parser
 
 
@@ -143,11 +150,17 @@ def _print_profile(result) -> None:
         f"exhibits, {prof['cached']} cached "
         f"(hit rate {prof['cache_hit_rate']:.0%})"
     )
-    print(f"  {'exhibit':<22s} {'status':<9s} {'seconds':>9s}")
+    print(f"  {'exhibit':<22s} {'status':<9s} {'seconds':>14s}")
     for row in prof["exhibits"]:
-        print(
-            f"  {row['exp_id']:<22s} {row['status']:<9s} {row['seconds']:>9.2f}"
-        )
+        if row["status"] == "cached":
+            # A hit's time is the cache probe, not an execution that took
+            # 0.00s — render it as such so the table can't be misread.
+            timing = f"hit ({row['seconds'] * 1e3:.1f}ms)"
+        else:
+            timing = f"{row['seconds']:.2f}"
+        print(f"  {row['exp_id']:<22s} {row['status']:<9s} {timing:>14s}")
+    if prof["cached"]:
+        print("  (cached rows show cache-probe time, not exhibit compute time)")
     if prof["precursors"]:
         print(
             f"  precursor warm phase ({prof['precursor_seconds']:.2f}s "
@@ -219,6 +232,8 @@ def main(argv: list[str] | None = None) -> int:
         msg = exc.args[0] if exc.args else exc
         print(f"error: {msg}", file=sys.stderr)
         return 2
+    if args.obs_out is not None:
+        obs.enable()
     result = orchestrator.run(ids)
 
     for report in result.reports:
@@ -244,6 +259,10 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.json is not None:
         _emit_json(result.as_dict(), args.json)
+
+    if args.obs_out is not None:
+        jsonl_path, chrome_path = obs.dump(args.obs_out)
+        print(f"obs trace written to {jsonl_path} and {chrome_path}")
 
     return 1 if counts["failed"] else 0
 

@@ -27,6 +27,8 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
+from ..obs import collect as obs
+
 __all__ = [
     "WorkerError",
     "stable_seed",
@@ -122,7 +124,10 @@ class _TracedCall:
 
     def __call__(self, item: Any) -> Any:
         try:
-            return self.fn(item)
+            # Piggyback the worker's obs state on the result pickle: the
+            # parent absorbs it in run_forked, so spans/metrics recorded
+            # inside pool workers land in the run-wide view for free.
+            return obs.carry_result(self.fn(item))
         except Exception:
             text = repr(item)
             if len(text) > 200:
@@ -170,7 +175,7 @@ def run_forked(
                 item=result.item,
                 remote_traceback=result.traceback,
             )
-    return results
+    return [obs.absorb_result(result) for result in results]
 
 
 def map_threaded(

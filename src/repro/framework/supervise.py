@@ -33,6 +33,7 @@ import traceback
 from collections import deque
 from dataclasses import dataclass
 
+from ..obs import collect as obs
 from .faults import (
     CorruptPayload,
     FaultPlan,
@@ -110,6 +111,7 @@ class SupervisionLog:
 
     def record(self, label: str, attempt: int, outcome: str) -> None:
         self.events.append((str(label), int(attempt), str(outcome)))
+        obs.counter_add(f"supervise.outcome.{outcome}")
 
     def retries(self, label: str | None = None) -> int:
         """Failed attempts that were retried (terminal failures excluded)."""
@@ -227,7 +229,11 @@ def _child_main(fn, item, with_context: bool, ctx: WorkerContext, conn) -> None:
         result = fn(item, ctx) if with_context else fn(item)
         if fault is not None and fault.kind == "corrupt":
             result = CorruptPayload(result)
-        conn.send(("ok", result))
+        # Piggyback this attempt's obs state on the result pickle.  A
+        # worker that dies before this line ships nothing — the retried
+        # attempt's snapshot is the only one merged, so replayed batches
+        # are never double-counted.
+        conn.send(("ok", obs.carry_result(result)))
         conn.close()
     except BaseException:
         try:
@@ -255,13 +261,14 @@ class _ItemState:
 
 
 class _Active:
-    __slots__ = ("state", "proc", "conn", "started", "last_beat")
+    __slots__ = ("state", "proc", "conn", "started", "started_wall", "last_beat")
 
     def __init__(self, state: _ItemState, proc, conn, now: float) -> None:
         self.state = state
         self.proc = proc
         self.conn = conn
         self.started = now
+        self.started_wall = obs.wall_now()
         self.last_beat = now
 
 
@@ -368,7 +375,10 @@ def _fail_attempt(
         return
     state.attempt += 1
     if pending is not None:
-        pending.append((state, now + backoff_delay(state.label, state.attempt, sup)))
+        delay = backoff_delay(state.label, state.attempt, sup)
+        if delay:
+            obs.histogram("supervise.backoff_s").record(delay)
+        pending.append((state, now + delay))
 
 
 def _check_result(result, validate) -> str | None:
@@ -390,8 +400,16 @@ def _supervise_forked(
     jobs = max(1, min(effective_jobs(jobs), len(states)))
     pending: deque = deque((st, 0.0) for st in states)
     active: dict[int, _Active] = {}
+    hb_hist = obs.histogram("supervise.heartbeat_gap_s")
+
+    def note_attempt(a: _Active, attempt: int, outcome: str) -> None:
+        obs.record_span(
+            "supervise.attempt", a.started_wall, obs.wall_now(),
+            label=a.state.label, attempt=attempt, outcome=outcome,
+        )
 
     def launch(state: _ItemState, now: float) -> None:
+        obs.counter_add("supervise.attempts")
         fault = plan.fault_for(state.label, state.attempt) if plan else None
         parent_conn, child_conn = ctx_mp.Pipe(duplex=False)
         wctx = WorkerContext(
@@ -419,15 +437,22 @@ def _supervise_forked(
             a.proc.kill()
         a.proc.join()
 
-    def finish(state: _ItemState, terminal, now: float) -> None:
+    def finish(state: _ItemState, terminal, now: float) -> str:
         if terminal[0] == "ok":
-            problem = _check_result(terminal[1], validate)
+            # Unwrap the worker's piggybacked obs snapshot; merge it only
+            # when the payload is accepted, so a corrupt attempt's metrics
+            # never pollute the run-wide view the retry will refill.
+            result, snap = obs.split_carrier(terminal[1])
+            problem = _check_result(result, validate)
             if problem is None:
                 log.record(state.label, state.attempt, "ok")
-                results[state.idx] = terminal[1]
+                results[state.idx] = result
                 state.settled = True
-            else:
-                _fail_attempt(state, "corrupt", sup, log, pending, now, error=problem)
+                if snap is not None:
+                    obs.merge_snapshot(snap)
+                return "ok"
+            _fail_attempt(state, "corrupt", sup, log, pending, now, error=problem)
+            return "corrupt"
         else:  # ("err", remote_traceback, item_repr)
             _, tb, item_repr = terminal
             _fail_attempt(
@@ -435,6 +460,7 @@ def _supervise_forked(
                 error=f"worker raised on item {item_repr}",
                 remote_traceback=tb,
             )
+            return "error"
 
     while pending or active:
         now = time.monotonic()
@@ -455,10 +481,14 @@ def _supervise_forked(
                 while a.conn.poll(0):
                     msg = a.conn.recv()
                     if msg[0] == "beat":
-                        a.last_beat = time.monotonic()
+                        beat = time.monotonic()
+                        hb_hist.record(beat - a.last_beat)
+                        a.last_beat = beat
                     elif msg[0] == "ckpt":
                         state.checkpoint = msg[1]
-                        a.last_beat = time.monotonic()
+                        beat = time.monotonic()
+                        hb_hist.record(beat - a.last_beat)
+                        a.last_beat = beat
                     else:
                         terminal = msg
                         break
@@ -469,7 +499,8 @@ def _supervise_forked(
             if terminal is not None:
                 del active[idx]
                 reap(a)
-                finish(state, terminal, now)
+                attempt_no = state.attempt
+                note_attempt(a, attempt_no, finish(state, terminal, now))
             elif not a.proc.is_alive():
                 # Died without a terminal message — but the pipe may still
                 # hold one buffered (small results flush before exit).
@@ -484,30 +515,36 @@ def _supervise_forked(
                     pass
                 del active[idx]
                 reap(a)
+                attempt_no = state.attempt
                 if terminal is not None:
-                    finish(state, terminal, now)
+                    note_attempt(a, attempt_no, finish(state, terminal, now))
                 else:
                     _fail_attempt(
                         state, "crash", sup, log, pending, now,
                         error="worker died without reporting a result (SIGKILL/OOM?)",
                     )
+                    note_attempt(a, attempt_no, "crash")
             elif sup.timeout_s is not None and now - a.started > sup.timeout_s:
                 del active[idx]
                 reap(a)
+                attempt_no = state.attempt
                 _fail_attempt(
                     state, "timeout", sup, log, pending, now,
                     error=f"worker exceeded its {sup.timeout_s:g}s budget",
                 )
+                note_attempt(a, attempt_no, "timeout")
             elif (
                 sup.heartbeat_timeout_s is not None
                 and now - a.last_beat > sup.heartbeat_timeout_s
             ):
                 del active[idx]
                 reap(a)
+                attempt_no = state.attempt
                 _fail_attempt(
                     state, "timeout", sup, log, pending, now,
                     error=f"no heartbeat for {sup.heartbeat_timeout_s:g}s",
                 )
+                note_attempt(a, attempt_no, "timeout")
 
         if active:
             time.sleep(sup.poll_interval_s)
@@ -521,6 +558,7 @@ def _supervise_inprocess(
     Crash and hang faults are simulated with control exceptions; attempt
     outcomes, retry schedule, and checkpoint flow match the forked path.
     """
+    tracking = obs.is_enabled()
     for state in states:
         while not state.settled:
             fault = plan.fault_for(state.label, state.attempt) if plan else None
@@ -529,7 +567,16 @@ def _supervise_inprocess(
             )
             delay = backoff_delay(state.label, state.attempt, sup)
             if delay:
+                obs.histogram("supervise.backoff_s").record(delay)
                 time.sleep(delay)
+            obs.counter_add("supervise.attempts")
+            # Isolate this attempt's obs state the way a fork does: stash
+            # the outer recorder, run the attempt against a fresh one, and
+            # merge the attempt's snapshot only if its payload is accepted
+            # — a simulated crash discards its metrics exactly like a real
+            # SIGKILL discards the dead worker's.
+            outer = obs.drain() if tracking else None
+            t0w = obs.wall_now()
             outcome = error = tb = None
             result = None
             try:
@@ -548,15 +595,30 @@ def _supervise_inprocess(
                 outcome = "error"
                 tb = traceback.format_exc()
                 error = f"worker raised on item {_describe(state.item)}"
+            finally:
+                if tracking:
+                    attempt_snap = obs.drain()
+                    obs.merge_snapshot(outer)
             state.checkpoint = wctx.checkpoint
+            attempt_no = state.attempt
             if outcome is None:
                 problem = _check_result(result, validate)
                 if problem is None:
                     log.record(state.label, state.attempt, "ok")
                     results[state.idx] = result
                     state.settled = True
+                    if tracking:
+                        obs.merge_snapshot(attempt_snap)
+                    obs.record_span(
+                        "supervise.attempt", t0w, obs.wall_now(),
+                        label=state.label, attempt=attempt_no, outcome="ok",
+                    )
                     continue
                 outcome, error = "corrupt", problem
+            obs.record_span(
+                "supervise.attempt", t0w, obs.wall_now(),
+                label=state.label, attempt=attempt_no, outcome=outcome,
+            )
             _fail_attempt(
                 state, outcome, sup, log, None, time.monotonic(),
                 error=error, remote_traceback=tb,

@@ -1,0 +1,212 @@
+"""Terminal reports over obs traces.
+
+Usage::
+
+    python -m repro.obs summarize DIR/trace.jsonl [--json]
+    python -m repro.obs diff OLD/trace.jsonl NEW/trace.jsonl
+
+``summarize`` renders one run: spans grouped by name (count / total /
+mean / max), then counters, gauges, and histogram quantiles.  ``diff``
+aligns two runs by metric and span name and prints what moved — the
+run-over-run regression view (new counters, latency quantile shifts,
+span-time deltas).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .collect import ObsSnapshot
+from .export import read_jsonl
+
+__all__ = ["main", "span_rollup", "summarize_dict"]
+
+
+def span_rollup(snap: ObsSnapshot) -> dict[str, dict]:
+    """Per-span-name aggregation: count, total/mean/max seconds."""
+    out: dict[str, dict] = {}
+    for s in snap.spans:
+        row = out.setdefault(s.name, {"count": 0, "total_s": 0.0, "max_s": 0.0})
+        row["count"] += 1
+        row["total_s"] += s.duration
+        row["max_s"] = max(row["max_s"], s.duration)
+    for row in out.values():
+        row["total_s"] = round(row["total_s"], 6)
+        row["mean_s"] = round(row["total_s"] / row["count"], 6)
+        row["max_s"] = round(row["max_s"], 6)
+    return out
+
+
+def summarize_dict(snap: ObsSnapshot) -> dict:
+    """JSON-ready summary of one snapshot."""
+    return {
+        "spans": span_rollup(snap),
+        "counters": dict(sorted(snap.counters.items())),
+        "gauges": dict(sorted(snap.gauges.items())),
+        "histograms": {
+            name: {
+                "count": h.count,
+                "mean_ms": round(h.mean * 1e3, 4),
+                "p50_ms": round(h.quantile(0.5) * 1e3, 4),
+                "p99_ms": round(h.quantile(0.99) * 1e3, 4),
+                "max_ms": round((h.vmax if h.count else 0.0) * 1e3, 4),
+            }
+            for name, h in sorted(snap.histograms.items())
+        },
+    }
+
+
+def _print_summary(snap: ObsSnapshot, path: Path) -> None:
+    summary = summarize_dict(snap)
+    pids = sorted({s.pid for s in snap.spans})
+    print(
+        f"obs summary — {len(snap.spans)} spans across {max(len(pids), 1)} "
+        f"process(es), {len(snap.counters)} counters, "
+        f"{len(snap.histograms)} histograms ({path})"
+    )
+    if summary["spans"]:
+        print()
+        print(f"  {'span':<34s} {'count':>6s} {'total_s':>9s} "
+              f"{'mean_ms':>9s} {'max_ms':>9s}")
+        rows = sorted(summary["spans"].items(), key=lambda kv: -kv[1]["total_s"])
+        for name, row in rows:
+            print(
+                f"  {name:<34.34s} {row['count']:>6d} {row['total_s']:>9.3f} "
+                f"{row['mean_s'] * 1e3:>9.2f} {row['max_s'] * 1e3:>9.2f}"
+            )
+    if summary["histograms"]:
+        print()
+        print(f"  {'histogram':<34s} {'count':>8s} {'p50_ms':>9s} "
+              f"{'p99_ms':>9s} {'mean_ms':>9s} {'max_ms':>9s}")
+        for name, row in summary["histograms"].items():
+            print(
+                f"  {name:<34.34s} {row['count']:>8d} {row['p50_ms']:>9.3f} "
+                f"{row['p99_ms']:>9.3f} {row['mean_ms']:>9.3f} "
+                f"{row['max_ms']:>9.3f}"
+            )
+    if summary["counters"]:
+        print()
+        print("  counters:")
+        for name, value in summary["counters"].items():
+            print(f"    {name:<40s} {value}")
+    if summary["gauges"]:
+        print()
+        print("  gauges:")
+        for name, value in summary["gauges"].items():
+            print(f"    {name:<40s} {value:g}")
+
+
+def _fmt_delta(old: float, new: float) -> str:
+    delta = new - old
+    if old:
+        return f"{old:g} -> {new:g} ({delta:+g}, {delta / old:+.1%})"
+    return f"{old:g} -> {new:g} ({delta:+g})"
+
+
+def _print_diff(old: ObsSnapshot, new: ObsSnapshot,
+                old_path: Path, new_path: Path) -> int:
+    """Print per-metric deltas; returns the number of changed entries."""
+    changed = 0
+    print(f"obs diff — {old_path} -> {new_path}")
+
+    print()
+    print("  counters:")
+    for name in sorted(set(old.counters) | set(new.counters)):
+        a, b = old.counters.get(name, 0), new.counters.get(name, 0)
+        marker = " " if a == b else "*"
+        changed += a != b
+        print(f"  {marker} {name:<40s} {_fmt_delta(a, b)}")
+
+    gauges = sorted(set(old.gauges) | set(new.gauges))
+    if gauges:
+        print()
+        print("  gauges:")
+        for name in gauges:
+            a, b = old.gauges.get(name, 0.0), new.gauges.get(name, 0.0)
+            marker = " " if a == b else "*"
+            changed += a != b
+            print(f"  {marker} {name:<40s} {_fmt_delta(a, b)}")
+
+    hists = sorted(set(old.histograms) | set(new.histograms))
+    if hists:
+        print()
+        print("  histograms (count | p50_ms | p99_ms):")
+        for name in hists:
+            ha, hb = old.histograms.get(name), new.histograms.get(name)
+            ca = ha.count if ha else 0
+            cb = hb.count if hb else 0
+            pa = (ha.quantile(0.5) * 1e3) if ha else 0.0
+            pb = (hb.quantile(0.5) * 1e3) if hb else 0.0
+            qa = (ha.quantile(0.99) * 1e3) if ha else 0.0
+            qb = (hb.quantile(0.99) * 1e3) if hb else 0.0
+            marker = " " if (ca, pa, qa) == (cb, pb, qb) else "*"
+            changed += marker == "*"
+            print(
+                f"  {marker} {name:<40s} {_fmt_delta(ca, cb)} | "
+                f"{pa:.3f} -> {pb:.3f} | {qa:.3f} -> {qb:.3f}"
+            )
+
+    ra, rb = span_rollup(old), span_rollup(new)
+    names = sorted(set(ra) | set(rb))
+    if names:
+        print()
+        print("  spans (count | total_s):")
+        for name in names:
+            sa = ra.get(name, {"count": 0, "total_s": 0.0})
+            sb = rb.get(name, {"count": 0, "total_s": 0.0})
+            marker = " " if sa["count"] == sb["count"] else "*"
+            changed += sa["count"] != sb["count"]
+            print(
+                f"  {marker} {name:<40s} "
+                f"{_fmt_delta(sa['count'], sb['count'])} | "
+                f"{sa['total_s']:.3f} -> {sb['total_s']:.3f}"
+            )
+
+    print()
+    print(f"{changed} entr{'y' if changed == 1 else 'ies'} changed")
+    return changed
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Summarize or diff obs JSONL traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_sum = sub.add_parser("summarize", help="render one trace.jsonl")
+    p_sum.add_argument("trace", type=Path, metavar="TRACE.jsonl")
+    p_sum.add_argument("--json", action="store_true",
+                       help="emit the summary as JSON instead of a table")
+    p_diff = sub.add_parser("diff", help="compare two trace.jsonl dumps")
+    p_diff.add_argument("old", type=Path, metavar="OLD.jsonl")
+    p_diff.add_argument("new", type=Path, metavar="NEW.jsonl")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(sys.argv[1:] if argv is None else argv)
+    try:
+        if args.command == "summarize":
+            snap = read_jsonl(args.trace)
+            if args.json:
+                print(json.dumps(summarize_dict(snap), indent=2, sort_keys=True))
+            else:
+                _print_summary(snap, args.trace)
+            return 0
+        old = read_jsonl(args.old)
+        new = read_jsonl(args.new)
+        _print_diff(old, new, args.old, args.new)
+        return 0
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,223 @@
+"""Export/import: JSONL dumps and Chrome ``trace_event`` files.
+
+Two on-disk forms of one :class:`~repro.obs.collect.ObsSnapshot`:
+
+* ``trace.jsonl`` — one JSON object per line (``kind`` of ``span`` /
+  ``counter`` / ``gauge`` / ``hist``), lossless enough to round-trip
+  back into a snapshot (:func:`read_jsonl`) for the ``summarize`` and
+  ``diff`` CLI;
+* ``trace.chrome.json`` — the Chrome ``trace_event`` array format
+  (``ph: "X"`` complete events, microsecond timestamps relative to the
+  first span), which opens directly in Perfetto or ``chrome://tracing``.
+  Span pid/tid map to the recording process, so forked workers appear
+  as separate tracks; counters and gauges ride one metadata-ish instant
+  event at the origin.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from .collect import ObsSnapshot
+from .metrics import Histogram
+from .spans import SpanRecord
+
+__all__ = [
+    "chrome_trace",
+    "dump_dir",
+    "read_jsonl",
+    "snapshot_lines",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+
+def _json_safe(value):
+    """Coerce attribute values to JSON-encodable types."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return repr(value)
+
+
+def _safe_attrs(attrs: dict) -> dict:
+    return {str(k): _json_safe(v) for k, v in attrs.items()}
+
+
+# -- JSONL ---------------------------------------------------------------
+
+def snapshot_lines(snap: ObsSnapshot) -> Iterator[dict]:
+    """The JSONL object stream for one snapshot (spans first)."""
+    for s in sorted(snap.spans, key=lambda s: (s.start, s.span_id)):
+        yield {
+            "kind": "span",
+            "name": s.name,
+            "id": s.span_id,
+            "parent": s.parent_id,
+            "start": round(s.start, 6),
+            "end": round(s.end, 6),
+            "dur_s": round(s.duration, 6),
+            "pid": s.pid,
+            "attrs": _safe_attrs(s.attrs),
+        }
+    for name in sorted(snap.counters):
+        yield {"kind": "counter", "name": name, "value": snap.counters[name]}
+    for name in sorted(snap.gauges):
+        yield {"kind": "gauge", "name": name, "value": snap.gauges[name]}
+    for name in sorted(snap.histograms):
+        yield {"kind": "hist", "name": name,
+               "hist": snap.histograms[name].to_dict()}
+
+
+def write_jsonl(snap: ObsSnapshot, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for obj in snapshot_lines(snap):
+            fh.write(json.dumps(obj, sort_keys=True) + "\n")
+    return path
+
+
+def read_jsonl(path: str | Path) -> ObsSnapshot:
+    """Rebuild a snapshot from a ``trace.jsonl`` dump."""
+    snap = ObsSnapshot()
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            kind = obj.get("kind")
+            if kind == "span":
+                snap.spans.append(SpanRecord(
+                    name=obj["name"],
+                    span_id=obj["id"],
+                    parent_id=obj.get("parent"),
+                    start=float(obj["start"]),
+                    end=float(obj["end"]),
+                    pid=int(obj.get("pid", 0)),
+                    attrs=obj.get("attrs", {}),
+                ))
+            elif kind == "counter":
+                snap.counters[obj["name"]] = int(obj["value"])
+            elif kind == "gauge":
+                snap.gauges[obj["name"]] = float(obj["value"])
+            elif kind == "hist":
+                snap.histograms[obj["name"]] = Histogram.from_dict(obj["hist"])
+            else:
+                raise ValueError(f"unknown obs record kind {kind!r} in {path}")
+    return snap
+
+
+# -- Chrome trace_event --------------------------------------------------
+
+def chrome_trace(snap: ObsSnapshot) -> dict:
+    """The ``trace_event`` JSON object for one snapshot."""
+    spans = sorted(snap.spans, key=lambda s: (s.start, s.span_id))
+    base = spans[0].start if spans else 0.0
+    events: list[dict] = []
+    for pid in sorted({s.pid for s in spans}):
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": pid,
+            "args": {"name": f"repro pid {pid}"},
+        })
+    for s in spans:
+        events.append({
+            "name": s.name,
+            "cat": "obs",
+            "ph": "X",
+            "ts": round((s.start - base) * 1e6, 3),
+            "dur": round(s.duration * 1e6, 3),
+            "pid": s.pid,
+            "tid": s.pid,
+            "args": {
+                **_safe_attrs(s.attrs),
+                "span_id": s.span_id,
+                "parent_id": s.parent_id,
+            },
+        })
+    if snap.counters or snap.gauges or snap.histograms:
+        anchor_pid = spans[0].pid if spans else os.getpid()
+        events.append({
+            "name": "obs.metrics",
+            "cat": "obs",
+            "ph": "i",
+            "s": "g",
+            "ts": 0,
+            "pid": anchor_pid,
+            "tid": anchor_pid,
+            "args": {
+                "counters": dict(sorted(snap.counters.items())),
+                "gauges": dict(sorted(snap.gauges.items())),
+                "histograms": {
+                    name: {
+                        "count": h.count,
+                        "mean": h.mean,
+                        "p50": h.quantile(0.5),
+                        "p99": h.quantile(0.99),
+                    }
+                    for name, h in sorted(snap.histograms.items())
+                },
+            },
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(snap: ObsSnapshot, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(snap)) + "\n")
+    return path
+
+
+def validate_chrome_trace(obj: dict) -> None:
+    """Schema check for the subset of ``trace_event`` this repo emits.
+
+    Raises ``ValueError`` on the first violation; used by the CI obs
+    smoke job and the export tests.
+    """
+    if not isinstance(obj, dict) or "traceEvents" not in obj:
+        raise ValueError("chrome trace must be an object with 'traceEvents'")
+    events = obj["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"event {i} is not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                raise ValueError(f"event {i} ({ev.get('name')!r}) lacks {key!r}")
+        if ev["ph"] == "X":
+            for key in ("ts", "dur"):
+                value = ev.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    raise ValueError(
+                        f"event {i} ({ev['name']!r}) has bad {key}: {value!r}"
+                    )
+
+
+# -- one-call dump -------------------------------------------------------
+
+def dump_dir(snap: ObsSnapshot, out_dir: str | Path) -> tuple[Path, Path]:
+    """Write both export forms under ``out_dir``; returns their paths."""
+    out_dir = Path(out_dir)
+    return (
+        write_jsonl(snap, out_dir / "trace.jsonl"),
+        write_chrome_trace(snap, out_dir / "trace.chrome.json"),
+    )

@@ -22,6 +22,7 @@ import json
 import sys
 from pathlib import Path
 
+from .. import obs
 from ..experiments.common import CLUSTERS
 from ..framework import FaultPlan, SupervisionLog
 from .runtime import serve_clusters
@@ -95,6 +96,12 @@ def build_parser() -> argparse.ArgumentParser:
         "-q", "--quiet", action="store_true",
         help="print only the aggregate line",
     )
+    parser.add_argument(
+        "--obs-out", type=Path, default=None, metavar="DIR",
+        help="enable tracing+metrics and dump trace.jsonl + "
+             "trace.chrome.json (Perfetto-loadable) under DIR; inspect "
+             "with 'python -m repro.obs summarize DIR/trace.jsonl'",
+    )
     return parser
 
 
@@ -139,6 +146,8 @@ def main(argv: list[str] | None = None) -> int:
         online_updates=not args.no_online_updates,
     )
     log = SupervisionLog() if supervised else None
+    if args.obs_out is not None:
+        obs.enable()
     reports = serve_clusters(
         clusters,
         config=config,
@@ -171,6 +180,12 @@ def main(argv: list[str] | None = None) -> int:
         f"{agg['events_per_s']:.0f} ev/s aggregate, "
         f"{agg['qssf_decisions']} queue orderings, {agg['ces_steps']} CES steps"
     )
+    if "qssf_latency" in agg and not args.quiet:
+        print(
+            f"fleet qssf p50/p99 {agg['qssf_latency']['p50_ms']:.2f}/"
+            f"{agg['qssf_latency']['p99_ms']:.2f} ms over the merged "
+            f"distribution ({agg['qssf_latency']['count']} decisions)"
+        )
 
     if log is not None and log.events:
         print(
@@ -185,6 +200,10 @@ def main(argv: list[str] | None = None) -> int:
         args.json.parent.mkdir(parents=True, exist_ok=True)
         args.json.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"report written to {args.json}")
+
+    if args.obs_out is not None:
+        jsonl_path, chrome_path = obs.dump(args.obs_out)
+        print(f"obs trace written to {jsonl_path} and {chrome_path}")
     return 0
 
 

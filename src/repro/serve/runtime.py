@@ -48,6 +48,7 @@ from ..framework.supervise import (
     WorkerContext,
     run_supervised,
 )
+from ..obs import collect as obs
 from ..sched import FIFOScheduler
 from ..sim import Simulator, running_nodes_series
 from ..stats.timeseries import TimeGrid
@@ -201,21 +202,25 @@ def run_shard(task: ShardTask, context: WorkerContext | None = None) -> ShardRep
     gives any installed :class:`~repro.framework.faults.FaultPlan` its
     deterministic injection point — through ``context.maybe_fault``.
     """
-    server, stream = build_shard(task)
-    if context is None:
+    resumed = context is not None and context.checkpoint is not None
+    with obs.trace("serve.shard", cluster=task.cluster, source=task.source,
+                   resumed=resumed):
+        with obs.trace("serve.build_shard", cluster=task.cluster):
+            server, stream = build_shard(task)
+        if context is None:
+            return server.run(
+                stream,
+                speedup=task.speedup,
+                checkpoint_every=task.checkpoint_every,
+            )
         return server.run(
             stream,
             speedup=task.speedup,
             checkpoint_every=task.checkpoint_every,
+            checkpoint_sink=context.save,
+            resume=context.checkpoint,
+            on_batch=context.maybe_fault,
         )
-    return server.run(
-        stream,
-        speedup=task.speedup,
-        checkpoint_every=task.checkpoint_every,
-        checkpoint_sink=context.save,
-        resume=context.checkpoint,
-        on_batch=context.maybe_fault,
-    )
 
 
 def serve_clusters(
@@ -263,22 +268,24 @@ def serve_clusters(
         )
         for c in clusters
     ]
-    if jobs > 1 or supervised:
-        for c in clusters:
-            common.cluster_gpu_trace(c)
-    if not supervised:
-        return run_forked(run_shard, tasks, jobs)
-    log = log if log is not None else SupervisionLog()
-    reports = run_supervised(
-        run_shard,
-        tasks,
-        jobs,
-        labels=[t.cluster for t in tasks],
-        supervision=supervision,
-        fault_plan=fault_plan,
-        with_context=True,
-        log=log,
-    )
-    for task, report in zip(tasks, reports):
-        report.retries = log.retries(task.cluster)
-    return reports
+    with obs.trace("serve.fanout", clusters=list(clusters), jobs=jobs,
+                   supervised=supervised):
+        if jobs > 1 or supervised:
+            for c in clusters:
+                common.cluster_gpu_trace(c)
+        if not supervised:
+            return run_forked(run_shard, tasks, jobs)
+        log = log if log is not None else SupervisionLog()
+        reports = run_supervised(
+            run_shard,
+            tasks,
+            jobs,
+            labels=[t.cluster for t in tasks],
+            supervision=supervision,
+            fault_plan=fault_plan,
+            with_context=True,
+            log=log,
+        )
+        for task, report in zip(tasks, reports):
+            report.retries = log.retries(task.cluster)
+        return reports

@@ -73,6 +73,8 @@ from ..framework import (
     UpdatePolicy,
 )
 from ..ml.gbdt import GBDTParams, keep_training_state
+from ..obs import collect as obs
+from ..obs.metrics import Histogram
 from .stream import FINISH, NODE_FAIL, NODE_SAMPLE, SUBMIT, EventStream
 from .telemetry import LatencyRecorder, LatencyStats
 
@@ -161,6 +163,12 @@ class ShardReport:
     degraded: dict[str, int] = field(default_factory=dict)
     #: node down/up event tallies from the stream's ``node_fail`` events
     node_health: dict[str, int] = field(default_factory=dict)
+    #: bounded latency histograms behind ``qssf_latency``/``ces_latency``
+    #: — mergeable across shards (``aggregate_reports`` computes fleet
+    #: p50/p99 over the merged distribution).  Wall-clock plane: excluded
+    #: from ``as_dict`` payloads and the parity surface.
+    qssf_hist: Histogram | None = None
+    ces_hist: Histogram | None = None
 
     def as_dict(self) -> dict:
         out = {
@@ -481,11 +489,13 @@ class PredictionServer:
             self.orchestrator.replace(svc)
         self._qssf_rung = rung
         self.degraded["qssf_rung"] = rung
+        obs.counter_add("serve.degrade.qssf_transitions")
 
     def _degrade_ces(self) -> None:
         """Drop CES node control to always-on (forecast = every node)."""
         self._ces_degraded = True
         self.degraded["ces_rung"] = 1
+        obs.counter_add("serve.degrade.ces_transitions")
 
     def _count_degraded(self, key: str, n: int = 1) -> None:
         self.degraded[key] = self.degraded.get(key, 0) + n
@@ -533,12 +543,31 @@ class PredictionServer:
         jobs_table = stream.jobs
         start_cursor = state["cursor"]
 
+        # One hoisted enabled-check: the per-batch cost of disabled obs
+        # is the two ``phase_hists is not None`` branches below.  Phase
+        # timings buffer into small per-kind lists and flush through the
+        # vectorized ``record_many`` — a scalar ``Histogram.record`` per
+        # batch would alone eat most of the 2% overhead budget.
+        phase_hists = None
+        if obs.is_enabled():
+            phase_hists = {
+                SUBMIT: obs.histogram("serve.phase.submit_s"),
+                FINISH: obs.histogram("serve.phase.finish_s"),
+                NODE_SAMPLE: obs.histogram("serve.phase.node_sample_s"),
+                NODE_FAIL: obs.histogram("serve.phase.node_fail_s"),
+            }
+            phase_buf: dict[str, list[float]] = {k: [] for k in phase_hists}
+            phase_pending = 0
+        span_t0 = obs.wall_now()
+
         t_start = time.perf_counter()
         for bi, batch in enumerate(stream.play(window, speedup)):
             if bi < start_cursor:
                 continue  # replayed prefix already served pre-crash
             if on_batch is not None:
                 on_batch(bi)
+            if phase_hists is not None:
+                t_batch = time.perf_counter()
             counts[batch.kind] += len(batch)
             if batch.kind == SUBMIT:
                 state["qssf_batches"] += 1
@@ -589,14 +618,33 @@ class PredictionServer:
             else:  # NODE_SAMPLE
                 self._serve_node_samples(stream, batch, ces_lat)
             state["cursor"] = bi + 1
+            if phase_hists is not None:
+                phase_buf[batch.kind].append(time.perf_counter() - t_batch)
+                phase_pending += 1
+                if phase_pending >= 1024:  # bounded buffer, batched flush
+                    for kind, pending in phase_buf.items():
+                        if pending:
+                            phase_hists[kind].record_many(pending)
+                            pending.clear()
+                    phase_pending = 0
             if (
                 checkpoint_every
                 and checkpoint_sink is not None
                 and (bi + 1) % checkpoint_every == 0
             ):
+                t_ckpt = time.perf_counter()
                 state["ckpt_seq"] += 1
                 checkpoint_sink(self._snapshot(stream, state))
+                if phase_hists is not None:
+                    obs.histogram("serve.checkpoint_s").record(
+                        time.perf_counter() - t_ckpt
+                    )
         wall = time.perf_counter() - t_start
+        if phase_hists is not None:
+            for kind, pending in phase_buf.items():
+                if pending:
+                    phase_hists[kind].record_many(pending)
+                    pending.clear()
 
         events = len(stream)
         refits = {
@@ -632,7 +680,7 @@ class PredictionServer:
                 "node_up": state["node_up"],
                 "max_down": state["max_down"],
             }
-        return ShardReport(
+        report = ShardReport(
             cluster=stream.cluster,
             events=events,
             submits=counts[SUBMIT],
@@ -653,7 +701,58 @@ class PredictionServer:
             ces_active=ces_active,
             degraded=dict(self.degraded),
             node_health=node_health,
+            qssf_hist=qssf_lat.hist,
+            ces_hist=ces_lat.hist,
         )
+        if phase_hists is not None:
+            self._publish_obs(state, report, qssf_lat, ces_lat)
+            obs.record_span(
+                "serve.run", span_t0, obs.wall_now(),
+                cluster=stream.cluster, events=events,
+                resumed=resume is not None,
+            )
+        return report
+
+    def _publish_obs(self, state: dict, report: ShardReport,
+                     qssf_lat: LatencyRecorder, ces_lat: LatencyRecorder) -> None:
+        """Publish this run's metrics into the global obs recorder.
+
+        Counters are derived from the *checkpointed* loop state and the
+        final report — the same numbers the crash-recovery parity
+        guarantee covers — and published exactly once, at the end of a
+        completed run.  A SIGKILLed attempt publishes nothing (its
+        recorder dies with it) and the resumed attempt publishes the
+        full totals, so spans/metrics survive checkpoint-resume without
+        double-counting replayed batches, and the forked and in-process
+        supervisors report identical totals by construction.
+        """
+        c = report.cluster
+        counts = state["counts"]
+        obs.counter_add("serve.batches", state["cursor"])
+        obs.counter_add("serve.events.submit", counts[SUBMIT])
+        obs.counter_add("serve.events.finish", counts[FINISH])
+        obs.counter_add("serve.events.node_sample", counts[NODE_SAMPLE])
+        obs.counter_add("serve.events.node_fail", counts[NODE_FAIL])
+        obs.counter_add("serve.qssf.batches", state["qssf_batches"])
+        obs.counter_add("serve.qssf.decisions", self._vc_decisions)
+        obs.counter_add("serve.duration_requests", state["duration_requests"])
+        obs.counter_add("serve.checkpoints", state["ckpt_seq"])
+        for service, counters in report.refits.items():
+            for key, n in counters.items():
+                obs.counter_add(f"serve.refits.{service}.{key}", n)
+        for key, n in self.degraded.items():
+            if key.endswith("_rung"):
+                obs.gauge_set(f"serve.degraded.{key}[{c}]", n)
+            else:
+                obs.counter_add(f"serve.degraded.{key}", n)
+        for key, n in report.node_health.items():
+            if key == "max_down":
+                obs.gauge_set(f"serve.node.max_down[{c}]", n)
+            else:
+                obs.counter_add(f"serve.node.{key}", n)
+        obs.gauge_set(f"serve.events_per_s[{c}]", round(report.events_per_s, 1))
+        obs.merge_histogram("serve.qssf.decide_s", qssf_lat.hist)
+        obs.merge_histogram("serve.ces.step_s", ces_lat.hist)
 
     # -- request routes ------------------------------------------------
 

@@ -2,9 +2,13 @@
 
 The serving loop records one latency sample per decision (a QSSF
 micro-batch ordering or a CES control step).  :class:`LatencyRecorder`
-keeps raw samples; :class:`LatencyStats` is the JSON-ready summary
-(p50/p99/mean in milliseconds) the shard reports and the benchmark
-suite's BENCH lines carry.
+feeds a bounded log-binned :class:`~repro.obs.metrics.Histogram` —
+O(1) memory however long the stream runs, and mergeable, so the fleet
+rollup in :func:`aggregate_reports` computes p50/p99 over the *merged*
+cross-shard distribution instead of discarding per-shard percentiles.
+:class:`LatencyStats` stays the JSON-ready summary (p50/p99/mean in
+milliseconds) the shard reports and the benchmark suite's BENCH lines
+carry.
 """
 
 from __future__ import annotations
@@ -12,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+
+from ..obs.metrics import Histogram
 
 __all__ = ["LatencyRecorder", "LatencyStats", "aggregate_reports"]
 
@@ -38,6 +44,20 @@ class LatencyStats:
             mean_ms=float(ms.mean()),
         )
 
+    @classmethod
+    def from_histogram(cls, hist: Histogram) -> "LatencyStats":
+        """Summary over a (possibly merged) latency histogram.  The mean
+        is exact; p50/p99 carry the histogram's bin quantization (≈ ±4 %
+        at the default 30 bins/decade)."""
+        if hist.count == 0:
+            return cls(count=0, p50_ms=0.0, p99_ms=0.0, mean_ms=0.0)
+        return cls(
+            count=hist.count,
+            p50_ms=hist.quantile(0.5) * 1e3,
+            p99_ms=hist.quantile(0.99) * 1e3,
+            mean_ms=hist.mean * 1e3,
+        )
+
     def as_dict(self) -> dict:
         return {
             "count": self.count,
@@ -48,16 +68,36 @@ class LatencyStats:
 
 
 class LatencyRecorder:
-    """Collects per-decision wall latencies for one request route."""
+    """Collects per-decision wall latencies for one request route.
+
+    Bounded: samples stream into a log-binned histogram instead of the
+    pre-obs unbounded ``list[float]``; ``hist`` is mergeable across
+    shards/processes.
+    """
 
     def __init__(self) -> None:
-        self.samples: list[float] = []
+        self.hist = Histogram()
 
     def record(self, seconds: float) -> None:
-        self.samples.append(seconds)
+        self.hist.record(seconds)
 
     def stats(self) -> LatencyStats:
-        return LatencyStats.from_seconds(self.samples)
+        return LatencyStats.from_histogram(self.hist)
+
+
+def _merged_latency(reports, attr: str) -> LatencyStats | None:
+    """Merge one latency route's histograms across shard reports.
+
+    ``None`` when no report carries a histogram (pre-obs payloads and
+    test doubles), so legacy rollups keep their exact schema.
+    """
+    hists = [h for r in reports if (h := getattr(r, attr, None)) is not None]
+    if not hists:
+        return None
+    merged = hists[0].copy()
+    for h in hists[1:]:
+        merged.merge(h)
+    return LatencyStats.from_histogram(merged)
 
 
 def aggregate_reports(reports, wall_seconds: float | None = None) -> dict:
@@ -67,6 +107,10 @@ def aggregate_reports(reports, wall_seconds: float | None = None) -> dict:
     whole fan-out; without it the rollup assumes shards ran
     sequentially (sums the per-shard walls), which is exact for
     ``jobs=1`` and a conservative floor for a parallel pool.
+
+    When the reports carry latency histograms, the rollup also emits
+    ``qssf_latency`` / ``ces_latency`` computed over the **merged**
+    distribution — a true fleet p99, not an average of per-shard p99s.
     """
     reports = list(reports)
     events = sum(r.events for r in reports)
@@ -90,6 +134,12 @@ def aggregate_reports(reports, wall_seconds: float | None = None) -> dict:
         "ces_steps": sum(r.node_samples for r in reports),
         "refits": refits,
     }
+    # Merged-distribution latency rollups (getattr: pre-obs report
+    # objects and test doubles carry no histograms — keys stay absent).
+    for key, attr in (("qssf_latency", "qssf_hist"), ("ces_latency", "ces_hist")):
+        stats = _merged_latency(reports, attr)
+        if stats is not None:
+            out[key] = stats.as_dict()
     # Fault-tolerance rollups (getattr: pre-chaos report objects — and
     # the test doubles modeled on them — lack these fields entirely).
     # Emitted only when nonzero so fault-free payloads keep their schema.

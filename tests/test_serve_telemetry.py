@@ -50,8 +50,11 @@ class TestLatencyStats:
             rec.record(s)
         stats = rec.stats()
         assert stats.count == 3
-        assert stats.p50_ms == pytest.approx(2.0)
-        assert stats.p99_ms <= 3.0
+        # Quantiles come out of the log-binned histogram: exact to its
+        # ~±4% bin resolution, not to the float.
+        assert stats.p50_ms == pytest.approx(2.0, rel=0.08)
+        assert stats.p99_ms <= 3.0 * 1.08
+        assert stats.mean_ms == pytest.approx(2.0)
 
 
 class TestAggregateFaultFields:
