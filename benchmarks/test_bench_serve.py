@@ -10,15 +10,26 @@
   forecast + DRS control step, reporting its p50/p99 alongside.
 * ``serve_obs_overhead`` — the same job-only stream with tracing+metrics
   enabled vs disabled; the assert enforces the documented <=2% budget.
+* ``serve_net_loopback`` — two real cluster shards through the socket
+  control plane's loopback load generator at 1 vs 2 workers; on a
+  multi-core host the 2-worker run must reach >= 1.7x the 1-worker
+  events/s (the assert is gated on ``os.cpu_count() >= 2`` — a 1-core
+  container serializes the workers and only reports the line).
+* ``serve_net_overhead`` — the same shards via the socket router vs the
+  direct fork-pool dispatch; the router's wall overhead must stay
+  within 10% plus the host's measured A/A noise floor.
 """
 
 import json
+import os
+import statistics
 import time
 
 import numpy as np
 import pytest
 
 from repro import obs
+from repro.framework import fork_available
 from repro.energy.forecaster import ForecastFeatures
 from repro.frame import Table
 from repro.ml.gbdt import GBDTParams
@@ -217,4 +228,128 @@ def test_obs_overhead_within_budget(qssf_history, capsys):
     # Hard ceiling: even a hopelessly noisy host cannot excuse this.
     assert overhead <= 0.25, (
         f"obs-on overhead {overhead:+.1%} is far beyond the 2% budget"
+    )
+
+
+#: shard scenario for the control-plane benches: small enough that a
+#: worker's model fit stays a fraction of the streamed window
+_NET_CLUSTERS = ("Venus", "Earth")
+_NET_TASK = dict(history_days=14, stream_days=2.0, max_jobs=800)
+
+needs_fork = pytest.mark.skipif(not fork_available(), reason="requires os.fork")
+
+
+def _net_arm(workers: int, queue_bound: int = 32):
+    """One timed serve_clusters_net run; returns (events/s, wall, stats)."""
+    from repro.experiments.serving import smoke_serve_config
+    from repro.serve import serve_clusters_net
+
+    t0 = time.perf_counter()
+    reports, stats = serve_clusters_net(
+        _NET_CLUSTERS, smoke_serve_config(), workers=workers,
+        queue_bound=queue_bound, **_NET_TASK,
+    )
+    wall = time.perf_counter() - t0
+    return sum(r.events for r in reports) / wall, wall, stats
+
+
+@needs_fork
+def test_net_loopback_scaling(capsys):
+    """Loopback load generator: 2 workers must beat 1 by >= 1.7x on a
+    multi-core host (each shard hashes to its own worker, so the two
+    streams serve concurrently; the router stays a single thread)."""
+    from repro.experiments import common
+
+    for c in _NET_CLUSTERS:
+        common.cluster_gpu_trace(c)  # warm outside the timed arms
+
+    eps1, wall1, _ = _net_arm(workers=1)
+    eps2, wall2, stats2 = _net_arm(workers=2)
+    scale = eps2 / eps1
+    cores = os.cpu_count() or 1
+    _bench_line(
+        {
+            "bench": "serve_net_loopback",
+            "events_per_s_1w": round(eps1, 1),
+            "events_per_s_2w": round(eps2, 1),
+            "wall_1w_s": round(wall1, 4),
+            "wall_2w_s": round(wall2, 4),
+            "scale": round(scale, 3),
+            "cores": cores,
+            "max_queue_depth": stats2.max_queue_depth,
+        },
+        capsys,
+    )
+    # The backpressure contract holds at any worker count.
+    assert stats2.max_queue_depth <= 32
+    if cores >= 2:
+        assert scale >= 1.7, (
+            f"2-worker loopback throughput only {scale:.2f}x the 1-worker "
+            f"run on a {cores}-core host (>= 1.7x required)"
+        )
+
+
+@needs_fork
+def test_net_router_overhead(capsys):
+    """Socket routing must cost <= 10% wall vs direct fork dispatch.
+
+    Same paired-median + A/A-noise-floor harness as the obs-overhead
+    bench: both arms fork workers and fit the same models; the delta
+    under test is framing, socket hops, and the router event loop.
+
+    The 10% budget presumes the router's serialization overlaps with
+    worker compute.  On a single-core host nothing overlaps — every
+    pickle and syscall is additive on the one critical path — so the
+    budget relaxes to 20% there (same reasoning as the cores gate on
+    the scaling assert above); the hard ceiling applies regardless.
+    """
+    from repro.experiments import common
+    from repro.experiments.serving import smoke_serve_config
+    from repro.serve import serve_clusters
+
+    for c in _NET_CLUSTERS:
+        common.cluster_gpu_trace(c)
+
+    def direct() -> float:
+        t0 = time.perf_counter()
+        serve_clusters(
+            _NET_CLUSTERS, config=smoke_serve_config(), jobs=2, **_NET_TASK
+        )
+        return time.perf_counter() - t0
+
+    def routed() -> float:
+        return _net_arm(workers=2)[1]
+
+    pairs = 3
+    direct()  # warm both dispatch paths outside the timed comparison
+    routed()
+    directs, routeds = [], []
+    for _ in range(pairs):
+        directs.append(direct())
+        routeds.append(routed())
+
+    overhead = statistics.median(
+        net / base - 1.0 for base, net in zip(directs, routeds)
+    )
+    noise = statistics.median(
+        abs(directs[i + 1] / directs[i] - 1.0) for i in range(pairs - 1)
+    )
+    _bench_line(
+        {
+            "bench": "serve_net_overhead",
+            "wall_direct_s": round(statistics.median(directs), 4),
+            "wall_routed_s": round(statistics.median(routeds), 4),
+            "overhead_pct": round(overhead * 100.0, 2),
+            "aa_noise_pct": round(noise * 100.0, 2),
+        },
+        capsys,
+    )
+    budget = 0.10 if (os.cpu_count() or 1) >= 2 else 0.20
+    assert overhead <= budget + noise, (
+        f"router overhead {overhead:+.1%} exceeds the {budget:.0%} budget "
+        f"plus the host's measured A/A noise floor ({noise:.1%})"
+    )
+    # Hard ceiling: even a hopelessly noisy host cannot excuse this.
+    assert overhead <= 0.50, (
+        f"router overhead {overhead:+.1%} is far beyond the {budget:.0%} budget"
     )

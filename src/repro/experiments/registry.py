@@ -132,6 +132,10 @@ _SPEC_TABLE: tuple[ExperimentSpec, ...] = (
                    tuple(f"cluster_gpu_trace:{c}"
                          for c in serving.SERVE_CHAOS_CLUSTERS),
                    smoke=True),
+    ExperimentSpec("serve_frontdoor", serving.exp_serve_frontdoor, "medium",
+                   tuple(f"cluster_gpu_trace:{c}"
+                         for c in serving.SERVE_NET_CLUSTERS),
+                   smoke=True),
     # -- ablations ----------------------------------------------------
     ExperimentSpec("ablation_lambda", ablations.exp_ablation_lambda, "heavy",
                    ("cluster_gpu_trace:Venus",)),

@@ -25,9 +25,11 @@ from . import common
 
 __all__ = [
     "exp_serve_chaos",
+    "exp_serve_frontdoor",
     "exp_serve_replay",
     "exp_serve_smoke",
     "SERVE_CHAOS_CLUSTERS",
+    "SERVE_NET_CLUSTERS",
     "SERVE_REPLAY_CLUSTERS",
     "SERVE_SMOKE_CLUSTERS",
     "smoke_serve_config",
@@ -46,6 +48,14 @@ SERVE_REPLAY_CLUSTERS = ("Venus",)
 SERVE_CHAOS_CLUSTERS = ("Venus",)
 SERVE_CHAOS_KILL_BATCH = 130
 SERVE_CHAOS_CHECKPOINT_EVERY = 50
+
+#: front-door chaos exhibit: two shards that consistent-hash onto
+#: *different* workers of a 2-worker ring (Venus → w1, Earth → w0), so
+#: a worker SIGKILL and a link partition each hit one shard
+SERVE_NET_CLUSTERS = ("Venus", "Earth")
+SERVE_NET_WORKERS = 2
+SERVE_NET_QUEUE_BOUND = 16
+SERVE_NET_PARTITION_AT = 60
 
 
 def smoke_serve_config():
@@ -193,5 +203,94 @@ def exp_serve_chaos() -> dict:
         "kill_batch": SERVE_CHAOS_KILL_BATCH,
         "checkpoint_every": SERVE_CHAOS_CHECKPOINT_EVERY,
         "clusters": list(SERVE_CHAOS_CLUSTERS),
+        "text": "\n".join(lines),
+    }
+
+
+def exp_serve_frontdoor() -> dict:
+    """Partition-and-kill chaos parity through the socket control plane.
+
+    The baseline serves two shards directly.  The chaos run routes the
+    same shards through :mod:`repro.serve.net` — consistent hashing
+    places them on different workers — under a plan that SIGKILLs
+    Venus's worker at micro-batch 130 *and* partitions Earth's link
+    indefinitely from frame 60.  The router's breaker ladder respawns
+    and reroutes both shards from their piggybacked checkpoints, and the
+    exhibit asserts the merged parity surface is byte-identical to the
+    fault-free baseline.  All wall-clock-plane counters land in
+    ``net_stats`` (scrubbed from the golden); every other field is
+    deterministic.
+    """
+    from ..framework import FaultPlan, FaultSpec
+    from ..serve import (
+        NetConfig,
+        parity_surface,
+        serve_clusters,
+        serve_clusters_net,
+    )
+
+    shard_kwargs = dict(
+        config=smoke_serve_config(),
+        history_days=SERVE_SMOKE_HISTORY_DAYS,
+        stream_days=SERVE_SMOKE_STREAM_DAYS,
+        max_jobs=SERVE_SMOKE_MAX_JOBS,
+    )
+    baseline = serve_clusters(SERVE_NET_CLUSTERS, jobs=1, **shard_kwargs)
+
+    plan = FaultPlan(
+        seed=13,
+        faults=(
+            FaultSpec(key="Venus", kind="crash", at=SERVE_CHAOS_KILL_BATCH),
+            FaultSpec(key="link:w0", kind="partition",
+                      at=SERVE_NET_PARTITION_AT, span=100_000),
+        ),
+    )
+    net = NetConfig(
+        workers=SERVE_NET_WORKERS, queue_bound=SERVE_NET_QUEUE_BOUND,
+        rpc_deadline_s=1.5, resume_deadline_s=600.0, max_retries=2,
+        backoff_base_s=0.01, backoff_cap_s=0.05,
+    )
+    recovered, stats = serve_clusters_net(
+        SERVE_NET_CLUSTERS,
+        shard_kwargs["config"],
+        history_days=SERVE_SMOKE_HISTORY_DAYS,
+        stream_days=SERVE_SMOKE_STREAM_DAYS,
+        max_jobs=SERVE_SMOKE_MAX_JOBS,
+        checkpoint_every=SERVE_CHAOS_CHECKPOINT_EVERY,
+        fault_plan=plan,
+        net=net,
+    )
+
+    parity = parity_surface(recovered) == parity_surface(baseline)
+    if not parity:
+        raise RuntimeError(
+            "net chaos parity violated: the rerouted shards' merged "
+            "report surface differs from the fault-free baseline"
+        )
+    lines = [
+        "serve_frontdoor — SIGKILL one shard worker and partition the "
+        "other's link; reroute from checkpoints through the socket "
+        "control plane, byte-compare against the direct run",
+        f"shards {', '.join(SERVE_NET_CLUSTERS)} on "
+        f"{SERVE_NET_WORKERS} workers, queue bound "
+        f"{SERVE_NET_QUEUE_BOUND}, checkpoint every "
+        f"{SERVE_CHAOS_CHECKPOINT_EVERY} batches",
+        f"faults: crash Venus at batch {SERVE_CHAOS_KILL_BATCH}; "
+        f"partition link:w0 from frame {SERVE_NET_PARTITION_AT}",
+    ] + [
+        f"{r.cluster:7s} {r.events:6d} events  parity ok"
+        for r in recovered
+    ]
+    return {
+        "parity": parity,
+        "baseline": [r.parity_dict() for r in baseline],
+        "recovered": [r.parity_dict() for r in recovered],
+        "clusters": list(SERVE_NET_CLUSTERS),
+        "workers": SERVE_NET_WORKERS,
+        "queue_bound": SERVE_NET_QUEUE_BOUND,
+        "kill_batch": SERVE_CHAOS_KILL_BATCH,
+        "partition_at": SERVE_NET_PARTITION_AT,
+        "checkpoint_every": SERVE_CHAOS_CHECKPOINT_EVERY,
+        "net_stats": stats.as_dict(),
         "text": "\n".join(lines),
     }

@@ -2,6 +2,9 @@
 
 from .engine import ModelUpdateEngine, UpdatePolicy
 from .faults import (
+    ALL_FAULT_KINDS,
+    FAULT_KINDS,
+    NET_FAULT_KINDS,
     CorruptPayload,
     FaultPlan,
     FaultSpec,
@@ -22,18 +25,24 @@ from .parallel import (
 from .plugins import CESNodeService, PassthroughQueueService, QSSFService
 from .service import PredictionService
 from .supervise import (
+    HeartbeatMonitor,
     Supervision,
     SupervisionLog,
     WorkerContext,
     WorkerFailure,
+    backoff_delay,
     run_supervised,
 )
 
 __all__ = [
+    "ALL_FAULT_KINDS",
+    "FAULT_KINDS",
+    "NET_FAULT_KINDS",
     "CESNodeService",
     "CorruptPayload",
     "FaultPlan",
     "FaultSpec",
+    "HeartbeatMonitor",
     "ModelUpdateEngine",
     "PassthroughQueueService",
     "PredictionService",
@@ -46,6 +55,7 @@ __all__ = [
     "WorkerContext",
     "WorkerError",
     "WorkerFailure",
+    "backoff_delay",
     "clear_fault_plan",
     "effective_jobs",
     "fork_available",

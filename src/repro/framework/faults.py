@@ -23,6 +23,25 @@ Fault kinds:
   attempt.
 * ``exception``  — the worker raises :class:`TransientWorkerFault`, a
   retryable error with a full remote traceback.
+
+Network fault kinds (:data:`NET_FAULT_KINDS`) are injected at the
+serving control plane's *framing* layer (:mod:`repro.serve.net.framing`)
+instead of inside a worker; ``at`` indexes the link's frame sequence
+number rather than a stream batch:
+
+* ``drop``       — ``span`` consecutive outgoing frames are silently
+  discarded: the peer never sees them (a lost request or ack).
+* ``delay``      — the frame at ``at`` is delivered ``delay_s`` late.
+* ``duplicate``  — the frame at ``at`` is delivered twice (a retransmit
+  race); consumers must be idempotent.
+* ``partition``  — the link carries *nothing* in either direction for
+  ``span`` frames counted per side: requests and replies both vanish,
+  the router sees only silence.
+
+A plan may carry several faults for the same (key, attempt) as long as
+their ``at`` indices differ — e.g. drop frame 40 *and* partition from
+frame 90 on the same link epoch.  Exact duplicates (same key, attempt
+*and* at) are rejected so a replay stays unambiguous.
 """
 
 from __future__ import annotations
@@ -32,8 +51,10 @@ import os
 from dataclasses import dataclass, field
 
 __all__ = [
+    "ALL_FAULT_KINDS",
     "FAULT_KINDS",
     "FAULT_PLAN_ENV",
+    "NET_FAULT_KINDS",
     "CorruptPayload",
     "FaultPlan",
     "FaultSpec",
@@ -43,7 +64,11 @@ __all__ = [
     "installed_fault_plan",
 ]
 
+#: process-level kinds, fired inside a supervised worker
 FAULT_KINDS = ("crash", "hang", "slow_start", "corrupt", "exception")
+#: network-level kinds, fired at the serve-net framing layer
+NET_FAULT_KINDS = ("drop", "delay", "duplicate", "partition")
+ALL_FAULT_KINDS = FAULT_KINDS + NET_FAULT_KINDS
 
 #: Environment variable carrying a JSON-serialized plan into workers.
 FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
@@ -71,7 +96,10 @@ class FaultSpec:
     task reports via ``WorkerContext.maybe_fault(progress)`` — the
     serving shard reports its stream-batch index.
     ``delay_s`` — sleep length for ``slow_start`` (and an optional cap
-    for ``hang``; 0 means "hang until killed").
+    for ``hang``; 0 means "hang until killed"); delivery lateness for
+    the network ``delay`` kind.
+    ``span``    — how many consecutive frames a network ``drop`` or
+    ``partition`` swallows (ignored by every other kind).
     """
 
     key: str
@@ -79,11 +107,13 @@ class FaultSpec:
     attempt: int = 0
     at: int | None = None
     delay_s: float = 0.0
+    span: int = 1
 
     def __post_init__(self) -> None:
-        if self.kind not in FAULT_KINDS:
+        if self.kind not in ALL_FAULT_KINDS:
             raise ValueError(
-                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {ALL_FAULT_KINDS}"
             )
         if self.attempt < 0:
             raise ValueError(f"attempt must be >= 0, got {self.attempt}")
@@ -91,6 +121,16 @@ class FaultSpec:
             raise ValueError(f"at must be None or >= 0, got {self.at}")
         if self.delay_s < 0:
             raise ValueError(f"delay_s must be >= 0, got {self.delay_s}")
+        if self.span < 1:
+            raise ValueError(f"span must be >= 1, got {self.span}")
+        if self.kind in NET_FAULT_KINDS and self.at is None:
+            raise ValueError(
+                f"network fault {self.kind!r} needs an 'at' frame index"
+            )
+
+    @property
+    def is_net(self) -> bool:
+        return self.kind in NET_FAULT_KINDS
 
     def as_dict(self) -> dict:
         return {
@@ -99,15 +139,18 @@ class FaultSpec:
             "attempt": self.attempt,
             "at": self.at,
             "delay_s": self.delay_s,
+            "span": self.span,
         }
 
 
 @dataclass(frozen=True)
 class FaultPlan:
-    """A seeded, replayable set of faults keyed by (label, attempt).
+    """A seeded, replayable set of faults keyed by (label, attempt, at).
 
     Picklable and JSON round-trippable; at most one fault per
-    (key, attempt) pair so a replay is unambiguous.
+    (key, attempt, at) triple so a replay is unambiguous.  Several
+    faults may share a (key, attempt) pair when they fire at different
+    progress indices.
     """
 
     seed: int = 0
@@ -115,19 +158,36 @@ class FaultPlan:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "faults", tuple(self.faults))
-        seen: set[tuple[str, int]] = set()
+        seen: set[tuple[str, int, int | None]] = set()
         for f in self.faults:
-            pair = (f.key, f.attempt)
-            if pair in seen:
-                raise ValueError(f"duplicate fault for key={f.key!r} attempt={f.attempt}")
-            seen.add(pair)
+            triple = (f.key, f.attempt, f.at)
+            if triple in seen:
+                raise ValueError(
+                    f"duplicate fault for key={f.key!r} "
+                    f"attempt={f.attempt} at={f.at}"
+                )
+            seen.add(triple)
 
     def fault_for(self, key: str, attempt: int) -> FaultSpec | None:
-        """The fault planned for this (label, attempt), or None."""
-        for f in self.faults:
-            if f.key == key and f.attempt == attempt:
-                return f
-        return None
+        """The first *process* fault planned for this (label, attempt),
+        or None.  Kept for single-fault plans; multi-fault consumers use
+        :meth:`process_faults_for`."""
+        faults = self.process_faults_for(key, attempt)
+        return faults[0] if faults else None
+
+    def process_faults_for(self, key: str, attempt: int) -> tuple[FaultSpec, ...]:
+        """Every process-level fault planned for this (label, attempt)."""
+        return tuple(
+            f for f in self.faults
+            if f.key == key and f.attempt == attempt and not f.is_net
+        )
+
+    def net_faults_for(self, key: str, attempt: int) -> tuple[FaultSpec, ...]:
+        """Every network fault planned for this (link label, epoch)."""
+        return tuple(
+            f for f in self.faults
+            if f.key == key and f.attempt == attempt and f.is_net
+        )
 
     def to_json(self) -> str:
         return json.dumps(

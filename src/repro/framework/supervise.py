@@ -44,6 +44,7 @@ from .faults import (
 from .parallel import WorkerError, effective_jobs, fork_available, stable_seed
 
 __all__ = [
+    "HeartbeatMonitor",
     "Supervision",
     "SupervisionLog",
     "WorkerContext",
@@ -147,6 +148,36 @@ class _SimulatedStall(BaseException):
     """In-process stand-in for a hung worker (control flow only)."""
 
 
+class HeartbeatMonitor:
+    """Liveness tracking from any proof-of-life signal.
+
+    The forked supervisor beats it from pipe messages; the serving
+    control plane's router beats it from socket acks and pongs — the
+    policy (gap histogram + timeout check) is identical either way.
+    ``timeout_s=None`` disables expiry (gaps are still recorded).
+    """
+
+    __slots__ = ("timeout_s", "last_beat", "hist")
+
+    def __init__(self, timeout_s: float | None = None, *, hist=None,
+                 now: float | None = None) -> None:
+        self.timeout_s = timeout_s
+        self.last_beat = time.monotonic() if now is None else now
+        self.hist = hist
+
+    def beat(self, now: float | None = None) -> None:
+        now = time.monotonic() if now is None else now
+        if self.hist is not None:
+            self.hist.record(now - self.last_beat)
+        self.last_beat = now
+
+    def expired(self, now: float | None = None) -> bool:
+        if self.timeout_s is None:
+            return False
+        now = time.monotonic() if now is None else now
+        return now - self.last_beat > self.timeout_s
+
+
 class WorkerContext:
     """Handle given to supervised task functions (``with_context=True``).
 
@@ -157,7 +188,15 @@ class WorkerContext:
       survives this worker's death;
     * :meth:`heartbeat` proves liveness;
     * :meth:`maybe_fault` reports progress (doubling as a heartbeat)
-      and fires the planned fault when its ``at`` index is reached.
+      and fires any planned fault whose ``at`` index is reached — a plan
+      may stack several faults on one attempt (e.g. a slow_start at
+      batch 5 and a crash at batch 100).
+
+    ``real`` forces real side effects (SIGKILL, sleep) or simulated
+    control exceptions; by default a context with a supervisor pipe dies
+    for real and a pipe-less one simulates — the serving control
+    plane's socket workers pass ``real=True`` explicitly because their
+    liveness channel is the socket, not a pipe.
     """
 
     def __init__(
@@ -166,14 +205,31 @@ class WorkerContext:
         attempt: int,
         *,
         fault: FaultSpec | None = None,
+        faults: "tuple[FaultSpec, ...] | None" = None,
         checkpoint: object = None,
         conn=None,
+        real: bool | None = None,
     ) -> None:
+        if faults is None:
+            faults = () if fault is None else (fault,)
+        elif fault is not None:
+            raise ValueError("pass either fault= or faults=, not both")
         self.label = label
         self.attempt = attempt
         self.checkpoint = checkpoint
-        self.fault = fault
+        self.faults = tuple(faults)
         self._conn = conn
+        self._real = (conn is not None) if real is None else real
+
+    @property
+    def fault(self) -> FaultSpec | None:
+        """The first planned fault (single-fault plans; legacy accessor)."""
+        return self.faults[0] if self.faults else None
+
+    @property
+    def corrupts(self) -> bool:
+        """Whether this attempt's result is planned to be corrupted."""
+        return any(f.kind == "corrupt" for f in self.faults)
 
     def heartbeat(self) -> None:
         if self._conn is not None:
@@ -184,13 +240,22 @@ class WorkerContext:
         if self._conn is not None:
             self._conn.send(("ckpt", state))
 
+    def fire_startup_faults(self) -> None:
+        """Fire every planned fault with no progress index (worker
+        startup, before any work)."""
+        for fault in self.faults:
+            if fault.at is None and fault.kind != "corrupt":
+                self._fire(fault)
+
     def maybe_fault(self, progress: int) -> None:
         self.heartbeat()
-        fault = self.fault
-        if fault is None or fault.kind == "corrupt" or fault.at is None:
-            return
-        if int(progress) == fault.at:
-            self._fire(fault)
+        for fault in self.faults:
+            if (
+                fault.kind != "corrupt"
+                and fault.at is not None
+                and int(progress) == fault.at
+            ):
+                self._fire(fault)
 
     def _fire(self, fault: FaultSpec) -> None:
         if fault.kind == "slow_start":
@@ -200,7 +265,7 @@ class WorkerContext:
             raise TransientWorkerFault(
                 f"injected transient fault for {self.label!r} attempt {self.attempt}"
             )
-        if self._conn is not None:
+        if self._real:
             # Real process: die or stall for real.
             if fault.kind == "crash":
                 os.kill(os.getpid(), signal.SIGKILL)
@@ -223,11 +288,9 @@ def _describe(item: object) -> str:
 def _child_main(fn, item, with_context: bool, ctx: WorkerContext, conn) -> None:
     """Forked worker body: run the attempt, report over the pipe."""
     try:
-        fault = ctx.fault
-        if fault is not None and fault.at is None and fault.kind != "corrupt":
-            ctx._fire(fault)
+        ctx.fire_startup_faults()
         result = fn(item, ctx) if with_context else fn(item)
-        if fault is not None and fault.kind == "corrupt":
+        if ctx.corrupts:
             result = CorruptPayload(result)
         # Piggyback this attempt's obs state on the result pickle.  A
         # worker that dies before this line ships nothing — the retried
@@ -261,15 +324,16 @@ class _ItemState:
 
 
 class _Active:
-    __slots__ = ("state", "proc", "conn", "started", "started_wall", "last_beat")
+    __slots__ = ("state", "proc", "conn", "started", "started_wall", "hb")
 
-    def __init__(self, state: _ItemState, proc, conn, now: float) -> None:
+    def __init__(self, state: _ItemState, proc, conn, now: float,
+                 hb: HeartbeatMonitor) -> None:
         self.state = state
         self.proc = proc
         self.conn = conn
         self.started = now
         self.started_wall = obs.wall_now()
-        self.last_beat = now
+        self.hb = hb
 
 
 def run_supervised(
@@ -410,12 +474,12 @@ def _supervise_forked(
 
     def launch(state: _ItemState, now: float) -> None:
         obs.counter_add("supervise.attempts")
-        fault = plan.fault_for(state.label, state.attempt) if plan else None
+        faults = plan.process_faults_for(state.label, state.attempt) if plan else ()
         parent_conn, child_conn = ctx_mp.Pipe(duplex=False)
         wctx = WorkerContext(
             state.label,
             state.attempt,
-            fault=fault,
+            faults=faults,
             checkpoint=state.checkpoint,
             conn=child_conn,
         )
@@ -426,7 +490,10 @@ def _supervise_forked(
         )
         proc.start()
         child_conn.close()
-        active[state.idx] = _Active(state, proc, parent_conn, now)
+        active[state.idx] = _Active(
+            state, proc, parent_conn, now,
+            HeartbeatMonitor(sup.heartbeat_timeout_s, hist=hb_hist, now=now),
+        )
 
     def reap(a: _Active) -> None:
         try:
@@ -481,14 +548,10 @@ def _supervise_forked(
                 while a.conn.poll(0):
                     msg = a.conn.recv()
                     if msg[0] == "beat":
-                        beat = time.monotonic()
-                        hb_hist.record(beat - a.last_beat)
-                        a.last_beat = beat
+                        a.hb.beat()
                     elif msg[0] == "ckpt":
                         state.checkpoint = msg[1]
-                        beat = time.monotonic()
-                        hb_hist.record(beat - a.last_beat)
-                        a.last_beat = beat
+                        a.hb.beat()
                     else:
                         terminal = msg
                         break
@@ -533,10 +596,7 @@ def _supervise_forked(
                     error=f"worker exceeded its {sup.timeout_s:g}s budget",
                 )
                 note_attempt(a, attempt_no, "timeout")
-            elif (
-                sup.heartbeat_timeout_s is not None
-                and now - a.last_beat > sup.heartbeat_timeout_s
-            ):
+            elif a.hb.expired(now):
                 del active[idx]
                 reap(a)
                 attempt_no = state.attempt
@@ -561,9 +621,9 @@ def _supervise_inprocess(
     tracking = obs.is_enabled()
     for state in states:
         while not state.settled:
-            fault = plan.fault_for(state.label, state.attempt) if plan else None
+            faults = plan.process_faults_for(state.label, state.attempt) if plan else ()
             wctx = WorkerContext(
-                state.label, state.attempt, fault=fault, checkpoint=state.checkpoint
+                state.label, state.attempt, faults=faults, checkpoint=state.checkpoint
             )
             delay = backoff_delay(state.label, state.attempt, sup)
             if delay:
@@ -580,10 +640,9 @@ def _supervise_inprocess(
             outcome = error = tb = None
             result = None
             try:
-                if fault is not None and fault.at is None and fault.kind != "corrupt":
-                    wctx._fire(fault)
+                wctx.fire_startup_faults()
                 result = fn(state.item, wctx) if with_context else fn(state.item)
-                if fault is not None and fault.kind == "corrupt":
+                if wctx.corrupts:
                     result = CorruptPayload(result)
             except _SimulatedCrash:
                 outcome = "crash"

@@ -21,23 +21,38 @@ same framework components into a *long-running service*:
 CLI: ``python -m repro.serve --clusters Venus,Earth --days 3 --jobs 2``.
 """
 
-from .server import PredictionServer, ServeConfig, ShardCheckpoint, ShardReport
+from .server import (
+    PredictionServer,
+    ServeConfig,
+    ServingSession,
+    ShardCheckpoint,
+    ShardReport,
+)
 from .stream import Event, EventStream, approx_node_demand
-from .runtime import ShardTask, build_shard, run_shard, serve_clusters
-from .telemetry import LatencyStats, aggregate_reports
+from .runtime import ShardTask, build_shard, build_stream, run_shard, serve_clusters
+from .telemetry import LatencyStats, aggregate_reports, parity_surface
+from .net import FrontDoor, FrontDoorClient, NetConfig, NetStats, serve_clusters_net
 
 __all__ = [
     "Event",
     "EventStream",
+    "FrontDoor",
+    "FrontDoorClient",
     "LatencyStats",
+    "NetConfig",
+    "NetStats",
     "PredictionServer",
     "ServeConfig",
+    "ServingSession",
     "ShardCheckpoint",
     "ShardReport",
     "ShardTask",
     "aggregate_reports",
     "approx_node_demand",
     "build_shard",
+    "build_stream",
+    "parity_surface",
     "run_shard",
     "serve_clusters",
+    "serve_clusters_net",
 ]

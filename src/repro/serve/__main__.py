@@ -8,10 +8,17 @@ Usage::
     python -m repro.serve --speedup 3600              # 1 stream-hour / wall-second
     python -m repro.serve --days 7 --history-days 60  # bigger windows
     python -m repro.serve --json report.json          # machine-readable report
+    python -m repro.serve --net --workers 2           # socket control plane
+    python -m repro.serve --listen 7341               # TCP front door
+    python -m repro.serve --connect HOST:7341         # replay into a front door
 
 Each cluster becomes one shard: a :class:`PredictionServer` fitted on
 the cluster's history serving that cluster's replayed event stream,
-with per-shard throughput and decision-latency telemetry.
+with per-shard throughput and decision-latency telemetry.  ``--net``
+routes the shards through the :mod:`repro.serve.net` control plane
+(consistent-hash placement, bounded queues, retries/reroutes);
+``--listen`` exposes the same plane as a TCP front door and
+``--connect`` drives a remote one as a load-generating client.
 """
 
 from __future__ import annotations
@@ -24,12 +31,12 @@ from pathlib import Path
 
 from .. import obs
 from ..experiments.common import CLUSTERS
-from ..framework import FaultPlan, SupervisionLog
+from ..framework import FaultPlan, Supervision, SupervisionLog
 from .runtime import serve_clusters
 from .server import ServeConfig
 from .telemetry import aggregate_reports
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "load_fault_plan"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -89,6 +96,43 @@ def build_parser() -> argparse.ArgumentParser:
              "path); implies --supervised",
     )
     parser.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="retry budget per shard attempt, for both the supervisor and "
+             "the net router (default 2)",
+    )
+    parser.add_argument(
+        "--retry-base", type=float, default=0.05, metavar="S",
+        help="exponential-backoff base in seconds (default 0.05)",
+    )
+    parser.add_argument(
+        "--retry-cap", type=float, default=2.0, metavar="S",
+        help="exponential-backoff cap in seconds (default 2.0)",
+    )
+    parser.add_argument(
+        "--net", action="store_true",
+        help="serve through the socket control plane (consistent-hash "
+             "routed shard workers, bounded queues, retries/reroutes)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="shard worker processes behind the net router (default 2)",
+    )
+    parser.add_argument(
+        "--queue-bound", type=int, default=32, metavar="N",
+        help="max unacked batches in flight per shard; the front door "
+             "answers busy/retry-after past it (default 32)",
+    )
+    parser.add_argument(
+        "--listen", default=None, metavar="[HOST:]PORT",
+        help="run the socket front door as a TCP server and wait for "
+             "clients to stream events in (implies --net)",
+    )
+    parser.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="replay this process's shard streams into a listening front "
+             "door as a client load generator",
+    )
+    parser.add_argument(
         "--json", type=Path, default=None, metavar="PATH",
         help="write per-shard + aggregate telemetry to PATH",
     )
@@ -103,6 +147,38 @@ def build_parser() -> argparse.ArgumentParser:
              "with 'python -m repro.obs summarize DIR/trace.jsonl'",
     )
     return parser
+
+
+def load_fault_plan(text: str) -> FaultPlan:
+    """Parse a ``--fault-plan`` value: inline JSON, or a path to it.
+
+    Anything that does not start with ``{`` is treated as a file path;
+    every failure mode (missing file, directory, unreadable file,
+    malformed JSON, invalid plan) raises :class:`ValueError` with a
+    one-line diagnostic — never a raw traceback.
+    """
+    if not text.lstrip().startswith("{"):
+        path = Path(text)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            raise ValueError(
+                f"fault-plan file {str(path)!r} not found "
+                "(inline plans must be JSON objects starting with '{')"
+            ) from None
+        except OSError as exc:
+            raise ValueError(f"cannot read fault-plan file {path}: {exc}") from None
+    try:
+        return FaultPlan.from_json(text)
+    except ValueError as exc:  # includes json.JSONDecodeError
+        raise ValueError(str(exc)) from None
+    except Exception as exc:
+        raise ValueError(f"invalid fault plan: {exc}") from None
+
+
+def _parse_endpoint(text: str, default_host: str) -> tuple[str, int]:
+    host, _, port = text.rpartition(":")
+    return (host or default_host, int(port))
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -126,16 +202,22 @@ def main(argv: list[str] | None = None) -> int:
 
     fault_plan = None
     if args.fault_plan is not None:
-        text = args.fault_plan
-        path = Path(text)
-        if path.exists():
-            text = path.read_text()
         try:
-            fault_plan = FaultPlan.from_json(text)
-        except Exception as exc:
+            fault_plan = load_fault_plan(args.fault_plan)
+        except ValueError as exc:
             print(f"error: bad --fault-plan: {exc}", file=sys.stderr)
             return 2
-    supervised = args.supervised or fault_plan is not None
+    net_mode = args.net or args.listen is not None
+    supervised = (args.supervised or fault_plan is not None) and not net_mode
+    try:
+        supervision = Supervision(
+            max_retries=args.max_retries,
+            backoff_base_s=args.retry_base,
+            backoff_cap_s=args.retry_cap,
+        )
+    except ValueError as exc:
+        print(f"error: bad retry knobs: {exc}", file=sys.stderr)
+        return 2
 
     from ..experiments.common import QSSF_GBDT
 
@@ -145,22 +227,50 @@ def main(argv: list[str] | None = None) -> int:
         bin_seconds=args.bin_seconds,
         online_updates=not args.no_online_updates,
     )
-    log = SupervisionLog() if supervised else None
     if args.obs_out is not None:
         obs.enable()
-    reports = serve_clusters(
-        clusters,
-        config=config,
-        jobs=args.jobs,
-        history_days=args.history_days,
-        stream_days=args.days,
-        max_jobs=args.max_jobs,
-        speedup=args.speedup,
-        supervised=supervised,
-        fault_plan=fault_plan,
-        checkpoint_every=args.checkpoint_every,
-        log=log,
-    )
+    if args.connect is not None:
+        return _run_connect(args, clusters, config)
+
+    log = SupervisionLog() if supervised else None
+    net_stats = None
+    if net_mode:
+        from .net import FrontDoor, NetConfig, serve_clusters_net
+
+        netcfg = NetConfig(
+            workers=args.workers,
+            queue_bound=args.queue_bound,
+            max_retries=args.max_retries,
+            backoff_base_s=args.retry_base,
+            backoff_cap_s=args.retry_cap,
+        )
+        if args.listen is not None:
+            return _run_listen(args, clusters, config, netcfg, fault_plan)
+        reports, net_stats = serve_clusters_net(
+            clusters,
+            config,
+            history_days=args.history_days,
+            stream_days=args.days,
+            max_jobs=args.max_jobs,
+            checkpoint_every=args.checkpoint_every,
+            fault_plan=fault_plan,
+            net=netcfg,
+        )
+    else:
+        reports = serve_clusters(
+            clusters,
+            config=config,
+            jobs=args.jobs,
+            history_days=args.history_days,
+            stream_days=args.days,
+            max_jobs=args.max_jobs,
+            speedup=args.speedup,
+            supervised=supervised,
+            supervision=supervision if supervised else None,
+            fault_plan=fault_plan,
+            checkpoint_every=args.checkpoint_every,
+            log=log,
+        )
 
     for report in reports:
         if args.quiet:
@@ -192,11 +302,20 @@ def main(argv: list[str] | None = None) -> int:
             f"supervision: {log.retries()} retried attempt(s) across "
             f"{len(log.events)} event(s)"
         )
+    if net_stats is not None:
+        s = net_stats.as_dict()
+        print(
+            f"net: {s['frames_sent']} frames, {s['retries']} retries, "
+            f"{s['reroutes']} reroutes, {s['respawns']} respawns, "
+            f"max queue depth {s['max_queue_depth']}"
+        )
 
     if args.json is not None:
         payload = {"shards": [r.as_dict() for r in reports], "aggregate": agg}
         if log is not None:
             payload["supervision"] = log.as_dict()
+        if net_stats is not None:
+            payload["net"] = net_stats.as_dict()
         args.json.parent.mkdir(parents=True, exist_ok=True)
         args.json.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"report written to {args.json}")
@@ -204,6 +323,76 @@ def main(argv: list[str] | None = None) -> int:
     if args.obs_out is not None:
         jsonl_path, chrome_path = obs.dump(args.obs_out)
         print(f"obs trace written to {jsonl_path} and {chrome_path}")
+    return 0
+
+
+def _shard_tasks(args, clusters, config):
+    from .runtime import ShardTask
+
+    return [
+        ShardTask(
+            cluster=c,
+            config=config,
+            history_days=args.history_days,
+            stream_days=args.days,
+            max_jobs=args.max_jobs,
+            speedup=args.speedup,
+            checkpoint_every=args.checkpoint_every,
+        )
+        for c in clusters
+    ]
+
+
+class _ReadyBanner:
+    """Duck-typed ``threading.Event`` that prints the bound endpoint."""
+
+    def __init__(self, door, workers: int, queue_bound: int) -> None:
+        self.door, self.workers, self.queue_bound = door, workers, queue_bound
+
+    def set(self) -> None:
+        print(f"front door listening on port {self.door.port} "
+              f"({self.workers} workers, queue bound {self.queue_bound})",
+              flush=True)
+
+
+def _run_listen(args, clusters, config, netcfg, fault_plan) -> int:
+    """Front-door TCP server: serve until every opened shard completes."""
+    from .net import FrontDoor
+
+    host, port = _parse_endpoint(args.listen, default_host="127.0.0.1")
+    door = FrontDoor(_shard_tasks(args, clusters, config), net=netcfg,
+                     fault_plan=fault_plan)
+    banner = _ReadyBanner(door, args.workers, args.queue_bound)
+    reports, stats = door.serve(host=host, port=port, ready=banner)
+    print(f"served {len(reports)} shard(s); "
+          f"{stats.busy_rejections} busy rejection(s)")
+    return 0
+
+
+def _run_connect(args, clusters, config) -> int:
+    """Client load generator: replay shard streams into a front door."""
+    from .net import FrontDoorClient
+    from .runtime import build_stream
+
+    host, port = _parse_endpoint(args.connect, default_host="127.0.0.1")
+    client = FrontDoorClient(host, port)
+    try:
+        for task in _shard_tasks(args, clusters, config):
+            reply = client.request({"op": "open", "cluster": task.cluster})
+            if reply.get("op") != "opened":
+                print(f"error: {reply}", file=sys.stderr)
+                return 1
+            batches = list(
+                build_stream(task).batches(task.config.batch_window_s)
+            )
+            for bi, batch in enumerate(batches):
+                client.send_event(task.cluster, bi, batch)
+            client.request({"op": "close", "cluster": task.cluster})
+            status = client.wait_done(task.cluster)
+            print(f"[{task.cluster:7s}] {len(batches)} batches served; "
+                  f"parity {status.get('parity_sha', '')[:16]}")
+    finally:
+        client.close()
     return 0
 
 

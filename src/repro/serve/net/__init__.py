@@ -1,0 +1,39 @@
+"""repro.serve.net — the resilient multi-host serving control plane.
+
+A socket front door (:mod:`.frontdoor`) accepts submit/finish/node
+events, consistent-hash routes shards onto forked socket workers
+(:mod:`.worker`, :mod:`.hashring`) behind bounded per-shard queues with
+explicit backpressure, and survives chaos — dropped, delayed,
+duplicated, and partitioned links as well as SIGKILLed workers — via
+the router's circuit-breaker ladder (:mod:`.router`): retry with
+deterministic backoff → degrade to a sibling shard from the latest
+checkpoint → FIFO passthrough.  The headline guarantee extends the
+in-shard one: kill *or partition* any worker mid-stream and the merged
+report parity surface stays byte-identical to a fault-free run.
+
+Framing (:mod:`.framing`) is length-prefixed JSON-or-pickle over the
+stdlib ``socket``/``selectors`` — zero new dependencies — and doubles
+as the deterministic injection point for the network fault kinds in
+:mod:`repro.framework.faults`.
+"""
+
+from .framing import FramedConn, NetFaultFilter, pack, unpack
+from .frontdoor import FrontDoor, FrontDoorClient, serve_clusters_net
+from .hashring import HashRing
+from .router import NetConfig, NetStats, Router
+from .worker import worker_main
+
+__all__ = [
+    "FramedConn",
+    "FrontDoor",
+    "FrontDoorClient",
+    "HashRing",
+    "NetConfig",
+    "NetFaultFilter",
+    "NetStats",
+    "Router",
+    "pack",
+    "serve_clusters_net",
+    "unpack",
+    "worker_main",
+]

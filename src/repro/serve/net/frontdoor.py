@@ -1,0 +1,285 @@
+"""The socket front door: where events enter the serving control plane.
+
+Two entry modes share one :class:`~repro.serve.net.router.Router`:
+
+* **Local drive** (:meth:`FrontDoor.run`, or the
+  :func:`serve_clusters_net` convenience) — the front door builds each
+  shard's event stream itself and routes every micro-batch to the
+  worker pool; the network-parity sibling of
+  :func:`repro.serve.runtime.serve_clusters`.
+* **Listen** (:meth:`FrontDoor.serve`) — a TCP accept loop on
+  loopback/LAN: external clients ``open`` a shard, push submit/finish/
+  node events in stream order, and ``close``; the front door admits
+  each event against the shard's bounded queue and answers ``busy``
+  with a retry-after once it is full — backpressure is explicit and
+  the router never buffers unacked work without bound.  The protocol is
+  strict request-reply over the same length-prefixed framing workers
+  use, JSON-friendly so clients never need to unpickle.
+
+:class:`FrontDoorClient` is the matching blocking client (also the
+load generator the loopback benchmark drives).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import selectors
+import socket
+import struct
+import time
+
+import numpy as np
+
+from ...experiments import common
+from ...framework.faults import FaultPlan, installed_fault_plan
+from ...obs import collect as obs
+from ..runtime import ShardTask
+from ..server import ServeConfig
+from ..stream import EventBatch
+from .framing import FramedConn, pack, unpack
+from .router import NetConfig, NetStats, Router
+
+__all__ = ["FrontDoor", "FrontDoorClient", "serve_clusters_net"]
+
+_HEADER = struct.Struct(">I")
+
+
+class FrontDoor:
+    """Socket front door over a router + worker pool."""
+
+    def __init__(self, tasks, net: NetConfig | None = None,
+                 fault_plan: FaultPlan | None = None) -> None:
+        self.router = Router(tasks, net=net, fault_plan=fault_plan)
+        self.port: int | None = None
+
+    def run(self) -> tuple[list, NetStats]:
+        """Local-drive mode: stream every configured shard through the
+        pool to completion; reports in task order."""
+        return self.router.drive()
+
+    # -- listen mode ----------------------------------------------------
+
+    def serve(self, host: str = "127.0.0.1", port: int = 0,
+              ready=None) -> tuple[list, NetStats]:
+        """Accept clients until every opened shard is served and all
+        clients have disconnected.  ``ready`` (a ``threading.Event``) is
+        set once the socket is bound — ``self.port`` then holds the
+        ephemeral port."""
+        router = self.router
+        router.start()
+        lsock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        lsock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        lsock.bind((host, port))
+        lsock.listen(16)
+        lsock.setblocking(False)
+        self.port = lsock.getsockname()[1]
+        if ready is not None:
+            ready.set()
+        sel = selectors.DefaultSelector()
+        sel.register(lsock, selectors.EVENT_READ)
+        clients: list[FramedConn] = []
+        opened = False
+        try:
+            while True:
+                sel.select(timeout=router.cfg.poll_interval_s)
+                try:
+                    csock, _ = lsock.accept()
+                    clients.append(FramedConn(csock))
+                except (BlockingIOError, InterruptedError):
+                    pass
+                for client in clients:
+                    client.pump()
+                    for msg in client.receive():
+                        if self._client_msg(client, msg):
+                            opened = True
+                clients = [c for c in clients if not c.closed]
+                router.step()
+                if opened and not clients and router.done():
+                    break
+        finally:
+            sel.close()
+            lsock.close()
+            router.shutdown()
+        return [
+            router.routes[c].report
+            for c in router.order
+            if c in router.routes
+        ], router.stats
+
+    def _client_msg(self, client: FramedConn, msg: dict) -> bool:
+        """Handle one client request; returns True when it opened a shard."""
+        router = self.router
+        op = msg.get("op")
+        cluster = msg.get("cluster")
+        if op == "open":
+            task = router.tasks.get(cluster)
+            if task is None:
+                client.send({"op": "error", "cluster": cluster,
+                             "error": "unknown cluster"}, fmt="json")
+                return False
+            if cluster not in router.routes:
+                router.open_route(task, batches=[], total=None)
+            client.send({"op": "opened", "cluster": cluster}, fmt="json")
+            return True
+        if op == "event":
+            route = router.routes.get(cluster)
+            if route is None:
+                client.send({"op": "error", "cluster": cluster,
+                             "error": "not opened"}, fmt="json")
+                return False
+            # Admission control: the per-shard queue is everything
+            # buffered but not yet acked by a worker.  Full → reject
+            # with a retry-after; the client owns the retry loop.
+            if len(route.batches) - route.acked >= router.cfg.queue_bound:
+                router.stats.busy_rejections += 1
+                obs.counter_add("net.busy_rejections")
+                client.send({
+                    "op": "busy", "cluster": cluster, "bi": msg["bi"],
+                    "retry_after_s": 4 * router.cfg.poll_interval_s,
+                }, fmt="json")
+                return False
+            bi = int(msg["bi"])
+            if bi != len(route.batches):
+                client.send({"op": "error", "cluster": cluster,
+                             "error": f"out of order: expected {len(route.batches)}"},
+                            fmt="json")
+                return False
+            route.batches.append(EventBatch(
+                kind=int(msg["kind"]),
+                time=float(msg["time"]),
+                refs=np.asarray(msg["refs"], dtype=np.int64),
+            ))
+            client.send({"op": "accepted", "cluster": cluster, "bi": bi},
+                        fmt="json")
+            return False
+        if op == "close":
+            route = router.routes.get(cluster)
+            if route is not None:
+                route.total = len(route.batches)
+                client.send({"op": "closed", "cluster": cluster,
+                             "total": route.total}, fmt="json")
+            return False
+        if op == "status":
+            route = router.routes.get(cluster)
+            reply = {"op": "status", "cluster": cluster,
+                     "phase": route.phase if route else "unknown"}
+            if route is not None and route.report is not None:
+                reply["parity_sha"] = hashlib.sha256(
+                    route.report.parity_bytes()
+                ).hexdigest()
+            client.send(reply, fmt="json")
+            return False
+        if op == "stats":
+            client.send({"op": "stats", **router.stats.as_dict()}, fmt="json")
+            return False
+        if op == "bye":
+            client.pump()
+            client.close()
+            return False
+        client.send({"op": "error", "error": f"unknown op {op!r}"}, fmt="json")
+        return False
+
+
+class FrontDoorClient:
+    """Blocking request-reply client for a listening front door."""
+
+    def __init__(self, host: str, port: int, timeout_s: float = 60.0) -> None:
+        self.sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._buf = bytearray()
+
+    def request(self, msg: dict, fmt: str = "json") -> dict:
+        self.sock.sendall(pack(msg, fmt=fmt))
+        return self._read_frame()
+
+    def _read_frame(self) -> dict:
+        while True:
+            if len(self._buf) >= _HEADER.size:
+                (length,) = _HEADER.unpack_from(self._buf)
+                if len(self._buf) >= _HEADER.size + length:
+                    body = bytes(self._buf[_HEADER.size:_HEADER.size + length])
+                    del self._buf[:_HEADER.size + length]
+                    return unpack(body)
+            chunk = self.sock.recv(1 << 16)
+            if not chunk:
+                raise ConnectionError("front door hung up")
+            self._buf += chunk
+
+    def send_event(self, cluster: str, bi: int, batch: EventBatch,
+                   max_tries: int = 1000) -> dict:
+        """Push one event batch, honoring busy/retry-after backpressure."""
+        msg = {
+            "op": "event", "cluster": cluster, "bi": bi,
+            "kind": int(batch.kind), "time": float(batch.time),
+            "refs": [int(r) for r in batch.refs],
+        }
+        for _ in range(max_tries):
+            reply = self.request(msg)
+            if reply.get("op") != "busy":
+                return reply
+            time.sleep(float(reply.get("retry_after_s", 0.01)))
+        raise TimeoutError(f"front door stayed busy for {cluster} bi={bi}")
+
+    def wait_done(self, cluster: str, timeout_s: float = 600.0,
+                  poll_s: float = 0.05) -> dict:
+        """Poll until the shard's route reports done; returns the final
+        status reply (carrying ``parity_sha``)."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            reply = self.request({"op": "status", "cluster": cluster})
+            if reply.get("phase") == "done":
+                return reply
+            time.sleep(poll_s)
+        raise TimeoutError(f"shard {cluster} not done after {timeout_s:g}s")
+
+    def close(self) -> None:
+        try:
+            self.sock.sendall(pack({"op": "bye"}, fmt="json"))
+        except OSError:
+            pass
+        self.sock.close()
+
+
+def serve_clusters_net(
+    clusters,
+    config: ServeConfig | None = None,
+    *,
+    workers: int = 2,
+    queue_bound: int = 32,
+    history_days: int = 30,
+    stream_days: float = 3.0,
+    max_jobs: int | None = None,
+    source: str = "trace",
+    checkpoint_every: int | None = None,
+    fault_plan: FaultPlan | None = None,
+    net: NetConfig | None = None,
+) -> tuple[list, NetStats]:
+    """Serve one shard per cluster through the socket control plane.
+
+    The networked sibling of
+    :func:`~repro.serve.runtime.serve_clusters`: same tasks, same
+    reports (the parity surface is byte-identical to a direct run), but
+    batches travel over sockets to consistent-hash-routed workers with
+    bounded queues, retries, reroutes, and chaos injection.
+    ``fault_plan`` defaults to the environment-installed plan.  Returns
+    ``(reports, stats)`` with reports in ``clusters`` order.
+    """
+    cfg = config or ServeConfig()
+    netcfg = net or NetConfig(workers=workers, queue_bound=queue_bound)
+    plan = fault_plan if fault_plan is not None else installed_fault_plan()
+    tasks = [
+        ShardTask(
+            cluster=c,
+            config=cfg,
+            history_days=history_days,
+            stream_days=stream_days,
+            max_jobs=max_jobs,
+            source=source,
+            checkpoint_every=checkpoint_every,
+        )
+        for c in clusters
+    ]
+    # Warm the shared trace memos so forked workers inherit them
+    # copy-on-write instead of regenerating the cluster per process.
+    for c in clusters:
+        common.cluster_gpu_trace(c)
+    return FrontDoor(tasks, net=netcfg, fault_plan=plan).run()

@@ -1,0 +1,58 @@
+"""Consistent-hash routing of shard keys onto workers.
+
+A classic virtual-node hash ring over ``md5`` (stable across processes
+and Python versions — ``hash()`` is salted and useless here).  Each
+worker contributes ``vnodes`` points on the ring; a key routes to the
+first point clockwise from its own hash.  :meth:`HashRing.preference`
+returns *every* worker in ring order from that point — the failover
+order the router walks when a shard's home worker dies, so reroutes are
+deterministic and adding a worker only moves ~1/N of the keys.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+__all__ = ["HashRing"]
+
+
+def _point(text: str) -> int:
+    return int.from_bytes(hashlib.md5(text.encode()).digest()[:8], "big")
+
+
+class HashRing:
+    """Immutable consistent-hash ring over a set of node names."""
+
+    def __init__(self, nodes, vnodes: int = 64) -> None:
+        nodes = list(nodes)
+        if not nodes:
+            raise ValueError("hash ring needs at least one node")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.nodes = tuple(nodes)
+        points = []
+        for node in nodes:
+            for i in range(vnodes):
+                points.append((_point(f"{node}#{i}"), node))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._owners = [n for _, n in points]
+
+    def owner(self, key: str) -> str:
+        """The node owning ``key``."""
+        i = bisect.bisect_right(self._hashes, _point(key)) % len(self._hashes)
+        return self._owners[i]
+
+    def preference(self, key: str) -> list[str]:
+        """Every node in failover order for ``key`` (owner first)."""
+        start = bisect.bisect_right(self._hashes, _point(key))
+        seen: list[str] = []
+        n = len(self._owners)
+        for step in range(n):
+            node = self._owners[(start + step) % n]
+            if node not in seen:
+                seen.append(node)
+                if len(seen) == len(self.nodes):
+                    break
+        return seen

@@ -1,0 +1,577 @@
+"""The serving control plane's router: links, routes, and resilience.
+
+The router owns a pool of forked socket workers (one
+:class:`WorkerLink` each, talking framed messages over a socketpair)
+and a :class:`RouteState` per shard.  Shards are placed on workers by
+consistent hashing (:mod:`.hashring`), batches stream to the owning
+worker behind a bounded in-flight window (``queue_bound`` — the
+explicit backpressure: the router never buffers unacked work beyond
+it), and every route walks a circuit-breaker ladder when its worker
+stops making progress:
+
+1. **healthy** — stream batches, collect acks (checkpoints piggyback).
+2. **retrying** — the per-RPC deadline expired: rewind to the acked
+   cursor and resend after a capped exponential backoff whose jitter is
+   deterministic (:func:`~repro.framework.supervise.backoff_delay` over
+   ``stable_seed``, never the wall clock).  Workers skip duplicate
+   batch indices, so resends are idempotent by construction.
+3. **degraded-to-sibling** — the retry budget is spent or the link died
+   (socket EOF, dead process, expired heartbeat): the link is taken
+   down (and respawned with a fresh epoch when budget remains), and
+   each of its routes is re-resumed *from its latest checkpoint* on the
+   next alive worker in its hash-ring preference order.
+4. **FIFO passthrough** — no worker can host the shard (fork
+   unavailable, or reroute budget exhausted): the router serves the
+   remaining batches in-process — decisions never stop flowing,
+   mirroring the in-shard degradation ladder.
+
+Network faults (``drop``/``delay``/``duplicate``/``partition``) inject
+at each link's framing layer, keyed by ``("link:<worker>", epoch,
+frame seq)`` — see :class:`~repro.serve.net.framing.NetFaultFilter`.
+Observability: queue-depth and RPC-latency histograms plus
+retry/reroute/breaker counters flow through :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import selectors
+import socket
+import time
+from dataclasses import dataclass, field
+
+from ...framework.faults import FaultPlan
+from ...framework.parallel import fork_available
+from ...framework.supervise import HeartbeatMonitor, Supervision, backoff_delay
+from ...obs import collect as obs
+from ..runtime import ShardTask, build_shard, build_stream
+from .framing import FramedConn, NetFaultFilter
+from .hashring import HashRing
+from .worker import worker_main
+
+__all__ = ["NetConfig", "NetStats", "Router", "RouteState", "WorkerLink"]
+
+
+@dataclass(frozen=True)
+class NetConfig:
+    """Control-plane knobs: pool size, backpressure, deadlines, retry
+    shape.  ``max_retries``/``backoff_base_s``/``backoff_cap_s`` are the
+    same knobs the forked supervisor exposes — the CLI threads one set
+    of flags into both planes."""
+
+    workers: int = 2
+    #: max unacked batches in flight per shard (the bounded queue)
+    queue_bound: int = 32
+    #: progress deadline per streamed RPC window
+    rpc_deadline_s: float = 60.0
+    #: deadline for resume (the worker fits models before replying)
+    resume_deadline_s: float = 600.0
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    poll_interval_s: float = 0.005
+    #: None disables heartbeat enforcement (acks already prove progress)
+    heartbeat_timeout_s: float | None = None
+    vnodes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_bound < 1:
+            raise ValueError(f"queue_bound must be >= 1, got {self.queue_bound}")
+        if self.rpc_deadline_s <= 0 or self.resume_deadline_s <= 0:
+            raise ValueError("deadlines must be positive")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+
+    def supervision(self) -> Supervision:
+        """The equivalent supervise knobs (used for backoff computation)."""
+        return Supervision(
+            timeout_s=None,
+            max_retries=self.max_retries,
+            backoff_base_s=self.backoff_base_s,
+            backoff_cap_s=self.backoff_cap_s,
+            poll_interval_s=self.poll_interval_s,
+        )
+
+
+@dataclass
+class NetStats:
+    """Wall-clock-plane counters for one router run (never part of the
+    parity surface — chaos runs rack these up, fault-free runs don't)."""
+
+    frames_sent: int = 0
+    acks: int = 0
+    retries: int = 0
+    gap_rewinds: int = 0
+    reroutes: int = 0
+    respawns: int = 0
+    link_failures: int = 0
+    passthroughs: int = 0
+    busy_rejections: int = 0
+    dropped_frames: int = 0
+    max_queue_depth: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "frames_sent": self.frames_sent,
+            "acks": self.acks,
+            "retries": self.retries,
+            "gap_rewinds": self.gap_rewinds,
+            "reroutes": self.reroutes,
+            "respawns": self.respawns,
+            "link_failures": self.link_failures,
+            "passthroughs": self.passthroughs,
+            "busy_rejections": self.busy_rejections,
+            "dropped_frames": self.dropped_frames,
+            "max_queue_depth": self.max_queue_depth,
+        }
+
+
+class WorkerLink:
+    """One worker process + its framed socket, from the router's side."""
+
+    __slots__ = ("name", "epoch", "proc", "conn", "alive", "spawns", "hb",
+                 "last_ping")
+
+    def __init__(self, name: str, epoch: int, proc, conn: FramedConn,
+                 hb: HeartbeatMonitor, spawns: int = 0) -> None:
+        self.name = name
+        self.epoch = epoch
+        self.proc = proc
+        self.conn = conn
+        self.alive = True
+        self.spawns = spawns
+        self.hb = hb
+        self.last_ping = 0.0
+
+
+#: route phases, in ladder order
+_PHASES = ("resuming", "streaming", "finishing", "local", "done")
+
+
+class RouteState:
+    """One shard's routing state: cursors, checkpoint, breaker position."""
+
+    __slots__ = (
+        "cluster", "task", "batches", "total", "worker", "attempt",
+        "retries", "reroutes", "next_send", "acked", "ckpt", "report",
+        "phase", "deadline", "backoff_until", "need_resume", "sent_at",
+    )
+
+    def __init__(self, task: ShardTask, batches: list | None = None,
+                 total: int | None = None) -> None:
+        self.cluster = task.cluster
+        self.task = task
+        self.batches = batches if batches is not None else []
+        self.total = total
+        self.worker: str | None = None
+        self.attempt = 0
+        self.retries = 0
+        self.reroutes = 0
+        self.next_send = 0
+        self.acked = 0
+        self.ckpt = None
+        self.report = None
+        self.phase = "resuming"
+        self.deadline: float | None = None
+        self.backoff_until = 0.0
+        self.need_resume = False
+        self.sent_at: dict[int, float] = {}
+
+
+def _worker_entry(sock, name: str, plan) -> None:
+    worker_main(sock, name, plan)
+
+
+class Router:
+    """Single-threaded event-loop router over a forked worker pool."""
+
+    def __init__(self, tasks, net: NetConfig | None = None,
+                 fault_plan: FaultPlan | None = None) -> None:
+        tasks = list(tasks)
+        self.cfg = net or NetConfig()
+        self.plan = fault_plan
+        self.order = [t.cluster for t in tasks]
+        self.tasks = {t.cluster: t for t in tasks}
+        if len(self.tasks) != len(tasks):
+            raise ValueError("duplicate cluster in tasks")
+        self.stats = NetStats()
+        self.routes: dict[str, RouteState] = {}
+        self.links: dict[str, WorkerLink] = {}
+        self.ring: HashRing | None = None
+        self._sup = self.cfg.supervision()
+        self._mp = multiprocessing.get_context("fork") if fork_available() else None
+        enabled = obs.is_enabled()
+        self._qdepth = obs.histogram("net.queue_depth") if enabled else None
+        self._rpc_hist = obs.histogram("net.rpc_s") if enabled else None
+        self._hb_hist = obs.histogram("net.heartbeat_gap_s") if enabled else None
+
+    # -- pool lifecycle ------------------------------------------------
+
+    def start(self) -> None:
+        if self._mp is None:
+            return  # no fork: every route takes the passthrough rung
+        for i in range(self.cfg.workers):
+            name = f"w{i}"
+            self.links[name] = self._spawn(name, epoch=0, spawns=0)
+        self.ring = HashRing(list(self.links), vnodes=self.cfg.vnodes)
+
+    def _spawn(self, name: str, epoch: int, spawns: int) -> WorkerLink:
+        parent_sock, child_sock = socket.socketpair()
+        proc = self._mp.Process(
+            target=_worker_entry, args=(child_sock, name, self.plan), daemon=True
+        )
+        proc.start()
+        child_sock.close()
+        conn = FramedConn(
+            parent_sock, NetFaultFilter(self.plan, f"link:{name}", epoch)
+        )
+        hb = HeartbeatMonitor(self.cfg.heartbeat_timeout_s, hist=self._hb_hist)
+        return WorkerLink(name, epoch, proc, conn, hb, spawns=spawns)
+
+    def shutdown(self) -> None:
+        deadline = time.monotonic() + 2.0
+        for link in self.links.values():
+            if link.alive:
+                link.conn.send({"op": "shutdown"})
+        for link in self.links.values():
+            if not link.alive:
+                continue  # reaped (and counted) in _link_down already
+            while link.conn.want_write and time.monotonic() < deadline:
+                link.conn.pump()
+                time.sleep(0.001)
+            self.stats.dropped_frames += link.conn.faults.dropped
+            link.proc.join(timeout=2.0)
+            if link.proc.is_alive():
+                link.proc.kill()
+                link.proc.join()
+            link.conn.close()
+            link.alive = False
+
+    # -- route lifecycle -----------------------------------------------
+
+    def open_route(self, task: ShardTask, batches: list | None = None,
+                   total: int | None = None) -> RouteState:
+        route = RouteState(task, batches=batches, total=total)
+        self.routes[task.cluster] = route
+        if not self.links:
+            self._go_local(route)
+            return route
+        route.worker = self.ring.owner(task.cluster)
+        self._send_resume(route, time.monotonic())
+        return route
+
+    def _send_resume(self, route: RouteState, now: float) -> None:
+        link = self.links[route.worker]
+        link.conn.send({
+            "op": "resume",
+            "cluster": route.cluster,
+            "task": route.task,
+            "attempt": route.attempt,
+            "ckpt": route.ckpt,
+        })
+        route.phase = "resuming"
+        route.need_resume = False
+        route.sent_at.clear()
+        route.deadline = now + self.cfg.resume_deadline_s
+
+    # -- the event loop ------------------------------------------------
+
+    def done(self) -> bool:
+        return all(r.phase == "done" for r in self.routes.values())
+
+    def step(self) -> bool:
+        """One pump: drain links, advance routes, enforce deadlines.
+        Returns whether any message moved (the idle signal the drive
+        loop uses to decide between spinning on and backing off)."""
+        now = time.monotonic()
+        busy = False
+        for link in list(self.links.values()):
+            if not link.alive:
+                continue
+            link.conn.pump()
+            for msg in link.conn.receive():
+                busy = True
+                self._handle(link, msg, now)
+            if link.conn.closed or not link.proc.is_alive():
+                self._link_down(link, now, reason="hangup")
+            elif link.hb.expired(now):
+                self._link_down(link, now, reason="heartbeat")
+            elif self.cfg.heartbeat_timeout_s is not None:
+                if now - link.last_ping > self.cfg.heartbeat_timeout_s / 3.0:
+                    link.conn.send({"op": "ping"})
+                    link.last_ping = now
+        for route in self.routes.values():
+            if route.phase == "local":
+                self._serve_local(route)
+                busy = True
+            elif self._advance(route, now):
+                busy = True
+        now = time.monotonic()
+        for route in self.routes.values():
+            if (
+                route.phase in ("resuming", "streaming", "finishing")
+                and route.deadline is not None
+                and now > route.deadline
+            ):
+                self._route_stalled(route, now)
+        return busy
+
+    def _idle_wait(self) -> None:
+        """Block until a link socket turns readable or the poll
+        interval elapses: the drive loop wakes on the first ack
+        instead of sleeping blind and adding up to a full poll
+        interval of latency per ack round."""
+        sel = selectors.DefaultSelector()
+        try:
+            armed = False
+            for link in self.links.values():
+                if link.alive and not link.conn.closed:
+                    sel.register(link.conn.sock, selectors.EVENT_READ)
+                    armed = True
+            if armed:
+                sel.select(self.cfg.poll_interval_s)
+            else:
+                time.sleep(self.cfg.poll_interval_s)
+        finally:
+            sel.close()
+
+    def drive(self) -> tuple[list, NetStats]:
+        """Local-drive mode: build every shard's stream here, route all
+        batches, run to completion; reports in task order."""
+        t0 = obs.wall_now()
+        self.start()
+        for cluster in self.order:
+            task = self.tasks[cluster]
+            batches = list(build_stream(task).batches(task.config.batch_window_s))
+            self.open_route(task, batches=batches, total=len(batches))
+        try:
+            while not self.done():
+                # Back off only when a step moved nothing: while acks
+                # are streaming, polling again immediately keeps the
+                # in-flight window full instead of draining it 5 ms at
+                # a time.
+                if not self.step():
+                    self._idle_wait()
+        finally:
+            self.shutdown()
+        if obs.is_enabled():
+            obs.record_span(
+                "net.drive", t0, obs.wall_now(),
+                clusters=self.order, workers=self.cfg.workers,
+            )
+        return [self.routes[c].report for c in self.order], self.stats
+
+    # -- message handling ----------------------------------------------
+
+    def _handle(self, link: WorkerLink, msg: dict, now: float) -> None:
+        link.hb.beat(now)
+        op = msg.get("op")
+        if op == "pong":
+            return
+        route = self.routes.get(msg.get("cluster"))
+        if route is None or route.worker != link.name:
+            return  # stale: the shard moved on
+        if op == "resume_ok":
+            if route.phase == "resuming" and msg.get("attempt") == route.attempt:
+                # The worker's cursor is authoritative: it restarted from
+                # the checkpoint, so acked progress past it is rewound.
+                cursor = int(msg["cursor"])
+                route.acked = cursor
+                route.next_send = cursor
+                route.phase = "streaming"
+                route.deadline = now + self.cfg.rpc_deadline_s
+        elif op == "ack":
+            # Acks are cumulative (a worker coalesces one per drain
+            # round): bi covers every batch at or below it.
+            bi = int(msg["bi"])
+            sent = route.sent_at.pop(bi, None)
+            if sent is not None and self._rpc_hist is not None:
+                self._rpc_hist.record(now - sent)
+            for k in [k for k in route.sent_at if k <= bi]:
+                del route.sent_at[k]
+            route.acked = max(route.acked, bi + 1)
+            ckpt = msg.get("ckpt")
+            if ckpt is not None and (route.ckpt is None or ckpt.seq >= route.ckpt.seq):
+                route.ckpt = ckpt
+            route.deadline = now + self.cfg.rpc_deadline_s
+            self.stats.acks += 1
+        elif op == "gap":
+            # Frames to this worker were lost: rewind to its cursor.
+            expected = int(msg["expected"])
+            route.acked = max(route.acked, expected)
+            if expected < route.next_send:
+                route.next_send = expected
+                route.sent_at.clear()
+                self.stats.gap_rewinds += 1
+                obs.counter_add("net.gap_rewinds")
+            route.deadline = now + self.cfg.rpc_deadline_s
+        elif op == "report":
+            if route.phase == "finishing":
+                report, snap = obs.split_carrier(msg["report"])
+                obs.merge_snapshot(snap)
+                route.report = report
+                route.phase = "done"
+                route.deadline = None
+
+    # -- route advancement ----------------------------------------------
+
+    def _advance(self, route: RouteState, now: float) -> bool:
+        """Returns whether this route sent anything (the busy signal)."""
+        if route.phase not in ("resuming", "streaming"):
+            return False
+        if now < route.backoff_until:
+            return False
+        if route.phase == "resuming":
+            if route.need_resume:
+                self._send_resume(route, now)
+                return True
+            return False
+        link = self.links.get(route.worker)
+        if link is None or not link.alive:
+            return False  # _link_down is about to reroute this route
+        sent_any = False
+        # Batches coalesce into group frames: one pickle + one syscall
+        # per group instead of per batch.  The group cap stays well
+        # below the window so several frames ride in flight — losing
+        # one still leaves later frames to trigger the worker's gap
+        # reply instead of stalling until the RPC deadline.
+        group_cap = max(1, min(32, self.cfg.queue_bound // 4))
+        while (
+            route.next_send < len(route.batches)
+            and route.next_send - route.acked < self.cfg.queue_bound
+        ):
+            bi = route.next_send
+            end = min(
+                len(route.batches),
+                route.acked + self.cfg.queue_bound,
+                bi + group_cap,
+            )
+            link.conn.send({
+                "op": "batch",
+                "cluster": route.cluster,
+                "bi": bi,
+                "items": route.batches[bi:end],
+            })
+            route.sent_at[end - 1] = now
+            route.next_send = end
+            sent_any = True
+            self.stats.frames_sent += 1
+            depth = route.next_send - route.acked
+            if depth > self.stats.max_queue_depth:
+                self.stats.max_queue_depth = depth
+            if self._qdepth is not None:
+                self._qdepth.record(depth)
+        outstanding = route.next_send > route.acked
+        if outstanding:
+            if sent_any and route.deadline is None:
+                route.deadline = now + self.cfg.rpc_deadline_s
+        elif (
+            route.total is not None
+            and route.acked >= route.total
+        ):
+            link.conn.send({"op": "finish", "cluster": route.cluster})
+            route.phase = "finishing"
+            route.deadline = now + self.cfg.resume_deadline_s
+            return True
+        else:
+            route.deadline = None  # caught up; nothing to wait for
+        return sent_any
+
+    # -- the breaker ladder ---------------------------------------------
+
+    def _route_stalled(self, route: RouteState, now: float) -> None:
+        route.retries += 1
+        self.stats.retries += 1
+        obs.counter_add("net.retries")
+        link = self.links.get(route.worker)
+        if route.retries > self.cfg.max_retries or link is None or not link.alive:
+            # Rung 3: the link is unresponsive past its budget — take it
+            # down (a partitioned worker is alive but unreachable; the
+            # respawn/reroute path treats both identically).
+            if link is not None and link.alive:
+                self._link_down(link, now, reason="unresponsive")
+            else:
+                self._reroute(route, now, avoid=route.worker)
+            return
+        # Rung 2: rewind to the acked cursor and resend after backoff.
+        delay = backoff_delay(f"net:{route.cluster}", route.retries, self._sup)
+        route.backoff_until = now + delay
+        route.next_send = route.acked
+        route.sent_at.clear()
+        if route.phase == "resuming":
+            route.need_resume = True
+            route.deadline = now + delay + self.cfg.resume_deadline_s
+        else:
+            if route.phase == "finishing":
+                route.phase = "streaming"  # re-advance resends finish
+            route.deadline = now + delay + self.cfg.rpc_deadline_s
+        link.conn.send({"op": "ping"})
+
+    def _link_down(self, link: WorkerLink, now: float, reason: str) -> None:
+        if not link.alive:
+            return
+        link.alive = False
+        self.stats.link_failures += 1
+        obs.counter_add(f"net.link_down.{reason}")
+        self.stats.dropped_frames += link.conn.faults.dropped
+        if link.proc.is_alive():
+            link.proc.kill()
+        link.proc.join()
+        link.conn.close()
+        if link.spawns < self.cfg.max_retries:
+            # Fresh epoch: new process, re-keyed fault filter.
+            self.links[link.name] = self._spawn(
+                link.name, epoch=link.epoch + 1, spawns=link.spawns + 1
+            )
+            self.stats.respawns += 1
+            obs.counter_add("net.respawns")
+        for route in self.routes.values():
+            if route.worker == link.name and route.phase in (
+                "resuming", "streaming", "finishing"
+            ):
+                self._reroute(route, now, avoid=link.name)
+
+    def _reroute(self, route: RouteState, now: float, avoid: str | None) -> None:
+        route.reroutes += 1
+        route.attempt += 1
+        route.retries = 0
+        self.stats.reroutes += 1
+        obs.counter_add("net.reroutes")
+        if route.attempt > self.cfg.max_retries + len(self.links):
+            self._go_local(route)
+            return
+        alive = [
+            w for w in self.ring.preference(route.cluster)
+            if self.links[w].alive
+        ]
+        if not alive:
+            self._go_local(route)
+            return
+        # Degrade to a sibling when one exists; a respawned self is the
+        # fallback home.
+        route.worker = next((w for w in alive if w != avoid), alive[0])
+        route.next_send = route.acked
+        route.backoff_until = 0.0
+        self._send_resume(route, now)
+
+    def _go_local(self, route: RouteState) -> None:
+        # Rung 4: FIFO passthrough — the router serves the shard itself.
+        route.phase = "local"
+        route.worker = None
+        self.stats.passthroughs += 1
+        obs.counter_add("net.passthrough")
+
+    def _serve_local(self, route: RouteState) -> None:
+        """Serve a passthrough route to completion in-process, resuming
+        from its latest checkpoint (same parity path as a worker)."""
+        task = route.task
+        server, stream = build_shard(task)
+        route.report = server.run(
+            stream,
+            speedup=task.speedup,
+            resume=route.ckpt,
+        )
+        route.phase = "done"
+        route.deadline = None

@@ -1,0 +1,184 @@
+"""Socket shard worker: a forked process serving batches pushed by the
+router.
+
+One worker may host several shard sessions (cluster → fitted
+:class:`~repro.serve.server.PredictionServer` +
+:class:`~repro.serve.server.ServingSession`).  The router drives it
+with a tiny RPC vocabulary over one framed socket:
+
+* ``resume``   — build the shard (models fit here, not in the router)
+  and open a session, resuming from a piggybacked checkpoint when the
+  router holds one; replies ``resume_ok`` with the session cursor.
+* ``batch``    — serve a group of consecutive micro-batches (the
+  router coalesces its send window into group frames; ``items`` holds
+  the group, ``bi`` the first index).  Acks are *cumulative* and
+  coalesced: one ``ack`` per drain round covers every batch served in
+  it, carrying the session cursor and any checkpoint the session
+  emitted (checkpoints ride the ack stream back to the router, which
+  keeps only the latest — the state a reroute hands to the next
+  worker).  A duplicate (``bi`` below the cursor) folds into the ack
+  without side effects; a future index (frames lost in between) is
+  answered with ``gap`` naming the expected cursor so the router
+  rewinds.
+* ``finish``   — close the session; replies ``report`` with the shard
+  report (obs state piggybacked the same way the forked supervisor
+  carries it).
+* ``forget``   — drop a session (the shard was rerouted elsewhere).
+* ``ping``/``shutdown`` — liveness probe / clean exit.
+
+Process faults from the installed
+:class:`~repro.framework.faults.FaultPlan` fire exactly as under the
+supervisor: a :class:`~repro.framework.supervise.WorkerContext` built
+with ``real=True`` (the liveness channel is the socket, not a pipe)
+SIGKILLs or stalls this process at the planned batch index, keyed by
+``(cluster, attempt)`` where ``attempt`` counts the router's resume
+attempts for that shard.
+"""
+
+from __future__ import annotations
+
+import selectors
+
+from ...framework.faults import FaultPlan, installed_fault_plan
+from ...framework.supervise import WorkerContext
+from ...obs import collect as obs
+from ..runtime import ShardTask, build_shard
+from ..server import ServingSession
+
+__all__ = ["ShardHost", "worker_main"]
+
+
+class ShardHost:
+    """One hosted shard: its session plus the fault-injection context."""
+
+    __slots__ = ("session", "ctx", "attempt", "pending_ckpt")
+
+    def __init__(self, task: ShardTask, attempt: int, ckpt,
+                 plan: FaultPlan | None) -> None:
+        server, stream = build_shard(task)
+        self.attempt = attempt
+        self.pending_ckpt = None
+        faults = plan.process_faults_for(task.cluster, attempt) if plan else ()
+        self.ctx = WorkerContext(
+            task.cluster, attempt, faults=faults, real=True
+        )
+        self.ctx.fire_startup_faults()
+        self.session = ServingSession(
+            server,
+            stream,
+            checkpoint_every=task.checkpoint_every,
+            checkpoint_sink=self._sink,
+            resume=ckpt,
+        )
+
+    def _sink(self, ckpt) -> None:
+        self.pending_ckpt = ckpt
+
+    def take_ckpt(self):
+        ckpt, self.pending_ckpt = self.pending_ckpt, None
+        return ckpt
+
+
+def worker_main(sock, name: str, plan: FaultPlan | None = None) -> None:
+    """Serve RPCs on ``sock`` until shutdown or router hangup."""
+    # Import here keeps FramedConn construction after the fork.
+    from .framing import FramedConn
+
+    if plan is None:
+        plan = installed_fault_plan()
+    conn = FramedConn(sock)
+    sel = selectors.DefaultSelector()
+    sel.register(sock, selectors.EVENT_READ)
+    hosts: dict[str, ShardHost] = {}
+    running = True
+    while running and not conn.closed:
+        sel.select(timeout=0.05)
+        conn.pump()
+        acks: dict[str, int] = {}
+        for msg in conn.receive():
+            op = msg.get("op")
+            if op == "batch":
+                _handle_batch(conn, hosts, msg, acks)
+            elif op == "resume":
+                _handle_resume(conn, hosts, msg, plan)
+            elif op == "finish":
+                host = hosts.pop(msg["cluster"], None)
+                if host is not None:
+                    report = host.session.finish()
+                    conn.send({
+                        "op": "report",
+                        "cluster": msg["cluster"],
+                        "worker": name,
+                        "report": obs.carry_result(report),
+                    })
+            elif op == "forget":
+                hosts.pop(msg["cluster"], None)
+            elif op == "ping":
+                conn.send({"op": "pong", "worker": name})
+            elif op == "shutdown":
+                running = False
+        # Acks coalesce per drain round: one cumulative ack per shard
+        # covers every batch served this round (the cursor is what the
+        # router trusts anyway), halving the return-path frame count.
+        for cluster, bi in acks.items():
+            host = hosts.get(cluster)
+            if host is None:
+                continue  # finished or forgotten in this same round
+            conn.send({
+                "op": "ack",
+                "cluster": cluster,
+                "bi": bi,
+                "cursor": host.session.cursor,
+                "ckpt": host.take_ckpt(),
+            })
+        if conn.want_write:
+            conn.pump()
+    conn.close()
+
+
+def _handle_resume(conn, hosts, msg, plan) -> None:
+    task: ShardTask = msg["task"]
+    cluster = task.cluster
+    attempt = int(msg.get("attempt", 0))
+    host = hosts.get(cluster)
+    if host is None or host.attempt != attempt:
+        # A same-attempt re-resume (router retrying a lost reply) keeps
+        # the live session; anything else rebuilds from the checkpoint.
+        host = ShardHost(task, attempt, msg.get("ckpt"), plan)
+        hosts[cluster] = host
+    conn.send({
+        "op": "resume_ok",
+        "cluster": cluster,
+        "attempt": attempt,
+        "cursor": host.session.cursor,
+    })
+
+
+def _handle_batch(conn, hosts, msg, acks: dict) -> None:
+    cluster = msg["cluster"]
+    bi0 = int(msg["bi"])
+    # The router coalesces consecutive batches into one group frame
+    # (``items``); a bare ``batch`` frame is the single-batch case.
+    items = msg["items"] if "items" in msg else [msg["batch"]]
+    host = hosts.get(cluster)
+    if host is None:
+        conn.send({"op": "gap", "cluster": cluster, "expected": 0,
+                   "reason": "no session"})
+        return
+    cursor = host.session.cursor
+    if bi0 > cursor:
+        # Frames between cursor and bi0 were lost: ask for a rewind.
+        conn.send({"op": "gap", "cluster": cluster, "expected": cursor})
+        acks.pop(cluster, None)
+        return
+    for i, batch in enumerate(items):
+        bi = bi0 + i
+        if bi < host.session.cursor:
+            continue  # duplicate: folds into the ack, no side effects
+        # Fault hook mirrors run_shard's on_batch: progress == batch
+        # index, fired only for batches actually about to be served.
+        host.ctx.maybe_fault(bi)
+        host.session.process(bi, batch)
+    # Served and duplicate batches alike fold into this round's
+    # cumulative ack (sent after the drain loop).
+    acks[cluster] = max(acks.get(cluster, -1), bi0 + len(items) - 1)

@@ -56,7 +56,7 @@ from ..traces import SECONDS_PER_DAY, slice_period
 from .server import PredictionServer, ServeConfig, ShardReport
 from .stream import EventStream, approx_node_demand
 
-__all__ = ["ShardTask", "build_shard", "run_shard", "serve_clusters"]
+__all__ = ["ShardTask", "build_shard", "build_stream", "run_shard", "serve_clusters"]
 
 _SOURCES = ("trace", "replay")
 
@@ -114,18 +114,42 @@ def build_shard(task: ShardTask) -> tuple[PredictionServer, EventStream]:
     total_nodes = common.cluster_spec(task.cluster).num_nodes
 
     if task.source == "replay":
-        stream = _replay_stream(task, server, gpu, hist_start, eval_start,
-                                stream_end, total_nodes)
+        ces_history, stream = _replay_stream(
+            task, gpu, hist_start, eval_start, stream_end
+        )
     else:
-        stream = _trace_stream(task, server, gpu, hist_start, eval_start,
-                               stream_end, total_nodes)
+        ces_history, stream = _trace_stream(
+            task, gpu, hist_start, eval_start, stream_end, total_nodes
+        )
+    server.install_ces(ces_history, total_nodes)
     return server, stream
 
 
+def build_stream(task: ShardTask) -> EventStream:
+    """Build only a shard's event stream — no model fitting.
+
+    The serve-net router's half of a shard: it needs the micro-batches
+    to route over the wire, not the fitted models (those live in the
+    worker that calls :func:`build_shard` on the same task — both sides
+    derive the identical stream deterministically).
+    """
+    eval_start = common.EVAL_MONTH * common.MONTH_SECONDS
+    hist_start = eval_start - task.history_days * SECONDS_PER_DAY
+    stream_end = eval_start + task.stream_days * SECONDS_PER_DAY
+    gpu = common.cluster_gpu_trace(task.cluster)
+    if task.source == "replay":
+        return _replay_stream(task, gpu, hist_start, eval_start, stream_end)[1]
+    total_nodes = common.cluster_spec(task.cluster).num_nodes
+    return _trace_stream(
+        task, gpu, hist_start, eval_start, stream_end, total_nodes
+    )[1]
+
+
 def _trace_stream(
-    task, server, gpu, hist_start, eval_start, stream_end, total_nodes
-) -> EventStream:
-    """Replay-free stream: as-if-unqueued finishes and scaled demand."""
+    task, gpu, hist_start, eval_start, stream_end, total_nodes
+) -> tuple[np.ndarray, EventStream]:
+    """Replay-free stream: as-if-unqueued finishes and scaled demand.
+    Returns the CES training history alongside the stream."""
     cfg = task.config
     window = slice_period(gpu, eval_start, stream_end).sort_by("submit_time")
     if task.max_jobs is not None:
@@ -137,10 +161,10 @@ def _trace_stream(
     hist_grid = TimeGrid.covering(hist_start, eval_start, cfg.bin_seconds)
     raw_hist = approx_node_demand(gpu, hist_grid)
     scale = total_nodes / max(float(raw_hist.max()), 1.0)
-    server.install_ces(_scale_demand(raw_hist, scale, total_nodes), total_nodes)
+    ces_history = _scale_demand(raw_hist, scale, total_nodes)
 
     stream_grid = TimeGrid.covering(eval_start, stream_end, cfg.bin_seconds)
-    return EventStream.from_trace(
+    return ces_history, EventStream.from_trace(
         window,
         cluster=task.cluster,
         t0=eval_start,
@@ -153,16 +177,17 @@ def _trace_stream(
 
 
 def _replay_stream(
-    task, server, gpu, hist_start, eval_start, stream_end, total_nodes
-) -> EventStream:
+    task, gpu, hist_start, eval_start, stream_end
+) -> tuple[np.ndarray, EventStream]:
     """Live-replay stream: one fast simulator pass over the shard window.
 
     The replay covers history + stream window in a single run, so the
     stream's opening cluster state carries the history's queued and
     running jobs.  CES trains on the replay's running-nodes telemetry
-    over the history bins; the stream's demand samples come from the
-    same telemetry (``EventStream.from_replay``), and finish events fall
-    at the simulated end times.
+    over the history bins (the returned history series); the stream's
+    demand samples come from the same telemetry
+    (``EventStream.from_replay``), and finish events fall at the
+    simulated end times.
     """
     cfg = task.config
     spec = common.cluster_spec(task.cluster)
@@ -170,7 +195,7 @@ def _replay_stream(
     replay = Simulator(spec, FIFOScheduler()).run(window)
 
     hist_grid = TimeGrid.covering(hist_start, eval_start, cfg.bin_seconds)
-    server.install_ces(running_nodes_series(replay, hist_grid), total_nodes)
+    ces_history = running_nodes_series(replay, hist_grid)
 
     submit = replay.trace["submit_time"].astype(float)
     idx = np.flatnonzero((submit >= eval_start) & (submit < stream_end))
@@ -179,7 +204,7 @@ def _replay_stream(
         idx = idx[: task.max_jobs]
     # Window jobs only, but against the full replay's node telemetry
     # (jobs carried over from the history window still occupy nodes).
-    return EventStream.from_replay(
+    return ces_history, EventStream.from_replay(
         replay.restrict(idx),
         cluster=task.cluster,
         bin_seconds=cfg.bin_seconds,

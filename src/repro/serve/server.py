@@ -81,6 +81,7 @@ from .telemetry import LatencyRecorder, LatencyStats
 __all__ = [
     "PredictionServer",
     "ServeConfig",
+    "ServingSession",
     "ShardCheckpoint",
     "ShardReport",
 ]
@@ -522,196 +523,27 @@ class PredictionServer:
         micro-batches; ``resume`` restores one, skipping every batch
         before its cursor.  ``on_batch(bi)`` is invoked before each
         *processed* batch — the supervisor's heartbeat/fault hook.
+
+        ``run`` is a thin wrapper over :class:`ServingSession`: it owns
+        the stream iteration and nothing else, so a caller that receives
+        batches from elsewhere (the serve-net socket worker) drives the
+        identical loop by pushing into a session directly.
         """
-        cfg = self.config
-        window = cfg.batch_window_s if window_s is None else window_s
-        if resume is not None:
-            if resume.cluster != stream.cluster:
-                raise ValueError(
-                    f"checkpoint is for shard {resume.cluster!r}, "
-                    f"stream is {stream.cluster!r}"
-                )
-            state = self._restore(resume)
-            cfg = self.config
-        else:
-            state = _fresh_loop_state()
-            if len(stream):
-                self.engine.reset_clock(float(stream.times[0]))
-        qssf_lat = LatencyRecorder()
-        ces_lat = LatencyRecorder()
-        counts = state["counts"]
-        jobs_table = stream.jobs
-        start_cursor = state["cursor"]
-
-        # One hoisted enabled-check: the per-batch cost of disabled obs
-        # is the two ``phase_hists is not None`` branches below.  Phase
-        # timings buffer into small per-kind lists and flush through the
-        # vectorized ``record_many`` — a scalar ``Histogram.record`` per
-        # batch would alone eat most of the 2% overhead budget.
-        phase_hists = None
-        if obs.is_enabled():
-            phase_hists = {
-                SUBMIT: obs.histogram("serve.phase.submit_s"),
-                FINISH: obs.histogram("serve.phase.finish_s"),
-                NODE_SAMPLE: obs.histogram("serve.phase.node_sample_s"),
-                NODE_FAIL: obs.histogram("serve.phase.node_fail_s"),
-            }
-            phase_buf: dict[str, list[float]] = {k: [] for k in phase_hists}
-            phase_pending = 0
-        span_t0 = obs.wall_now()
-
-        t_start = time.perf_counter()
+        window = self.config.batch_window_s if window_s is None else window_s
+        session = ServingSession(
+            self,
+            stream,
+            checkpoint_every=checkpoint_every,
+            checkpoint_sink=checkpoint_sink,
+            resume=resume,
+        )
         for bi, batch in enumerate(stream.play(window, speedup)):
-            if bi < start_cursor:
+            if bi < session.cursor:
                 continue  # replayed prefix already served pre-crash
             if on_batch is not None:
                 on_batch(bi)
-            if phase_hists is not None:
-                t_batch = time.perf_counter()
-            counts[batch.kind] += len(batch)
-            if batch.kind == SUBMIT:
-                state["qssf_batches"] += 1
-                queue = jobs_table.take(batch.refs)
-                t0 = time.perf_counter()
-                ordered = self._order_with_fallback(queue)
-                qssf_lat.record(time.perf_counter() - t0)
-                if self._qssf_rung:
-                    self._count_degraded("qssf_decisions", len(ordered))
-                if cfg.predict_durations:
-                    try:
-                        self._predict_durations(queue)
-                        state["duration_requests"] += len(batch)
-                    except Exception:
-                        self._count_degraded("duration_failures")
-                        self._degrade_qssf()
-                qssf_bytes = state["qssf_bytes"]
-                for vc, ids in ordered:
-                    qssf_bytes += vc.encode()
-                    qssf_bytes += b"\x1f".join(i.encode() for i in ids)
-                    qssf_bytes += b"\x00"
-                if cfg.record_decisions:
-                    state["decisions"].extend(ordered)
-            elif batch.kind == FINISH:
-                if cfg.online_updates:
-                    for ref in batch.refs:
-                        try:
-                            self.engine.observe(
-                                "qssf", jobs_table.row(int(ref)), now=batch.time
-                            )
-                        except Exception:
-                            # A failed refit leaves the engine's pending
-                            # buffer intact; step the ladder one rung and
-                            # let the next observation retry at it.
-                            self._count_degraded("refit_failures")
-                            self._degrade_qssf()
-            elif batch.kind == NODE_FAIL:
-                assert stream.node_events is not None
-                ups = stream.node_events["up"]
-                for ref in batch.refs:
-                    if int(ups[int(ref)]):
-                        state["node_up"] += 1
-                        state["down_now"] -= 1
-                    else:
-                        state["node_down"] += 1
-                        state["down_now"] += 1
-                        state["max_down"] = max(state["max_down"], state["down_now"])
-            else:  # NODE_SAMPLE
-                self._serve_node_samples(stream, batch, ces_lat)
-            state["cursor"] = bi + 1
-            if phase_hists is not None:
-                phase_buf[batch.kind].append(time.perf_counter() - t_batch)
-                phase_pending += 1
-                if phase_pending >= 1024:  # bounded buffer, batched flush
-                    for kind, pending in phase_buf.items():
-                        if pending:
-                            phase_hists[kind].record_many(pending)
-                            pending.clear()
-                    phase_pending = 0
-            if (
-                checkpoint_every
-                and checkpoint_sink is not None
-                and (bi + 1) % checkpoint_every == 0
-            ):
-                t_ckpt = time.perf_counter()
-                state["ckpt_seq"] += 1
-                checkpoint_sink(self._snapshot(stream, state))
-                if phase_hists is not None:
-                    obs.histogram("serve.checkpoint_s").record(
-                        time.perf_counter() - t_ckpt
-                    )
-        wall = time.perf_counter() - t_start
-        if phase_hists is not None:
-            for kind, pending in phase_buf.items():
-                if pending:
-                    phase_hists[kind].record_many(pending)
-                    pending.clear()
-
-        events = len(stream)
-        refits = {
-            name: {
-                "refits": self.engine.refit_count(name),
-                "incremental": self.engine.incremental_refit_count(name),
-            }
-            for name in self.engine.services
-        }
-        ces_digest = hashlib.sha256()
-        ces_summary: dict[str, float] = {}
-        ces_active = None
-        if self._ces_controller is not None and self._ces_controller.steps:
-            outcome = self._ces_controller.outcome()
-            ces_digest.update(outcome.active.tobytes())
-            ces_digest.update(
-                f"{outcome.wake_events}:{outcome.nodes_woken}:{outcome.affected_jobs}".encode()
-            )
-            ces_svc = self.orchestrator.service("ces")
-            ces_summary = {
-                "wake_events": outcome.wake_events,
-                "avg_active": round(float(outcome.active.mean()), 3),
-                "avg_parked": round(outcome.avg_parked_nodes, 3),
-                "affected_jobs": outcome.affected_jobs,
-                # incremental extends driven by observe() between refits
-                "forecaster_updates": getattr(ces_svc, "updates_applied", 0),
-            }
-            ces_active = outcome.active
-        node_health: dict[str, int] = {}
-        if state["node_down"] or state["node_up"]:
-            node_health = {
-                "node_down": state["node_down"],
-                "node_up": state["node_up"],
-                "max_down": state["max_down"],
-            }
-        report = ShardReport(
-            cluster=stream.cluster,
-            events=events,
-            submits=counts[SUBMIT],
-            finishes=counts[FINISH],
-            node_samples=counts[NODE_SAMPLE],
-            qssf_batches=state["qssf_batches"],
-            qssf_decisions=self._vc_decisions,
-            duration_requests=state["duration_requests"],
-            wall_seconds=wall,
-            events_per_s=events / wall if wall > 0 else 0.0,
-            qssf_latency=qssf_lat.stats(),
-            ces_latency=ces_lat.stats(),
-            refits=refits,
-            qssf_digest=hashlib.sha256(bytes(state["qssf_bytes"])).hexdigest(),
-            ces_digest=ces_digest.hexdigest(),
-            ces_summary=ces_summary,
-            decisions=list(state["decisions"]) if cfg.record_decisions else None,
-            ces_active=ces_active,
-            degraded=dict(self.degraded),
-            node_health=node_health,
-            qssf_hist=qssf_lat.hist,
-            ces_hist=ces_lat.hist,
-        )
-        if phase_hists is not None:
-            self._publish_obs(state, report, qssf_lat, ces_lat)
-            obs.record_span(
-                "serve.run", span_t0, obs.wall_now(),
-                cluster=stream.cluster, events=events,
-                resumed=resume is not None,
-            )
-        return report
+            session.process(bi, batch)
+        return session.finish()
 
     def _publish_obs(self, state: dict, report: ShardReport,
                      qssf_lat: LatencyRecorder, ces_lat: LatencyRecorder) -> None:
@@ -840,3 +672,253 @@ class PredictionServer:
                 except Exception:
                     self._count_degraded("refit_failures")
                     self._degrade_ces()
+
+
+class ServingSession:
+    """Push-driven serving loop state: feed micro-batches one at a time.
+
+    Owns everything :meth:`PredictionServer.run` used to keep as locals
+    — the loop-state dict, latency recorders, phase-timing buffers and
+    checkpoint cadence — so a caller that *receives* batches (the
+    serve-net socket worker, fed frame-by-frame by the router) drives
+    the exact loop ``run`` drives when it owns the stream.  ``run`` is
+    the wrapper: construct a session, push every batch from
+    ``stream.play``, call :meth:`finish` — so every parity guarantee
+    (crash recovery, degradation telemetry, obs totals) holds for both
+    entry points by construction.
+
+    :meth:`process` is idempotent under re-delivery: a batch index below
+    the session cursor (a network duplicate, or the replayed prefix of a
+    resumed stream) is skipped without side effects — the property the
+    router's retry/rewind protocol relies on.
+    """
+
+    def __init__(
+        self,
+        server: PredictionServer,
+        stream: EventStream,
+        *,
+        checkpoint_every: int | None = None,
+        checkpoint_sink: Callable[[ShardCheckpoint], None] | None = None,
+        resume: ShardCheckpoint | None = None,
+    ) -> None:
+        self.server = server
+        self.stream = stream
+        self._checkpoint_every = checkpoint_every
+        self._checkpoint_sink = checkpoint_sink
+        self._resumed = resume is not None
+        if resume is not None:
+            if resume.cluster != stream.cluster:
+                raise ValueError(
+                    f"checkpoint is for shard {resume.cluster!r}, "
+                    f"stream is {stream.cluster!r}"
+                )
+            self.state = server._restore(resume)
+        else:
+            self.state = _fresh_loop_state()
+            if len(stream):
+                server.engine.reset_clock(float(stream.times[0]))
+        self._qssf_lat = LatencyRecorder()
+        self._ces_lat = LatencyRecorder()
+        self._jobs_table = stream.jobs
+
+        # One hoisted enabled-check: the per-batch cost of disabled obs
+        # is the two ``phase_hists is not None`` branches below.  Phase
+        # timings buffer into small per-kind lists and flush through the
+        # vectorized ``record_many`` — a scalar ``Histogram.record`` per
+        # batch would alone eat most of the 2% overhead budget.
+        self._phase_hists = None
+        if obs.is_enabled():
+            self._phase_hists = {
+                SUBMIT: obs.histogram("serve.phase.submit_s"),
+                FINISH: obs.histogram("serve.phase.finish_s"),
+                NODE_SAMPLE: obs.histogram("serve.phase.node_sample_s"),
+                NODE_FAIL: obs.histogram("serve.phase.node_fail_s"),
+            }
+            self._phase_buf: dict[int, list[float]] = {
+                k: [] for k in self._phase_hists
+            }
+            self._phase_pending = 0
+        self._span_t0 = obs.wall_now()
+        self._t_start = time.perf_counter()
+
+    @property
+    def cursor(self) -> int:
+        """Index of the next micro-batch this session expects."""
+        return self.state["cursor"]
+
+    def process(self, bi: int, batch) -> bool:
+        """Serve one micro-batch; returns False for an already-served
+        index (replayed prefix or network duplicate), True otherwise.
+        ``bi`` must equal the cursor when it is not a duplicate —
+        serving out of order would corrupt the decision digests."""
+        state = self.state
+        if bi < state["cursor"]:
+            return False
+        if bi > state["cursor"]:
+            raise ValueError(
+                f"batch {bi} out of order: session cursor is {state['cursor']}"
+            )
+        server = self.server
+        cfg = server.config
+        if self._phase_hists is not None:
+            t_batch = time.perf_counter()
+        state["counts"][batch.kind] += len(batch)
+        if batch.kind == SUBMIT:
+            state["qssf_batches"] += 1
+            queue = self._jobs_table.take(batch.refs)
+            t0 = time.perf_counter()
+            ordered = server._order_with_fallback(queue)
+            self._qssf_lat.record(time.perf_counter() - t0)
+            if server._qssf_rung:
+                server._count_degraded("qssf_decisions", len(ordered))
+            if cfg.predict_durations:
+                try:
+                    server._predict_durations(queue)
+                    state["duration_requests"] += len(batch)
+                except Exception:
+                    server._count_degraded("duration_failures")
+                    server._degrade_qssf()
+            qssf_bytes = state["qssf_bytes"]
+            for vc, ids in ordered:
+                qssf_bytes += vc.encode()
+                qssf_bytes += b"\x1f".join(i.encode() for i in ids)
+                qssf_bytes += b"\x00"
+            if cfg.record_decisions:
+                state["decisions"].extend(ordered)
+        elif batch.kind == FINISH:
+            if cfg.online_updates:
+                for ref in batch.refs:
+                    try:
+                        server.engine.observe(
+                            "qssf", self._jobs_table.row(int(ref)), now=batch.time
+                        )
+                    except Exception:
+                        # A failed refit leaves the engine's pending
+                        # buffer intact; step the ladder one rung and
+                        # let the next observation retry at it.
+                        server._count_degraded("refit_failures")
+                        server._degrade_qssf()
+        elif batch.kind == NODE_FAIL:
+            assert self.stream.node_events is not None
+            ups = self.stream.node_events["up"]
+            for ref in batch.refs:
+                if int(ups[int(ref)]):
+                    state["node_up"] += 1
+                    state["down_now"] -= 1
+                else:
+                    state["node_down"] += 1
+                    state["down_now"] += 1
+                    state["max_down"] = max(state["max_down"], state["down_now"])
+        else:  # NODE_SAMPLE
+            server._serve_node_samples(self.stream, batch, self._ces_lat)
+        state["cursor"] = bi + 1
+        if self._phase_hists is not None:
+            self._phase_buf[batch.kind].append(time.perf_counter() - t_batch)
+            self._phase_pending += 1
+            if self._phase_pending >= 1024:  # bounded buffer, batched flush
+                self._flush_phases()
+        if (
+            self._checkpoint_every
+            and self._checkpoint_sink is not None
+            and (bi + 1) % self._checkpoint_every == 0
+        ):
+            t_ckpt = time.perf_counter()
+            self._checkpoint_sink(self.checkpoint())
+            if self._phase_hists is not None:
+                obs.histogram("serve.checkpoint_s").record(
+                    time.perf_counter() - t_ckpt
+                )
+        return True
+
+    def checkpoint(self) -> ShardCheckpoint:
+        """Snapshot the session now (the cadence in :meth:`process` uses
+        this too; callers may also force one, e.g. before a handoff)."""
+        self.state["ckpt_seq"] += 1
+        return self.server._snapshot(self.stream, self.state)
+
+    def _flush_phases(self) -> None:
+        for kind, pending in self._phase_buf.items():
+            if pending:
+                self._phase_hists[kind].record_many(pending)
+                pending.clear()
+        self._phase_pending = 0
+
+    def finish(self) -> ShardReport:
+        """Close the session and build the shard report (plus the one-
+        shot obs publication a completed run makes)."""
+        server = self.server
+        state = self.state
+        wall = time.perf_counter() - self._t_start
+        if self._phase_hists is not None:
+            self._flush_phases()
+
+        events = len(self.stream)
+        refits = {
+            name: {
+                "refits": server.engine.refit_count(name),
+                "incremental": server.engine.incremental_refit_count(name),
+            }
+            for name in server.engine.services
+        }
+        ces_digest = hashlib.sha256()
+        ces_summary: dict[str, float] = {}
+        ces_active = None
+        if server._ces_controller is not None and server._ces_controller.steps:
+            outcome = server._ces_controller.outcome()
+            ces_digest.update(outcome.active.tobytes())
+            ces_digest.update(
+                f"{outcome.wake_events}:{outcome.nodes_woken}:{outcome.affected_jobs}".encode()
+            )
+            ces_svc = server.orchestrator.service("ces")
+            ces_summary = {
+                "wake_events": outcome.wake_events,
+                "avg_active": round(float(outcome.active.mean()), 3),
+                "avg_parked": round(outcome.avg_parked_nodes, 3),
+                "affected_jobs": outcome.affected_jobs,
+                # incremental extends driven by observe() between refits
+                "forecaster_updates": getattr(ces_svc, "updates_applied", 0),
+            }
+            ces_active = outcome.active
+        node_health: dict[str, int] = {}
+        if state["node_down"] or state["node_up"]:
+            node_health = {
+                "node_down": state["node_down"],
+                "node_up": state["node_up"],
+                "max_down": state["max_down"],
+            }
+        counts = state["counts"]
+        report = ShardReport(
+            cluster=self.stream.cluster,
+            events=events,
+            submits=counts[SUBMIT],
+            finishes=counts[FINISH],
+            node_samples=counts[NODE_SAMPLE],
+            qssf_batches=state["qssf_batches"],
+            qssf_decisions=server._vc_decisions,
+            duration_requests=state["duration_requests"],
+            wall_seconds=wall,
+            events_per_s=events / wall if wall > 0 else 0.0,
+            qssf_latency=self._qssf_lat.stats(),
+            ces_latency=self._ces_lat.stats(),
+            refits=refits,
+            qssf_digest=hashlib.sha256(bytes(state["qssf_bytes"])).hexdigest(),
+            ces_digest=ces_digest.hexdigest(),
+            ces_summary=ces_summary,
+            decisions=(
+                list(state["decisions"]) if server.config.record_decisions else None
+            ),
+            ces_active=ces_active,
+            degraded=dict(server.degraded),
+            node_health=node_health,
+            qssf_hist=self._qssf_lat.hist,
+            ces_hist=self._ces_lat.hist,
+        )
+        if self._phase_hists is not None:
+            server._publish_obs(state, report, self._qssf_lat, self._ces_lat)
+            obs.record_span(
+                "serve.run", self._span_t0, obs.wall_now(),
+                cluster=self.stream.cluster, events=events,
+                resumed=self._resumed,
+            )
+        return report

@@ -19,7 +19,12 @@ import numpy as np
 
 from ..obs.metrics import Histogram
 
-__all__ = ["LatencyRecorder", "LatencyStats", "aggregate_reports"]
+__all__ = [
+    "LatencyRecorder",
+    "LatencyStats",
+    "aggregate_reports",
+    "parity_surface",
+]
 
 
 @dataclass(frozen=True)
@@ -83,6 +88,18 @@ class LatencyRecorder:
 
     def stats(self) -> LatencyStats:
         return LatencyStats.from_histogram(self.hist)
+
+
+def parity_surface(reports) -> bytes:
+    """Canonical bytes of a fleet's deterministic surface.
+
+    Concatenates every shard report's
+    :meth:`~repro.serve.server.ShardReport.parity_bytes` in the given
+    order — the byte string the chaos-parity guarantees compare: a run
+    that crashed, partitioned, rerouted, and resumed must produce
+    exactly these bytes again.
+    """
+    return b"\n".join(r.parity_bytes() for r in reports)
 
 
 def _merged_latency(reports, attr: str) -> LatencyStats | None:

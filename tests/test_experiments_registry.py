@@ -13,7 +13,7 @@ EXPECTED_IDS = {
     "fig14", "fig15", "table5", "ces_sweep",
     "ablation_lambda", "ablation_forecaster", "ablation_buffer",
     "ablation_oracle",
-    "serve_smoke", "serve_replay", "serve_chaos",
+    "serve_smoke", "serve_replay", "serve_chaos", "serve_frontdoor",
 }
 
 

@@ -78,6 +78,64 @@ class TestFaultPlan:
         assert installed_fault_plan() is None
 
 
+class TestNetFaultSpecs:
+    def test_net_kinds_require_a_frame_index(self):
+        for kind in ("drop", "delay", "duplicate", "partition"):
+            with pytest.raises(ValueError, match="frame index"):
+                FaultSpec(key="link:w0", kind=kind)
+            FaultSpec(key="link:w0", kind=kind, at=0)  # with at: fine
+
+    def test_span_validated(self):
+        with pytest.raises(ValueError, match="span"):
+            FaultSpec(key="link:w0", kind="drop", at=0, span=0)
+
+    def test_overlap_same_triple_rejected_differing_at_allowed(self):
+        # At most one fault per (key, attempt, at) — even across the
+        # process/net kind split — but stacking at different indices on
+        # one attempt is the multi-fault contract.
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultPlan(faults=(
+                FaultSpec(key="a", kind="crash", attempt=0, at=5),
+                FaultSpec(key="a", kind="drop", attempt=0, at=5),
+            ))
+        plan = FaultPlan(faults=(
+            FaultSpec(key="a", kind="crash", attempt=0, at=5),
+            FaultSpec(key="a", kind="exception", attempt=0, at=9),
+            FaultSpec(key="a", kind="crash", attempt=0),  # at=None startup
+        ))
+        assert len(plan.process_faults_for("a", 0)) == 3
+
+    def test_process_and_net_lookups_split_by_kind(self):
+        plan = FaultPlan(faults=(
+            FaultSpec(key="x", kind="crash", attempt=0, at=3),
+            FaultSpec(key="x", kind="partition", attempt=0, at=7, span=4),
+            FaultSpec(key="x", kind="drop", attempt=1, at=0),
+        ))
+        # The supervisor plane never sees net kinds...
+        assert plan.fault_for("x", 0).kind == "crash"
+        assert [f.kind for f in plan.process_faults_for("x", 0)] == ["crash"]
+        assert plan.fault_for("x", 1) is None
+        # ...and the framing plane never sees process kinds.
+        assert [f.kind for f in plan.net_faults_for("x", 0)] == ["partition"]
+        assert [f.kind for f in plan.net_faults_for("x", 1)] == ["drop"]
+
+    def test_env_round_trip_preserves_net_fields(self):
+        plan = FaultPlan(seed=4, faults=(
+            FaultSpec(key="link:w1", kind="partition", attempt=2, at=60,
+                      span=100_000),
+            FaultSpec(key="link:w1", kind="delay", attempt=2, at=9,
+                      delay_s=0.25),
+        ))
+        try:
+            install_fault_plan(plan)
+            again = installed_fault_plan()
+        finally:
+            clear_fault_plan()
+        assert again == plan
+        part, delay = again.net_faults_for("link:w1", 2)
+        assert (part.span, delay.delay_s) == (100_000, 0.25)
+
+
 class TestCorruptPayload:
     def test_wraps_payload(self):
         wrapped = CorruptPayload({"x": 1})

@@ -39,7 +39,8 @@ GOLDENS_DIR = Path(__file__).parent / "goldens"
 #: Keys whose values depend on the wall clock, scrubbed (recursively, by
 #: name) before digesting.  Everything else must be deterministic.
 VOLATILE_KEYS = frozenset(
-    {"wall_seconds", "events_per_s", "qssf_latency", "ces_latency"}
+    {"wall_seconds", "events_per_s", "qssf_latency", "ces_latency",
+     "net_stats"}
 )
 
 #: Exhibits whose rendered ``text`` embeds the volatile metrics above

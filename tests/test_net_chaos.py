@@ -1,0 +1,349 @@
+"""Socket control plane: framing, routing, backpressure, chaos parity.
+
+The headline guarantee extends the in-shard one: kill *or partition*
+any shard worker mid-stream and the merged report parity surface stays
+byte-identical to a fault-free run.  Alongside it: the framing layer's
+deterministic network faults, consistent-hash placement, the bounded
+in-flight queue (asserted via the obs queue-depth histogram), the
+listen-mode front door with explicit busy/retry-after backpressure,
+and the FIFO-passthrough rung when no worker pool exists.
+"""
+
+import hashlib
+import threading
+
+import pytest
+
+from repro.framework import FaultPlan, FaultSpec, fork_available
+from repro.obs import collect as obs
+from repro.serve import (
+    NetConfig,
+    ShardTask,
+    build_shard,
+    build_stream,
+    parity_surface,
+    serve_clusters_net,
+)
+from repro.serve.net import (
+    FrontDoor,
+    FrontDoorClient,
+    HashRing,
+    NetFaultFilter,
+    pack,
+    unpack,
+)
+from repro.serve.net.framing import TAG_JSON
+
+needs_fork = pytest.mark.skipif(not fork_available(), reason="requires os.fork")
+
+_TASK = dict(history_days=14, stream_days=1.0, max_jobs=300)
+
+#: tight deadlines/backoff so breaker rungs trip in test time, not
+#: production time (mirrors FAST_SUP in test_chaos_recovery)
+FAST_NET = dict(
+    rpc_deadline_s=1.5, resume_deadline_s=120.0, max_retries=2,
+    backoff_base_s=0.01, backoff_cap_s=0.05, poll_interval_s=0.005,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_recorder():
+    obs.reset()
+    obs.disable()
+    yield
+    obs.reset()
+    obs.disable()
+
+
+def _config(**overrides):
+    from repro.experiments.serving import smoke_serve_config
+
+    cfg = smoke_serve_config()
+    if overrides:
+        from dataclasses import replace
+
+        cfg = replace(cfg, **overrides)
+    return cfg
+
+
+def _task(cluster):
+    return ShardTask(cluster=cluster, config=_config(), checkpoint_every=50,
+                     **_TASK)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """Direct (no-net) reports for Venus and Earth, in that order."""
+    reports = []
+    for cluster in ("Venus", "Earth"):
+        server, stream = build_shard(_task(cluster))
+        reports.append(server.run(stream))
+    return reports
+
+
+def _serve_net(clusters, *, workers, fault_plan=None, queue_bound=16,
+               **net_overrides):
+    net = NetConfig(workers=workers, queue_bound=queue_bound,
+                    **{**FAST_NET, **net_overrides})
+    return serve_clusters_net(
+        clusters, config=_config(), checkpoint_every=50,
+        fault_plan=fault_plan, net=net, **_TASK,
+    )
+
+
+class TestFraming:
+    def test_pickle_round_trip(self):
+        import numpy as np
+
+        msg = {"op": "batch", "refs": np.arange(5), "nested": (1, 2.5)}
+        out = unpack(pack(msg)[4:])
+        assert out["op"] == "batch"
+        assert list(out["refs"]) == [0, 1, 2, 3, 4]
+
+    def test_json_round_trip_and_tag(self):
+        frame = pack({"op": "status", "bi": 3}, fmt="json")
+        assert frame[4:5] == TAG_JSON
+        assert unpack(frame[4:]) == {"op": "status", "bi": 3}
+
+    def test_length_prefix_covers_tag_and_payload(self):
+        frame = pack({"a": 1}, fmt="json")
+        (length,) = __import__("struct").unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+
+    def test_unknown_format_and_tag_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            pack({}, fmt="xml")
+        with pytest.raises(ValueError, match="tag"):
+            unpack(b"Xjunk")
+
+
+def _filter(faults, label="link:w0", epoch=0):
+    return NetFaultFilter(FaultPlan(faults=tuple(faults)), label, epoch)
+
+
+class TestNetFaultFilter:
+    def test_drop_discards_span_frames(self):
+        filt = _filter([FaultSpec(key="link:w0", kind="drop", at=1, span=2)])
+        sent = [filt.outgoing(b"f%d" % i, now=0.0) for i in range(4)]
+        assert sent == [[b"f0"], [], [], [b"f3"]]
+        assert filt.dropped == 2
+
+    def test_duplicate_doubles_one_frame(self):
+        filt = _filter([FaultSpec(key="link:w0", kind="duplicate", at=0)])
+        assert filt.outgoing(b"x", now=0.0) == [b"x", b"x"]
+        assert filt.outgoing(b"y", now=0.0) == [b"y"]
+
+    def test_delay_holds_frame_until_due(self):
+        filt = _filter(
+            [FaultSpec(key="link:w0", kind="delay", at=0, delay_s=0.5)]
+        )
+        assert filt.outgoing(b"late", now=10.0) == []
+        assert filt.due(now=10.4) == []
+        assert filt.due(now=10.6) == [b"late"]
+        assert filt.due(now=11.0) == []  # released exactly once
+
+    def test_partition_silences_both_directions(self):
+        filt = _filter(
+            [FaultSpec(key="link:w0", kind="partition", at=0, span=2)]
+        )
+        assert filt.outgoing(b"a", now=0.0) == []
+        assert filt.outgoing(b"b", now=0.0) == []
+        assert filt.outgoing(b"c", now=0.0) == [b"c"]
+        assert [filt.incoming() for _ in range(3)] == [False, False, True]
+        assert filt.dropped == 4
+
+    def test_rekey_resets_counters_and_selects_epoch(self):
+        filt = _filter(
+            [FaultSpec(key="link:w0", kind="drop", attempt=1, at=0)]
+        )
+        assert filt.outgoing(b"ok", now=0.0) == [b"ok"]  # epoch 0: no faults
+        filt.rekey(1)
+        assert filt.out_seq == 0
+        assert filt.outgoing(b"gone", now=0.0) == []  # epoch 1 drops seq 0
+        filt.rekey(2)
+        assert filt.outgoing(b"ok2", now=0.0) == [b"ok2"]
+
+    def test_other_labels_untouched(self):
+        filt = _filter(
+            [FaultSpec(key="link:w1", kind="drop", at=0, span=99)],
+            label="link:w0",
+        )
+        assert filt.outgoing(b"mine", now=0.0) == [b"mine"]
+
+
+class TestHashRing:
+    def test_deterministic_and_owner_heads_preference(self):
+        a = HashRing(["w0", "w1", "w2"])
+        b = HashRing(["w2", "w0", "w1"])  # order-insensitive
+        for key in ("Venus", "Saturn", "Earth", "Uranus", "Philly"):
+            assert a.owner(key) == b.owner(key)
+            pref = a.preference(key)
+            assert pref[0] == a.owner(key)
+            assert sorted(pref) == ["w0", "w1", "w2"]
+
+    def test_two_worker_ring_spreads_helios_clusters(self):
+        ring = HashRing(["w0", "w1"])
+        owners = {c: ring.owner(c) for c in ("Venus", "Saturn", "Earth",
+                                             "Uranus")}
+        assert set(owners.values()) == {"w0", "w1"}
+
+    def test_ring_rejects_empty(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+
+
+class TestNetConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            NetConfig(workers=0)
+        with pytest.raises(ValueError, match="queue_bound"):
+            NetConfig(queue_bound=0)
+        with pytest.raises(ValueError, match="deadlines"):
+            NetConfig(rpc_deadline_s=0.0)
+
+    def test_supervision_mirrors_retry_knobs(self):
+        sup = NetConfig(max_retries=5, backoff_base_s=0.3,
+                        backoff_cap_s=9.0).supervision()
+        assert (sup.max_retries, sup.backoff_base_s, sup.backoff_cap_s) == (
+            5, 0.3, 9.0)
+
+
+@needs_fork
+class TestNetParity:
+    def test_fault_free_parity_and_bounded_queue(self, baseline):
+        obs.enable()
+        reports, stats = _serve_net(["Venus", "Earth"], workers=2,
+                                    queue_bound=8)
+        assert parity_surface(reports) == parity_surface(baseline)
+        # Acks coalesce per worker drain round: at least one, never
+        # more than the batch frames they cover.
+        assert 0 < stats.acks <= stats.frames_sent
+        assert stats.retries == 0 and stats.reroutes == 0
+        # The backpressure contract: in-flight never exceeds the bound —
+        # asserted on the obs queue-depth histogram, not just the stat.
+        depth = obs.snapshot().histograms["net.queue_depth"]
+        assert depth.count > 0
+        assert depth.vmax <= 8
+        assert stats.max_queue_depth <= 8
+
+    def test_gap_rewind_after_dropped_frames(self, baseline):
+        # Drop two group frames on the single link: a later in-flight
+        # frame still reaches the worker, which answers its first index
+        # with a gap; the router rewinds and the replayed prefix is
+        # skipped idempotently.  (The router keeps the group cap at a
+        # quarter of the window precisely so drops shorter than the
+        # in-flight frame count recover via gap, not the RPC deadline.)
+        plan = FaultPlan(seed=7, faults=(
+            FaultSpec(key="link:w0", kind="drop", at=10, span=2),
+            FaultSpec(key="link:w0", kind="duplicate", at=30),
+        ))
+        reports, stats = _serve_net(["Venus"], workers=1, fault_plan=plan)
+        assert parity_surface(reports) == baseline[0].parity_bytes()
+        assert stats.gap_rewinds >= 1
+        assert stats.reroutes == 0  # recovered without touching the ladder
+
+    def test_sigkill_and_partition_chaos_parity(self, baseline):
+        # The headline: SIGKILL Venus's worker mid-stream AND partition
+        # Earth's link indefinitely; both shards reroute/respawn from
+        # checkpoints and the merged parity surface is byte-identical.
+        # (2-worker ring places Venus on w1, Earth on w0.)
+        plan = FaultPlan(seed=11, faults=(
+            FaultSpec(key="Venus", kind="crash", attempt=0, at=130),
+            FaultSpec(key="link:w0", kind="partition", at=60, span=100_000),
+        ))
+        reports, stats = _serve_net(["Venus", "Earth"], workers=2,
+                                    fault_plan=plan)
+        assert parity_surface(reports) == parity_surface(baseline)
+        assert stats.link_failures >= 2  # the kill and the partition
+        assert stats.respawns >= 1
+        assert stats.reroutes >= 2
+        assert stats.retries >= 1
+
+
+@needs_fork
+class TestListenMode:
+    def test_client_stream_backpressure_and_parity(self, baseline):
+        task = _task("Venus")
+        net = NetConfig(workers=1, queue_bound=4, **FAST_NET)
+        door = FrontDoor([task], net=net)
+        ready = threading.Event()
+        out = {}
+
+        def _serve():
+            out["result"] = door.serve(host="127.0.0.1", port=0, ready=ready)
+
+        server = threading.Thread(target=_serve, daemon=True)
+        server.start()
+        assert ready.wait(timeout=30.0)
+        client = FrontDoorClient("127.0.0.1", door.port)
+        try:
+            assert client.request({"op": "open", "cluster": "Venus"}) == {
+                "op": "opened", "cluster": "Venus"}
+            batches = list(build_stream(task).batches(
+                task.config.batch_window_s))
+            for bi, batch in enumerate(batches):
+                reply = client.send_event("Venus", bi, batch)
+                assert reply["op"] == "accepted", reply
+            reply = client.request({"op": "close", "cluster": "Venus"})
+            assert reply["total"] == len(batches)
+            status = client.wait_done("Venus", timeout_s=300.0)
+            stats = client.request({"op": "stats"})
+        finally:
+            client.close()
+        server.join(timeout=60.0)
+        assert not server.is_alive()
+        reports, door_stats = out["result"]
+        assert parity_surface(reports) == baseline[0].parity_bytes()
+        # Direct-run sha published to the client without unpickling.
+        assert status["parity_sha"] == hashlib.sha256(
+            baseline[0].parity_bytes()).hexdigest()
+        # queue_bound=4 against a fast client: admission control fired.
+        assert door_stats.busy_rejections > 0
+        assert stats["busy_rejections"] == door_stats.busy_rejections
+
+    def test_unknown_cluster_and_out_of_order_rejected(self):
+        task = _task("Venus")
+        net = NetConfig(workers=1, queue_bound=4, **FAST_NET)
+        door = FrontDoor([task], net=net)
+        ready = threading.Event()
+        out = {}
+
+        def _serve():
+            out["result"] = door.serve(host="127.0.0.1", port=0, ready=ready)
+
+        server = threading.Thread(target=_serve, daemon=True)
+        server.start()
+        assert ready.wait(timeout=30.0)
+        client = FrontDoorClient("127.0.0.1", door.port)
+        try:
+            reply = client.request({"op": "open", "cluster": "Pluto"})
+            assert reply["op"] == "error"
+            assert client.request({"op": "open", "cluster": "Venus"})[
+                "op"] == "opened"
+            batches = list(build_stream(task).batches(
+                task.config.batch_window_s))
+            bad = client.send_event("Venus", 5, batches[5])
+            assert bad["op"] == "error" and "out of order" in bad["error"]
+            for bi, batch in enumerate(batches):
+                client.send_event("Venus", bi, batch)
+            client.request({"op": "close", "cluster": "Venus"})
+            client.wait_done("Venus", timeout_s=300.0)
+        finally:
+            client.close()
+        server.join(timeout=60.0)
+        assert not server.is_alive()
+
+
+class TestPassthrough:
+    def test_no_fork_serves_in_process_with_parity(self, baseline,
+                                                   monkeypatch):
+        # Rung 4 of the breaker ladder doubles as the no-fork platform
+        # fallback: without a pool, every route serves in-process and
+        # the parity surface is unchanged.
+        import repro.serve.net.router as router_mod
+
+        monkeypatch.setattr(router_mod, "fork_available", lambda: False)
+        reports, stats = _serve_net(["Venus"], workers=2)
+        assert parity_surface(reports) == baseline[0].parity_bytes()
+        assert stats.passthroughs == 1
+        assert stats.frames_sent == 0

@@ -1,0 +1,140 @@
+"""Serve CLI: fault-plan loading, retry knobs, endpoints, exit codes.
+
+``--fault-plan`` must never dump a traceback: every malformed input —
+missing file, unreadable path, broken JSON, invalid plan — exits
+nonzero with a one-line diagnostic.  The retry knobs (`--max-retries`,
+``--retry-base``, ``--retry-cap``) thread into the supervisor's
+:class:`~repro.framework.Supervision` and the net router's
+:class:`~repro.serve.NetConfig` from one set of flags.
+"""
+
+import json
+
+import pytest
+
+from repro.framework import FaultPlan, FaultSpec
+from repro.serve.__main__ import (
+    _parse_endpoint,
+    build_parser,
+    load_fault_plan,
+    main,
+)
+
+
+def _one_line_error(capsys) -> str:
+    err = capsys.readouterr().err.strip()
+    assert err.startswith("error:")
+    assert len(err.splitlines()) == 1, f"diagnostic not one line: {err!r}"
+    return err
+
+
+class TestLoadFaultPlan:
+    def test_inline_json(self):
+        plan = FaultPlan(seed=3, faults=(
+            FaultSpec(key="Venus", kind="crash", at=9),))
+        assert load_fault_plan(plan.to_json()) == plan
+
+    def test_file_path(self, tmp_path):
+        plan = FaultPlan(faults=(
+            FaultSpec(key="link:w0", kind="drop", at=4, span=2),))
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json())
+        assert load_fault_plan(str(path)) == plan
+
+    def test_missing_file(self):
+        with pytest.raises(ValueError, match="not found"):
+            load_fault_plan("/no/such/plan.json")
+
+    def test_unreadable_path(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read"):
+            load_fault_plan(str(tmp_path))  # a directory
+
+    def test_malformed_json(self):
+        with pytest.raises(ValueError):
+            load_fault_plan('{"seed": 1, "faults": [')
+
+    def test_invalid_plan_semantics(self):
+        dup = json.dumps({"seed": 0, "faults": [
+            {"key": "a", "kind": "crash"}, {"key": "a", "kind": "crash"},
+        ]})
+        with pytest.raises(ValueError, match="duplicate"):
+            load_fault_plan(dup)
+
+
+class TestParseEndpoint:
+    def test_bare_port_uses_default_host(self):
+        assert _parse_endpoint("7341", "127.0.0.1") == ("127.0.0.1", 7341)
+
+    def test_host_and_port(self):
+        assert _parse_endpoint("0.0.0.0:80", "127.0.0.1") == ("0.0.0.0", 80)
+
+
+class TestMainExitCodes:
+    def test_missing_fault_plan_file_exits_2(self, capsys):
+        assert main(["--fault-plan", "/no/such.json"]) == 2
+        assert "bad --fault-plan" in _one_line_error(capsys)
+
+    def test_malformed_inline_plan_exits_2(self, capsys):
+        assert main(["--fault-plan", "{broken"]) == 2
+        assert "bad --fault-plan" in _one_line_error(capsys)
+
+    def test_bad_retry_knobs_exit_2(self, capsys):
+        assert main(["--max-retries", "-1"]) == 2
+        assert "bad retry knobs" in _one_line_error(capsys)
+
+    def test_unknown_cluster_exits_2_with_hint(self, capsys):
+        assert main(["--clusters", "Venos"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean 'Venus'" in err
+
+
+class _FakeReport:
+    cluster = "Venus"
+    events = 10
+    wall_seconds = 1.0
+    qssf_decisions = 2
+    node_samples = 3
+    refits: dict = {}
+
+
+class TestKnobPlumbing:
+    def test_retry_knobs_flow_into_supervision(self, monkeypatch, capsys):
+        import repro.serve.__main__ as cli
+
+        captured = {}
+
+        def fake_serve(clusters, **kw):
+            captured.update(kw)
+            return [_FakeReport()]
+
+        monkeypatch.setattr(cli, "serve_clusters", fake_serve)
+        rc = main(["--clusters", "Venus", "--supervised", "-q",
+                   "--max-retries", "7", "--retry-base", "0.2",
+                   "--retry-cap", "3.5"])
+        assert rc == 0
+        sup = captured["supervision"]
+        assert (sup.max_retries, sup.backoff_base_s, sup.backoff_cap_s) == (
+            7, 0.2, 3.5)
+        capsys.readouterr()
+
+    def test_fault_plan_implies_supervised(self, monkeypatch, capsys):
+        import repro.serve.__main__ as cli
+
+        plan = FaultPlan(faults=(FaultSpec(key="Venus", kind="crash", at=1),))
+        captured = {}
+
+        def fake_serve(clusters, **kw):
+            captured.update(kw)
+            return [_FakeReport()]
+
+        monkeypatch.setattr(cli, "serve_clusters", fake_serve)
+        assert main(["--clusters", "Venus", "-q",
+                     "--fault-plan", plan.to_json()]) == 0
+        assert captured["supervised"] is True
+        assert captured["fault_plan"] == plan
+        capsys.readouterr()
+
+    def test_net_flags_parse(self):
+        args = build_parser().parse_args(
+            ["--net", "--workers", "3", "--queue-bound", "9"])
+        assert (args.net, args.workers, args.queue_bound) == (True, 3, 9)

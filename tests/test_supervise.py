@@ -210,6 +210,51 @@ class TestForkedCrashes:
 
 
 @needs_fork
+def _stepper(x, ctx):
+    for progress in range(3):
+        ctx.maybe_fault(progress)
+    return x + 1
+
+
+class TestMultiFaultAttempts:
+    def test_context_fires_every_planned_fault(self):
+        """One attempt may stack several faults: the startup one fires
+        in fire_startup_faults, the indexed one at its progress."""
+        from repro.framework import TransientWorkerFault, WorkerContext
+
+        plan = FaultPlan(faults=(
+            FaultSpec(key="m", kind="slow_start", delay_s=0.0),
+            FaultSpec(key="m", kind="exception", at=2),
+        ))
+        ctx = WorkerContext("m", 0, faults=plan.process_faults_for("m", 0))
+        assert len(ctx.faults) == 2
+        ctx.fire_startup_faults()  # zero-delay slow_start returns
+        ctx.maybe_fault(0)
+        ctx.maybe_fault(1)
+        with pytest.raises(TransientWorkerFault):
+            ctx.maybe_fault(2)
+
+    def test_multi_fault_plan_under_inprocess_fallback(self, monkeypatch):
+        """A stacked plan drives the daemonic fallback through the same
+        retry flow the forked supervisor takes."""
+        import repro.framework.supervise as sup_mod
+
+        monkeypatch.setattr(sup_mod, "fork_available", lambda: False)
+        plan = FaultPlan(faults=(
+            FaultSpec(key="s", kind="slow_start", delay_s=0.001),
+            FaultSpec(key="s", kind="exception", at=1),
+        ))
+        log = SupervisionLog()
+        out = run_supervised(
+            _stepper, [5], labels=["s"], supervision=FAST,
+            fault_plan=plan, with_context=True, log=log,
+        )
+        assert out == [6]
+        assert [(lbl, a, o) for lbl, a, o in log.events] == [
+            ("s", 0, "error"), ("s", 1, "ok"),
+        ]
+
+
 class TestModeParity:
     def test_inprocess_fallback_same_outcomes(self, monkeypatch):
         """The daemonic-pool fallback replays the same outcome strings
