@@ -31,9 +31,10 @@ number rather than a stream batch:
 
 * ``drop``       — ``span`` consecutive outgoing frames are silently
   discarded: the peer never sees them (a lost request or ack).
-* ``delay``      — the frame at ``at`` is delivered ``delay_s`` late.
-* ``duplicate``  — the frame at ``at`` is delivered twice (a retransmit
-  race); consumers must be idempotent.
+* ``delay``      — ``span`` consecutive frames are delivered ``delay_s``
+  late (frames sent in between overtake them).
+* ``duplicate``  — ``span`` consecutive frames are each delivered twice
+  (a retransmit race); consumers must be idempotent.
 * ``partition``  — the link carries *nothing* in either direction for
   ``span`` frames counted per side: requests and replies both vanish,
   the router sees only silence.
@@ -98,8 +99,9 @@ class FaultSpec:
     ``delay_s`` — sleep length for ``slow_start`` (and an optional cap
     for ``hang``; 0 means "hang until killed"); delivery lateness for
     the network ``delay`` kind.
-    ``span``    — how many consecutive frames a network ``drop`` or
-    ``partition`` swallows (ignored by every other kind).
+    ``span``    — how many consecutive frames a network fault covers
+    (all four net kinds honor the ``[at, at+span)`` window; process
+    kinds ignore it).
     """
 
     key: str

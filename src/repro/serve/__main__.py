@@ -123,6 +123,19 @@ def build_parser() -> argparse.ArgumentParser:
              "answers busy/retry-after past it (default 32)",
     )
     parser.add_argument(
+        "--replicate", choices=("local", "central"), default="local",
+        help="model refit topology under --net: 'local' fits on every "
+             "shard worker; 'central' trains once at the router-side "
+             "Model Update Hub and broadcasts versioned snapshots to "
+             "all replicas (default local)",
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=1, metavar="K",
+        help="serve each cluster's stream across K replica shards "
+             "(submits round-robin, finishes broadcast; requires --net "
+             "drive mode; default 1)",
+    )
+    parser.add_argument(
         "--listen", default=None, metavar="[HOST:]PORT",
         help="run the socket front door as a TCP server and wait for "
              "clients to stream events in (implies --net)",
@@ -208,6 +221,18 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: bad --fault-plan: {exc}", file=sys.stderr)
             return 2
     net_mode = args.net or args.listen is not None
+    if args.replicas < 1:
+        print(f"error: --replicas must be >= 1, got {args.replicas}",
+              file=sys.stderr)
+        return 2
+    if (args.replicas > 1 or args.replicate == "central") and not net_mode:
+        print("error: --replicas/--replicate central need --net",
+              file=sys.stderr)
+        return 2
+    if args.replicas > 1 and args.listen is not None:
+        print("error: --replicas > 1 is a --net drive-mode feature "
+              "(listen mode addresses shards by cluster)", file=sys.stderr)
+        return 2
     supervised = (args.supervised or fault_plan is not None) and not net_mode
     try:
         supervision = Supervision(
@@ -226,6 +251,7 @@ def main(argv: list[str] | None = None) -> int:
         qssf_gbdt=QSSF_GBDT,
         bin_seconds=args.bin_seconds,
         online_updates=not args.no_online_updates,
+        replicate=args.replicate,
     )
     if args.obs_out is not None:
         obs.enable()
@@ -255,6 +281,7 @@ def main(argv: list[str] | None = None) -> int:
             checkpoint_every=args.checkpoint_every,
             fault_plan=fault_plan,
             net=netcfg,
+            replicas=args.replicas,
         )
     else:
         reports = serve_clusters(

@@ -15,11 +15,20 @@ Framing (:mod:`.framing`) is length-prefixed JSON-or-pickle over the
 stdlib ``socket``/``selectors`` — zero new dependencies — and doubles
 as the deterministic injection point for the network fault kinds in
 :mod:`repro.framework.faults`.
+
+Cross-host model replication (:mod:`.replicate`) rides the same
+framing: shards in a replica group delegate refits to a router-side
+:class:`~repro.serve.net.replicate.ModelUpdateHub` that trains each
+``(cluster, service)`` update once and broadcasts versioned snapshots,
+with the consistency guarantee that replicated shard decisions stay
+byte-identical to a single-shard merged-stream run — including under
+SIGKILL or partition mid-broadcast.
 """
 
 from .framing import FramedConn, NetFaultFilter, pack, unpack
 from .frontdoor import FrontDoor, FrontDoorClient, serve_clusters_net
 from .hashring import HashRing
+from .replicate import ModelUpdateHub, replica_slice
 from .router import NetConfig, NetStats, Router
 from .worker import worker_main
 
@@ -28,11 +37,13 @@ __all__ = [
     "FrontDoor",
     "FrontDoorClient",
     "HashRing",
+    "ModelUpdateHub",
     "NetConfig",
     "NetFaultFilter",
     "NetStats",
     "Router",
     "pack",
+    "replica_slice",
     "serve_clusters_net",
     "unpack",
     "worker_main",

@@ -68,11 +68,12 @@ class NetFaultFilter:
     for receives), starting at 0 each epoch — re-keying on respawn via
     :meth:`rekey` mirrors how process faults key on the retry attempt.
 
-    Outgoing kinds: ``drop`` discards frames ``[at, at+span)``;
-    ``duplicate`` sends frame ``at`` twice; ``delay`` holds frame ``at``
-    for ``delay_s`` before it goes out (later frames overtake it — the
-    reorder consumers must tolerate).  ``partition`` silences **both**
-    directions for ``span`` frames counted per side.
+    Outgoing kinds, all honoring the ``[at, at+span)`` window: ``drop``
+    discards those frames; ``duplicate`` sends each of them twice;
+    ``delay`` holds each for ``delay_s`` before it goes out (later
+    frames overtake it — the reorder consumers must tolerate).
+    ``partition`` silences **both** directions for ``span`` frames
+    counted per side.
     """
 
     def __init__(self, plan: FaultPlan | None, label: str, epoch: int = 0) -> None:
@@ -107,11 +108,13 @@ class NetFaultFilter:
         if self._blocked(seq, ("drop", "partition")):
             self.dropped += 1
             return []
+        # Every kind honors the [at, at+span) window — a span-N delay
+        # holds N consecutive frames, a span-N duplicate doubles N.
         for f in self._faults:
-            if f.kind == "delay" and f.at == seq:
+            if f.kind == "delay" and f.at <= seq < f.at + f.span:
                 self._held.append((now + f.delay_s, frame))
                 return []
-            if f.kind == "duplicate" and f.at == seq:
+            if f.kind == "duplicate" and f.at <= seq < f.at + f.span:
                 return [frame, frame]
         return [frame]
 

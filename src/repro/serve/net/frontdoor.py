@@ -32,6 +32,7 @@ import numpy as np
 
 from ...experiments import common
 from ...framework.faults import FaultPlan, installed_fault_plan
+from ...framework.supervise import Supervision, backoff_delay
 from ...obs import collect as obs
 from ..runtime import ShardTask
 from ..server import ServeConfig
@@ -66,6 +67,10 @@ class FrontDoor:
         set once the socket is bound — ``self.port`` then holds the
         ephemeral port."""
         router = self.router
+        if any(t.replica_count > 1 for t in router.tasks.values()):
+            # Clients address shards by cluster name; fanning one event
+            # stream across a replica group is a drive-mode feature.
+            raise ValueError("listen mode does not support replica groups")
         router.start()
         lsock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         lsock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -181,11 +186,27 @@ class FrontDoor:
 
 
 class FrontDoorClient:
-    """Blocking request-reply client for a listening front door."""
+    """Blocking request-reply client for a listening front door.
 
-    def __init__(self, host: str, port: int, timeout_s: float = 60.0) -> None:
+    Busy-retry shape: each rejected push waits the larger of the
+    server's ``retry_after_s`` hint and the shared
+    :func:`~repro.framework.supervise.backoff_delay` (capped exponential
+    with deterministic ``stable_seed`` jitter), never longer than
+    ``retry_cap_s``, and gives up with a clear error after
+    ``max_retries`` attempts instead of retrying forever.
+    """
+
+    def __init__(self, host: str, port: int, timeout_s: float = 60.0,
+                 max_retries: int = 100, retry_base_s: float = 0.01,
+                 retry_cap_s: float = 0.5) -> None:
         self.sock = socket.create_connection((host, port), timeout=timeout_s)
         self._buf = bytearray()
+        self._sup = Supervision(
+            timeout_s=None,
+            max_retries=max_retries,
+            backoff_base_s=retry_base_s,
+            backoff_cap_s=retry_cap_s,
+        )
 
     def request(self, msg: dict, fmt: str = "json") -> dict:
         self.sock.sendall(pack(msg, fmt=fmt))
@@ -204,20 +225,36 @@ class FrontDoorClient:
                 raise ConnectionError("front door hung up")
             self._buf += chunk
 
-    def send_event(self, cluster: str, bi: int, batch: EventBatch,
-                   max_tries: int = 1000) -> dict:
-        """Push one event batch, honoring busy/retry-after backpressure."""
+    def send_event(self, cluster: str, bi: int, batch: EventBatch) -> dict:
+        """Push one event batch, honoring busy/retry-after backpressure.
+
+        Raises :class:`TimeoutError` once the retry budget is spent —
+        a full queue that never drains is a stalled shard, and sleeping
+        on it forever would just hide that.
+        """
         msg = {
             "op": "event", "cluster": cluster, "bi": bi,
             "kind": int(batch.kind), "time": float(batch.time),
             "refs": [int(r) for r in batch.refs],
         }
-        for _ in range(max_tries):
+        sup = self._sup
+        last_hint = 0.0
+        for attempt in range(sup.max_retries + 1):
             reply = self.request(msg)
             if reply.get("op") != "busy":
                 return reply
-            time.sleep(float(reply.get("retry_after_s", 0.01)))
-        raise TimeoutError(f"front door stayed busy for {cluster} bi={bi}")
+            last_hint = float(reply.get("retry_after_s", 0.0))
+            if attempt == sup.max_retries:
+                break
+            delay = max(
+                last_hint,
+                backoff_delay(f"frontdoor:{cluster}:{bi}", attempt + 1, sup),
+            )
+            time.sleep(min(delay, sup.backoff_cap_s))
+        raise TimeoutError(
+            f"front door stayed busy for {cluster} bi={bi} after "
+            f"{sup.max_retries} retries (last retry_after_s={last_hint:g})"
+        )
 
     def wait_done(self, cluster: str, timeout_s: float = 600.0,
                   poll_s: float = 0.05) -> dict:
@@ -252,6 +289,7 @@ def serve_clusters_net(
     checkpoint_every: int | None = None,
     fault_plan: FaultPlan | None = None,
     net: NetConfig | None = None,
+    replicas: int = 1,
 ) -> tuple[list, NetStats]:
     """Serve one shard per cluster through the socket control plane.
 
@@ -260,8 +298,14 @@ def serve_clusters_net(
     reports (the parity surface is byte-identical to a direct run), but
     batches travel over sockets to consistent-hash-routed workers with
     bounded queues, retries, reroutes, and chaos injection.
-    ``fault_plan`` defaults to the environment-installed plan.  Returns
-    ``(reports, stats)`` with reports in ``clusters`` order.
+    ``fault_plan`` defaults to the environment-installed plan.
+
+    ``replicas > 1`` splits every cluster's stream across a replica
+    group (see :func:`~repro.serve.net.replicate.replica_slice`);
+    combined with ``config.replicate="central"`` the router trains each
+    refit once and broadcasts the model to all replicas.  Returns
+    ``(reports, stats)``; reports come back grouped per cluster in
+    ``clusters`` order, replicas in index order.
     """
     cfg = config or ServeConfig()
     netcfg = net or NetConfig(workers=workers, queue_bound=queue_bound)
@@ -275,8 +319,11 @@ def serve_clusters_net(
             max_jobs=max_jobs,
             source=source,
             checkpoint_every=checkpoint_every,
+            replica_index=j,
+            replica_count=replicas,
         )
         for c in clusters
+        for j in range(replicas)
     ]
     # Warm the shared trace memos so forked workers inherit them
     # copy-on-write instead of regenerating the cluster per process.

@@ -25,6 +25,16 @@ stops making progress:
    remaining batches in-process — decisions never stop flowing,
    mirroring the in-shard degradation ladder.
 
+With central replication (``ServeConfig.replicate = "central"``) the
+router also hosts the :class:`~repro.serve.net.replicate.ModelUpdateHub`:
+delegating shards send ``model_sync_request`` frames (versioned
+observation deltas) at their refit-due points, the hub trains once per
+(cluster, service, version), and the router broadcasts the snapshot as
+a ``model_sync`` frame to every worker hosting a replica of the
+cluster.  Cumulative acks carry each shard's model version vector; a
+worker that misses a broadcast re-requests by version, so SIGKILL or
+partition mid-broadcast converges to the same lineage.
+
 Network faults (``drop``/``delay``/``duplicate``/``partition``) inject
 at each link's framing layer, keyed by ``("link:<worker>", epoch,
 frame seq)`` — see :class:`~repro.serve.net.framing.NetFaultFilter`.
@@ -45,8 +55,10 @@ from ...framework.parallel import fork_available
 from ...framework.supervise import HeartbeatMonitor, Supervision, backoff_delay
 from ...obs import collect as obs
 from ..runtime import ShardTask, build_shard, build_stream
+from ..server import ServingSession
 from .framing import FramedConn, NetFaultFilter
 from .hashring import HashRing
+from .replicate import ModelUpdateHub, replica_slice
 from .worker import worker_main
 
 __all__ = ["NetConfig", "NetStats", "Router", "RouteState", "WorkerLink"]
@@ -111,6 +123,13 @@ class NetStats:
     busy_rejections: int = 0
     dropped_frames: int = 0
     max_queue_depth: int = 0
+    #: replication plane: central refits performed, duplicate sync
+    #: requests answered from the version cache, snapshot broadcast
+    #: frames sent, and total snapshot payload bytes
+    model_syncs: int = 0
+    sync_cached: int = 0
+    snapshot_frames: int = 0
+    snapshot_bytes: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -125,6 +144,10 @@ class NetStats:
             "busy_rejections": self.busy_rejections,
             "dropped_frames": self.dropped_frames,
             "max_queue_depth": self.max_queue_depth,
+            "model_syncs": self.model_syncs,
+            "sync_cached": self.sync_cached,
+            "snapshot_frames": self.snapshot_frames,
+            "snapshot_bytes": self.snapshot_bytes,
         }
 
 
@@ -157,11 +180,14 @@ class RouteState:
         "cluster", "task", "batches", "total", "worker", "attempt",
         "retries", "reroutes", "next_send", "acked", "ckpt", "report",
         "phase", "deadline", "backoff_until", "need_resume", "sent_at",
+        "sync_seen",
     )
 
     def __init__(self, task: ShardTask, batches: list | None = None,
                  total: int | None = None) -> None:
-        self.cluster = task.cluster
+        # The wire/route key: equals the cluster name for a
+        # whole-cluster shard, ``cluster@index`` for a replica.
+        self.cluster = task.shard_id
         self.task = task
         self.batches = batches if batches is not None else []
         self.total = total
@@ -178,6 +204,10 @@ class RouteState:
         self.backoff_until = 0.0
         self.need_resume = False
         self.sent_at: dict[int, float] = {}
+        #: the shard's model version vector as of its last cumulative
+        #: ack: ``{service: (requested, installed)}`` — replication
+        #: observability (which shard is waiting on which snapshot)
+        self.sync_seen: dict[str, tuple[int, int]] = {}
 
 
 def _worker_entry(sock, name: str, plan) -> None:
@@ -192,10 +222,17 @@ class Router:
         tasks = list(tasks)
         self.cfg = net or NetConfig()
         self.plan = fault_plan
-        self.order = [t.cluster for t in tasks]
-        self.tasks = {t.cluster: t for t in tasks}
+        self.order = [t.shard_id for t in tasks]
+        self.tasks = {t.shard_id: t for t in tasks}
         if len(self.tasks) != len(tasks):
-            raise ValueError("duplicate cluster in tasks")
+            raise ValueError("duplicate shard in tasks")
+        # Central replication: one hub lineage per cluster, built lazily
+        # on the first sync request (or passthrough serve).
+        self.hub = (
+            ModelUpdateHub()
+            if any(t.config.replicate == "central" for t in tasks)
+            else None
+        )
         self.stats = NetStats()
         self.routes: dict[str, RouteState] = {}
         self.links: dict[str, WorkerLink] = {}
@@ -254,11 +291,11 @@ class Router:
     def open_route(self, task: ShardTask, batches: list | None = None,
                    total: int | None = None) -> RouteState:
         route = RouteState(task, batches=batches, total=total)
-        self.routes[task.cluster] = route
+        self.routes[task.shard_id] = route
         if not self.links:
             self._go_local(route)
             return route
-        route.worker = self.ring.owner(task.cluster)
+        route.worker = self.ring.owner(task.shard_id)
         self._send_resume(route, time.monotonic())
         return route
 
@@ -342,9 +379,16 @@ class Router:
         batches, run to completion; reports in task order."""
         t0 = obs.wall_now()
         self.start()
-        for cluster in self.order:
-            task = self.tasks[cluster]
-            batches = list(build_stream(task).batches(task.config.batch_window_s))
+        # One stream build per *cluster*: replicas share the merged batch
+        # sequence and each takes its deterministic slice of it.
+        full_batches: dict[str, list] = {}
+        for shard in self.order:
+            task = self.tasks[shard]
+            full = full_batches.get(task.cluster)
+            if full is None:
+                full = list(build_stream(task).batches(task.config.batch_window_s))
+                full_batches[task.cluster] = full
+            batches = replica_slice(full, task.replica_index, task.replica_count)
             self.open_route(task, batches=batches, total=len(batches))
         try:
             while not self.done():
@@ -395,6 +439,9 @@ class Router:
             ckpt = msg.get("ckpt")
             if ckpt is not None and (route.ckpt is None or ckpt.seq >= route.ckpt.seq):
                 route.ckpt = ckpt
+            sync = msg.get("sync")
+            if sync:
+                route.sync_seen = sync
             route.deadline = now + self.cfg.rpc_deadline_s
             self.stats.acks += 1
         elif op == "gap":
@@ -407,6 +454,13 @@ class Router:
                 self.stats.gap_rewinds += 1
                 obs.counter_add("net.gap_rewinds")
             route.deadline = now + self.cfg.rpc_deadline_s
+        elif op == "model_sync_request":
+            # A delegating shard hit a refit-due point: train (or fetch)
+            # the version centrally and broadcast the snapshot to every
+            # worker hosting a replica of the cluster.  Counts as
+            # progress — the shard defers serving until the install.
+            self._central_sync(route, msg, now)
+            route.deadline = now + self.cfg.rpc_deadline_s
         elif op == "report":
             if route.phase == "finishing":
                 report, snap = obs.split_carrier(msg["report"])
@@ -414,6 +468,51 @@ class Router:
                 route.report = report
                 route.phase = "done"
                 route.deadline = None
+
+    # -- model replication ----------------------------------------------
+
+    def _central_sync(self, route: RouteState, msg: dict, now: float) -> None:
+        if self.hub is None:
+            return  # replication not configured: stale/bogus request
+        task = route.task
+        name = msg["service"]
+        version = int(msg["version"])
+        blob, fresh = self.hub.sync(
+            task, name, version, msg["deltas"], float(msg["now"]),
+            msg.get("mode"),
+        )
+        if fresh:
+            self.stats.model_syncs += 1
+            obs.counter_add("net.model_syncs")
+        else:
+            self.stats.sync_cached += 1
+        self._broadcast_snapshot(task.cluster, name, version, blob)
+
+    def _broadcast_snapshot(self, cluster: str, name: str, version: int,
+                            blob: bytes) -> None:
+        """Send one snapshot to every alive worker hosting a replica of
+        ``cluster`` (deduplicated per link — a worker applies the frame
+        to all its matching shards).  Workers that miss the broadcast
+        (partition, crash) re-request by version on their own."""
+        sent: set[str] = set()
+        for route in self.routes.values():
+            if route.task.cluster != cluster or route.worker is None:
+                continue
+            if route.phase not in ("resuming", "streaming", "finishing"):
+                continue
+            link = self.links.get(route.worker)
+            if link is None or not link.alive or link.name in sent:
+                continue
+            sent.add(link.name)
+            link.conn.send({
+                "op": "model_sync",
+                "cluster": cluster,
+                "service": name,
+                "version": version,
+                "blob": blob,
+            })
+            self.stats.snapshot_frames += 1
+            self.stats.snapshot_bytes += len(blob)
 
     # -- route advancement ----------------------------------------------
 
@@ -565,13 +664,64 @@ class Router:
 
     def _serve_local(self, route: RouteState) -> None:
         """Serve a passthrough route to completion in-process, resuming
-        from its latest checkpoint (same parity path as a worker)."""
+        from its latest checkpoint (same parity path as a worker).
+
+        A route opened with an explicit batch list (drive mode) replays
+        exactly those batches — a replica's slice, not the full stream —
+        and, under central replication, drains the engine's sync
+        requests through the hub after every batch so the passthrough
+        rung keeps the same model lineage a socket worker would.
+        """
         task = route.task
         server, stream = build_shard(task)
-        route.report = server.run(
+        if route.total is None:
+            # Listen-mode passthrough: no authoritative batch list held
+            # here; replay the locally-built stream (pre-replication
+            # behavior, whole-cluster shards only).
+            route.report = server.run(
+                stream,
+                speedup=task.speedup,
+                resume=route.ckpt,
+            )
+            route.phase = "done"
+            route.deadline = None
+            return
+        central = self.hub is not None and task.config.replicate == "central"
+        if central:
+            server.enable_central_refits()
+        session = ServingSession(
+            server,
             stream,
-            speedup=task.speedup,
             resume=route.ckpt,
+            partial=task.replica_count > 1,
         )
+        if central:
+            self._drain_local_sync(task, server)
+        for bi, batch in enumerate(route.batches):
+            if bi < session.cursor:
+                continue
+            session.process(bi, batch)
+            if central:
+                self._drain_local_sync(task, server)
+        route.report = session.finish()
         route.phase = "done"
         route.deadline = None
+
+    def _drain_local_sync(self, task: ShardTask, server) -> None:
+        """Synchronous sync loop for an in-process shard: every
+        outstanding request trains at the hub and installs immediately
+        (installs prune the outbox, so this terminates)."""
+        while True:
+            requests = server.engine.sync_requests()
+            if not requests:
+                return
+            req = requests[0]
+            blob, fresh = self.hub.sync(
+                task, req["service"], int(req["version"]),
+                req["deltas"], float(req["now"]), req.get("mode"),
+            )
+            if fresh:
+                self.stats.model_syncs += 1
+            else:
+                self.stats.sync_cached += 1
+            server.install_sync(req["service"], int(req["version"]), blob)

@@ -76,8 +76,21 @@ class ShardTask:
     #: only meaningful under supervised serving, where the supervisor
     #: resumes a restarted shard from its last checkpoint.
     checkpoint_every: int | None = None
+    #: replica-group position: the serve-net router splits one cluster's
+    #: stream across ``replica_count`` shards (submit batches round-robin
+    #: by rank, finish batches broadcast, node batches to replica 0 — the
+    #: CES owner).  The default (0 of 1) is a whole-cluster shard.
+    replica_index: int = 0
+    replica_count: int = 1
 
     def __post_init__(self) -> None:
+        if self.replica_count < 1:
+            raise ValueError(f"replica_count must be >= 1, got {self.replica_count}")
+        if not 0 <= self.replica_index < self.replica_count:
+            raise ValueError(
+                f"replica_index must be in [0, {self.replica_count}), "
+                f"got {self.replica_index}"
+            )
         if self.history_days < 1:
             raise ValueError("history_days must be >= 1")
         if self.stream_days <= 0:
@@ -94,6 +107,15 @@ class ShardTask:
             raise ValueError(
                 f"source must be one of {_SOURCES}, got {self.source!r}"
             )
+
+    @property
+    def shard_id(self) -> str:
+        """Route/fault key: the cluster name for a whole-cluster shard,
+        ``cluster@index`` for a replica — so single-replica behavior
+        (fault-plan keys, route labels) is unchanged byte-for-byte."""
+        if self.replica_count == 1:
+            return self.cluster
+        return f"{self.cluster}@{self.replica_index}"
 
 
 def build_shard(task: ShardTask) -> tuple[PredictionServer, EventStream]:

@@ -84,6 +84,7 @@ __all__ = [
     "ServingSession",
     "ShardCheckpoint",
     "ShardReport",
+    "encode_decisions",
 ]
 
 #: QSSF degradation ladder rungs (``ShardReport.degraded["qssf_rung"]``).
@@ -115,6 +116,18 @@ class ServeConfig:
     update_max_buffered: int = 50_000
     decide_jobs: int = 1
     record_decisions: bool = False
+    #: "local" (default): every shard trains its own refits.  "central":
+    #: when a replication channel is attached (serve-net router), due
+    #: refits ship observation deltas to a router-side trainer and the
+    #: shard installs the versioned snapshot it broadcasts back.  Without
+    #: a channel the value is inert and refits stay local.
+    replicate: str = "local"
+
+    def __post_init__(self) -> None:
+        if self.replicate not in ("local", "central"):
+            raise ValueError(
+                f"replicate must be 'local' or 'central', got {self.replicate!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -156,6 +169,10 @@ class ShardReport:
     ces_summary: dict[str, float] = field(default_factory=dict)
     #: populated only under ``record_decisions`` (parity tests)
     decisions: list[tuple[str, tuple[str, ...]]] | None = None
+    #: per-submit-batch decision boundaries ``(bi, decisions_so_far)``,
+    #: recorded with ``decisions`` — lets replication parity tests slice
+    #: a merged-stream run's decisions by micro-batch
+    decision_index: list[tuple[int, int]] | None = None
     ces_active: np.ndarray | None = None
     #: supervision retries spent serving this shard (set by the runtime,
     #: not the server — a never-supervised shard reports 0)
@@ -170,6 +187,11 @@ class ShardReport:
     #: from ``as_dict`` payloads and the parity surface.
     qssf_hist: Histogram | None = None
     ces_hist: Histogram | None = None
+    #: actual in-process training work ``{service: {"count", "seconds"}}``
+    #: — replication-plane telemetry (a delegating shard reports 0 counts
+    #: while its ``refits`` bookkeeping still advances).  Wall-clock
+    #: plane: excluded from ``as_dict`` payloads and the parity surface.
+    fits: dict[str, dict[str, float]] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         out = {
@@ -310,6 +332,22 @@ def _sample_array(samples: list[float]) -> np.ndarray:
     return np.asarray(samples, dtype=float)
 
 
+def encode_decisions(ordered: list[tuple[str, tuple[str, ...]]]) -> bytes:
+    """Canonical byte encoding of one submit batch's queue decisions.
+
+    Batch-boundary free (each ``(vc, ids)`` entry is self-delimiting), so
+    the digest over a stream equals the digest over any re-batching of
+    the same decisions — the property the replication parity tests use to
+    compare a replica's digest against a slice of the merged run's.
+    """
+    out = bytearray()
+    for vc, ids in ordered:
+        out += vc.encode()
+        out += b"\x1f".join(i.encode() for i in ids)
+        out += b"\x00"
+    return bytes(out)
+
+
 def _fresh_loop_state() -> dict[str, Any]:
     return {
         "cursor": 0,
@@ -318,6 +356,7 @@ def _fresh_loop_state() -> dict[str, Any]:
         "duration_requests": 0,
         "qssf_bytes": bytearray(),
         "decisions": [],
+        "decision_index": [],
         "node_down": 0,
         "node_up": 0,
         "down_now": 0,
@@ -407,6 +446,34 @@ class PredictionServer:
         )
         return service
 
+    # -- model replication ---------------------------------------------
+
+    def enable_central_refits(self) -> None:
+        """Attach this server to a replication channel: due refits for
+        replicable services queue versioned sync requests (see
+        ``engine.sync_requests()``) instead of training locally.  The
+        transport ships them to the central trainer and installs the
+        snapshots it returns via :meth:`install_sync`."""
+        self.engine.delegated = True
+
+    def install_sync(self, name: str, version: int, blob: bytes) -> bool:
+        """Install a centrally-trained model snapshot; version-gated.
+
+        Returns True when the model was swapped in (engine + orchestrator
+        hot-swap), False for a stale version or a degraded shard.  A
+        shard that stepped its degradation ladder keeps the fallback
+        service — the version is consumed so the sync plane unblocks,
+        but the remote model is discarded (local degradation wins).
+        """
+        if name == "qssf" and self._qssf_rung:
+            self.engine.skip_snapshot(name, version)
+            return False
+        service = pickle.loads(blob)
+        if not self.engine.install_snapshot(name, version, service):
+            return False
+        self.orchestrator.replace(service)
+        return True
+
     # -- checkpoint / restore ------------------------------------------
 
     def _snapshot(self, stream: EventStream, state: dict) -> ShardCheckpoint:
@@ -428,7 +495,8 @@ class PredictionServer:
             "degraded": dict(self.degraded),
             "state": {**state, "qssf_bytes": bytes(state["qssf_bytes"]),
                       "counts": dict(state["counts"]),
-                      "decisions": list(state["decisions"])},
+                      "decisions": list(state["decisions"]),
+                      "decision_index": list(state["decision_index"])},
         }
         with keep_training_state():
             blob = pickle.dumps(payload)
@@ -701,9 +769,14 @@ class ServingSession:
         checkpoint_every: int | None = None,
         checkpoint_sink: Callable[[ShardCheckpoint], None] | None = None,
         resume: ShardCheckpoint | None = None,
+        partial: bool = False,
     ) -> None:
         self.server = server
         self.stream = stream
+        #: True when this session serves only a slice of the stream's
+        #: batches (a replica): the report counts events actually served
+        #: instead of the stream length.
+        self.partial = partial
         self._checkpoint_every = checkpoint_every
         self._checkpoint_sink = checkpoint_sink
         self._resumed = resume is not None
@@ -779,13 +852,10 @@ class ServingSession:
                 except Exception:
                     server._count_degraded("duration_failures")
                     server._degrade_qssf()
-            qssf_bytes = state["qssf_bytes"]
-            for vc, ids in ordered:
-                qssf_bytes += vc.encode()
-                qssf_bytes += b"\x1f".join(i.encode() for i in ids)
-                qssf_bytes += b"\x00"
+            state["qssf_bytes"] += encode_decisions(ordered)
             if cfg.record_decisions:
                 state["decisions"].extend(ordered)
+                state["decision_index"].append((bi, len(state["decisions"])))
         elif batch.kind == FINISH:
             if cfg.online_updates:
                 for ref in batch.refs:
@@ -853,7 +923,8 @@ class ServingSession:
         if self._phase_hists is not None:
             self._flush_phases()
 
-        events = len(self.stream)
+        counts = state["counts"]
+        events = sum(counts.values()) if self.partial else len(self.stream)
         refits = {
             name: {
                 "refits": server.engine.refit_count(name),
@@ -887,7 +958,13 @@ class ServingSession:
                 "node_up": state["node_up"],
                 "max_down": state["max_down"],
             }
-        counts = state["counts"]
+        fits = {
+            name: {
+                "count": server.engine.fits_performed(name),
+                "seconds": server.engine.fit_seconds(name),
+            }
+            for name in server.engine.services
+        }
         report = ShardReport(
             cluster=self.stream.cluster,
             events=events,
@@ -908,11 +985,16 @@ class ServingSession:
             decisions=(
                 list(state["decisions"]) if server.config.record_decisions else None
             ),
+            decision_index=(
+                list(state["decision_index"])
+                if server.config.record_decisions else None
+            ),
             ces_active=ces_active,
             degraded=dict(server.degraded),
             node_health=node_health,
             qssf_hist=self._qssf_lat.hist,
             ces_hist=self._ces_lat.hist,
+            fits=fits,
         )
         if self._phase_hists is not None:
             server._publish_obs(state, report, self._qssf_lat, self._ces_lat)

@@ -33,6 +33,7 @@ from repro.serve.net import (
     unpack,
 )
 from repro.serve.net.framing import TAG_JSON
+from repro.serve.server import encode_decisions
 
 needs_fork = pytest.mark.skipif(not fork_available(), reason="requires os.fork")
 
@@ -170,6 +171,26 @@ class TestNetFaultFilter:
         )
         assert filt.outgoing(b"mine", now=0.0) == [b"mine"]
 
+    def test_delay_honors_span_beyond_one(self):
+        # Regression: delay (and duplicate) used to fire only at ``at``
+        # exactly, ignoring span — every kind honors [at, at+span).
+        filt = _filter(
+            [FaultSpec(key="link:w0", kind="delay", at=1, span=2,
+                       delay_s=0.5)]
+        )
+        assert filt.outgoing(b"f0", now=0.0) == [b"f0"]
+        assert filt.outgoing(b"f1", now=0.0) == []
+        assert filt.outgoing(b"f2", now=0.0) == []
+        assert filt.outgoing(b"f3", now=0.0) == [b"f3"]
+        assert sorted(filt.due(now=1.0)) == [b"f1", b"f2"]
+
+    def test_duplicate_honors_span_beyond_one(self):
+        filt = _filter(
+            [FaultSpec(key="link:w0", kind="duplicate", at=1, span=2)]
+        )
+        sent = [filt.outgoing(b"f%d" % i, now=0.0) for i in range(4)]
+        assert sent == [[b"f0"], [b"f1", b"f1"], [b"f2", b"f2"], [b"f3"]]
+
 
 class TestHashRing:
     def test_deterministic_and_owner_heads_preference(self):
@@ -190,6 +211,36 @@ class TestHashRing:
     def test_ring_rejects_empty(self):
         with pytest.raises(ValueError):
             HashRing([])
+
+    def test_preference_stable_across_restarts(self):
+        # Placement is a pure hash of (worker name, vnode): a rebuilt
+        # ring — new process, new run — gives every key the identical
+        # full preference order, so reroute targets are reproducible.
+        workers = ["w0", "w1", "w2", "w3"]
+        a = HashRing(workers)
+        b = HashRing(list(reversed(workers)))
+        keys = [f"shard-{i}" for i in range(50)] + ["Venus@0", "Venus@1"]
+        for key in keys:
+            assert a.preference(key) == b.preference(key)
+
+    def test_vnode_distribution_is_bounded(self):
+        # 64 vnodes per worker keep ownership roughly balanced: across
+        # many keys no worker owns a wildly outsized share.
+        workers = ["w0", "w1", "w2", "w3"]
+        ring = HashRing(workers)
+        counts = {w: 0 for w in workers}
+        n = 400
+        for i in range(n):
+            counts[ring.owner(f"cluster-{i}")] += 1
+        fair = n / len(workers)
+        for w, c in counts.items():
+            assert 0.4 * fair <= c <= 2.0 * fair, (w, counts)
+
+    def test_single_surviving_worker_owns_everything(self):
+        ring = HashRing(["w0"])
+        for key in ("Venus", "Earth", "Venus@0", "Venus@1", "anything"):
+            assert ring.owner(key) == "w0"
+            assert ring.preference(key) == ["w0"]
 
 
 class TestNetConfig:
@@ -332,6 +383,120 @@ class TestListenMode:
             client.close()
         server.join(timeout=60.0)
         assert not server.is_alive()
+
+
+#: refit-heavy policy for the replication tests: the smoke config's
+#: 7-day/50k update policy never fires inside a 1-day stream, so refits
+#: trigger on a small buffered-observation threshold instead, and
+#: decisions are recorded for the byte-level comparison.
+_REPL = dict(update_max_buffered=60, record_decisions=True)
+
+
+@pytest.fixture(scope="module")
+def repl_reference():
+    """The merged-stream oracle: one Venus shard, refit-heavy config,
+    local refits — the run every replicated variant must match."""
+    task = ShardTask(cluster="Venus", config=_config(**_REPL),
+                     checkpoint_every=50, **_TASK)
+    server, stream = build_shard(task)
+    return server.run(stream)
+
+
+def _ref_slices(report):
+    """Reference decisions grouped per submit micro-batch, in submit-
+    rank order (what ``decision_index`` exists for)."""
+    slices, prev = [], 0
+    for _bi, cum in report.decision_index:
+        slices.append(report.decisions[prev:cum])
+        prev = cum
+    return slices
+
+
+def _expected_for(slices, index, count):
+    """The decisions replica ``index`` of ``count`` must make: exactly
+    the reference's, for the submit ranks ``replica_slice`` assigns it."""
+    return [d for r, s in enumerate(slices) if r % count == index for d in s]
+
+
+def _serve_repl(replicate, *, replicas=2, fault_plan=None):
+    cfg = _config(replicate=replicate, **_REPL)
+    net = NetConfig(workers=2, queue_bound=16, **FAST_NET)
+    return serve_clusters_net(
+        ["Venus"], config=cfg, checkpoint_every=50, replicas=replicas,
+        fault_plan=fault_plan, net=net, **_TASK,
+    )
+
+
+@needs_fork
+class TestReplication:
+    def test_central_replicas_byte_identical_to_merged_stream(
+            self, repl_reference):
+        # The tentpole guarantee: with replication on, each replica's
+        # decision stream is byte-identical to the corresponding slice
+        # of a single-shard merged-stream run — same decisions, same
+        # refit bookkeeping — while every model is trained exactly once
+        # at the hub (zero local fits on the replicas).
+        reports, stats = _serve_repl("central")
+        slices = _ref_slices(repl_reference)
+        ref_refits = repl_reference.refits["qssf"]["refits"]
+        assert ref_refits >= 2  # the policy actually exercises syncs
+        for j, report in enumerate(reports):
+            assert report.decisions == _expected_for(slices, j, 2)
+            digest = hashlib.sha256(b"".join(
+                encode_decisions(s)
+                for r, s in enumerate(slices) if r % 2 == j
+            )).hexdigest()
+            assert report.qssf_digest == digest
+            assert report.refits["qssf"] == repl_reference.refits["qssf"]
+            assert report.fits["qssf"]["count"] == 0  # delegated
+        # One central fit per version, broadcast to the group.
+        assert stats.model_syncs == ref_refits
+        assert stats.snapshot_frames >= ref_refits
+        assert stats.snapshot_bytes > 0
+
+    def test_local_replicas_match_but_multiply_fit_work(
+            self, repl_reference):
+        # replicate="local" control: decisions still match the merged
+        # stream (every replica retrains on the same broadcast finish
+        # events), but each replica pays for its own fits — the refit
+        # CPU multiplication central mode removes.
+        reports, stats = _serve_repl("local")
+        slices = _ref_slices(repl_reference)
+        ref_fits = repl_reference.fits["qssf"]["count"]
+        for j, report in enumerate(reports):
+            assert report.decisions == _expected_for(slices, j, 2)
+            assert report.fits["qssf"]["count"] == ref_fits
+        assert stats.model_syncs == 0 and stats.snapshot_frames == 0
+        # Group total: K× the merged-stream fit count.
+        assert sum(r.fits["qssf"]["count"] for r in reports) == 2 * ref_fits
+
+    def test_kill_and_partition_mid_broadcast_converges(
+            self, repl_reference):
+        # The chaos headline: partition the link holding both replicas
+        # mid-stream, then SIGKILL the rerouted worker — snapshots in
+        # flight are lost both times.  Respawned/rerouted workers re-send
+        # their outstanding sync requests (served from the hub's version
+        # cache), and the decision streams still match the merged-stream
+        # oracle byte for byte.  (Ring places Venus@0 and Venus@1 on w0;
+        # the crash is keyed to attempt 1 — after the reroute.)
+        plan = FaultPlan(seed=11, faults=(
+            FaultSpec(key="Venus@0", kind="crash", attempt=1, at=130),
+            FaultSpec(key="link:w0", kind="partition", at=60, span=100_000),
+        ))
+        reports, stats = _serve_repl("central", fault_plan=plan)
+        slices = _ref_slices(repl_reference)
+        for j, report in enumerate(reports):
+            assert report.decisions == _expected_for(slices, j, 2)
+            assert report.refits["qssf"] == repl_reference.refits["qssf"]
+            assert report.fits["qssf"]["count"] == 0
+        # Both fault kinds fired and were recovered from...
+        assert stats.link_failures >= 2
+        assert stats.respawns >= 1
+        assert stats.reroutes >= 2
+        # ...yet the lineage still trained each version exactly once;
+        # the recovery path shows up as cached re-requests instead.
+        assert stats.model_syncs == repl_reference.refits["qssf"]["refits"]
+        assert stats.sync_cached >= 1
 
 
 class TestPassthrough:

@@ -87,6 +87,21 @@ class TestMainExitCodes:
         err = capsys.readouterr().err
         assert "did you mean 'Venus'" in err
 
+    def test_replication_flags_need_net_mode(self, capsys):
+        assert main(["--clusters", "Venus", "--replicas", "2"]) == 2
+        assert "need --net" in _one_line_error(capsys)
+        assert main(["--clusters", "Venus", "--replicate", "central"]) == 2
+        assert "need --net" in _one_line_error(capsys)
+
+    def test_bad_replicas_exit_2(self, capsys):
+        assert main(["--clusters", "Venus", "--net", "--replicas", "0"]) == 2
+        assert "--replicas must be >= 1" in _one_line_error(capsys)
+
+    def test_replicas_incompatible_with_listen(self, capsys):
+        assert main(["--clusters", "Venus", "--listen", "7341",
+                     "--replicas", "2"]) == 2
+        assert "drive-mode" in _one_line_error(capsys)
+
 
 class _FakeReport:
     cluster = "Venus"
@@ -138,3 +153,23 @@ class TestKnobPlumbing:
         args = build_parser().parse_args(
             ["--net", "--workers", "3", "--queue-bound", "9"])
         assert (args.net, args.workers, args.queue_bound) == (True, 3, 9)
+
+    def test_replication_flags_flow_into_net_serve(self, monkeypatch, capsys):
+        import repro.serve.net as net_mod
+        from repro.serve import NetStats
+
+        captured = {}
+
+        def fake_serve(clusters, config, **kw):
+            captured["clusters"] = list(clusters)
+            captured["config"] = config
+            captured.update(kw)
+            return [_FakeReport()], NetStats()
+
+        monkeypatch.setattr(net_mod, "serve_clusters_net", fake_serve)
+        rc = main(["--clusters", "Venus", "--net", "-q",
+                   "--replicas", "3", "--replicate", "central"])
+        assert rc == 0
+        assert captured["replicas"] == 3
+        assert captured["config"].replicate == "central"
+        capsys.readouterr()
